@@ -1,0 +1,90 @@
+// Command sipgen inspects the built-in TPC-H data generator: table
+// cardinalities, sizes, sample rows, and skew diagnostics. Useful when
+// calibrating experiments.
+//
+// Usage:
+//
+//	sipgen -sf 0.05
+//	sipgen -sf 0.05 -skew -table lineitem -sample 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	sip "repro"
+)
+
+func main() {
+	var (
+		sf     = flag.Float64("sf", 0.01, "scale factor")
+		skew   = flag.Bool("skew", false, "Zipf z=0.5 skewed variant")
+		table  = flag.String("table", "", "show details for one table")
+		sample = flag.Int("sample", 0, "print N sample rows of -table")
+	)
+	flag.Parse()
+
+	cfg := sip.DataConfig{ScaleFactor: *sf}
+	if *skew {
+		cfg.Skew = true
+		cfg.Z = 0.5
+	}
+	cat := sip.GenerateTPCH(cfg)
+
+	if *table == "" {
+		fmt.Printf("%-10s %12s %14s\n", "table", "rows", "bytes")
+		var total int64
+		for _, name := range cat.Names() {
+			t, _ := cat.Table(name)
+			fmt.Printf("%-10s %12d %14d\n", name, t.NumRows(), t.MemBytes())
+			total += t.MemBytes()
+		}
+		fmt.Printf("%-10s %12s %14d\n", "total", "", total)
+		return
+	}
+
+	t, err := cat.Table(*table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sipgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("table %s: %d rows, %d bytes\n", t.Name, t.NumRows(), t.MemBytes())
+	fmt.Printf("primary key: %v\n", t.PrimaryKey)
+	for _, fk := range t.ForeignKeys {
+		fmt.Printf("foreign key: %v -> %s%v\n", fk.Cols, fk.RefTable, fk.RefCols)
+	}
+	fmt.Println("columns:")
+	for _, c := range t.Schema.Cols {
+		fmt.Printf("  %-20s %-10s distinct≈%d\n", c.Name, c.Kind, t.Distinct(c.Name))
+	}
+	if *sample > 0 {
+		fmt.Println("sample rows:")
+		for i := 0; i < *sample && i < len(t.Rows); i++ {
+			fmt.Println(" ", t.Rows[i])
+		}
+	}
+	// Skew diagnostic: top-5 most frequent values of the first FK column.
+	if len(t.ForeignKeys) > 0 {
+		col := t.ForeignKeys[0].Cols[0]
+		idx := t.ColumnIndex(col)
+		counts := map[string]int{}
+		for _, r := range t.Rows {
+			counts[r[idx].String()]++
+		}
+		type kv struct {
+			k string
+			n int
+		}
+		var all []kv
+		for k, n := range counts {
+			all = append(all, kv{k, n})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+		fmt.Printf("hottest %s values:\n", col)
+		for i := 0; i < 5 && i < len(all); i++ {
+			fmt.Printf("  %s: %d rows\n", all[i].k, all[i].n)
+		}
+	}
+}

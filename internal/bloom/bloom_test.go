@@ -1,0 +1,223 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.05)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRateNear5Percent(t *testing.T) {
+	const n = 20000
+	f := New(n, 0.05)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("in-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// One-hash filter at m = n/p: FPR ≈ 1-e^(-n/m) ≈ 4.9%. Allow slack.
+	if rate > 0.08 {
+		t.Fatalf("observed FPR %.3f, want ≈0.05", rate)
+	}
+	if rate < 0.01 {
+		t.Fatalf("observed FPR %.3f suspiciously low — sizing wrong?", rate)
+	}
+	if fill := f.FillRatio(); math.Abs(fill-rate) > 0.02 {
+		t.Fatalf("fill ratio %.3f should approximate FPR %.3f for one-hash filter", fill, rate)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	if BitsFor(1000, 0.05) != 20000 {
+		t.Fatalf("BitsFor(1000, 0.05) = %d, want 20000", BitsFor(1000, 0.05))
+	}
+	if BitsFor(0, 0.05) < 64 {
+		t.Fatal("minimum size must be at least 64 bits")
+	}
+	if BitsFor(100, 0) != BitsFor(100, DefaultFPR) {
+		t.Fatal("invalid p should fall back to the default")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New(1000, 0.05)
+	b := New(1000, 0.05)
+	for i := 0; i < 100; i++ {
+		a.Add([]byte(fmt.Sprintf("both-%d", i)))
+		b.Add([]byte(fmt.Sprintf("both-%d", i)))
+		a.Add([]byte(fmt.Sprintf("a-%d", i)))
+		b.Add([]byte(fmt.Sprintf("b-%d", i)))
+	}
+	if err := a.IntersectWith(b); err != nil {
+		t.Fatal(err)
+	}
+	// Intersection keeps everything in both (no false negatives).
+	for i := 0; i < 100; i++ {
+		if !a.Contains([]byte(fmt.Sprintf("both-%d", i))) {
+			t.Fatalf("intersection lost shared key both-%d", i)
+		}
+	}
+	// Most a-only keys must be gone (they were never in b).
+	gone := 0
+	for i := 0; i < 100; i++ {
+		if !a.Contains([]byte(fmt.Sprintf("a-%d", i))) {
+			gone++
+		}
+	}
+	if gone < 80 {
+		t.Fatalf("intersection retained %d/100 a-only keys", 100-gone)
+	}
+}
+
+func TestIntersectIncompatible(t *testing.T) {
+	a := New(100, 0.05)
+	b := New(100000, 0.05)
+	if err := a.IntersectWith(b); err == nil {
+		t.Fatal("expected incompatibility error for different sizes")
+	}
+	c := NewSeeded(100, 0.05, 7)
+	if err := a.IntersectWith(c); err == nil {
+		t.Fatal("expected incompatibility error for different seeds")
+	}
+	if a.Compatible(nil) {
+		t.Fatal("nil is not compatible")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(1000, 0.05)
+	b := New(1000, 0.05)
+	a.Add([]byte("only-a"))
+	b.Add([]byte("only-b"))
+	if err := a.UnionWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains([]byte("only-a")) || !a.Contains([]byte("only-b")) {
+		t.Fatal("union must contain both sides")
+	}
+	if err := a.UnionWith(New(5000000, 0.05)); err == nil {
+		t.Fatal("expected union incompatibility error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(100, 0.05)
+	a.Add([]byte("x"))
+	b := a.Clone()
+	b.Add([]byte("y"))
+	if a.Contains([]byte("y")) && !a.Contains([]byte("x")) {
+		t.Fatal("clone aliases original")
+	}
+	if !b.Contains([]byte("x")) {
+		t.Fatal("clone must keep contents")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := NewSeeded(500, 0.05, 3)
+	for i := 0; i < 200; i++ {
+		a.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	data := a.Marshal()
+	if len(data) != 24+len(a.bits)*8 {
+		t.Fatalf("marshal length %d", len(data))
+	}
+	b, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBits() != a.NumBits() || b.Len() != a.Len() {
+		t.Fatal("metadata lost in round trip")
+	}
+	for i := 0; i < 200; i++ {
+		if !b.Contains([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("round trip lost k%d", i)
+		}
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil payload must error")
+	}
+	if _, err := Unmarshal(make([]byte, 25)); err == nil {
+		t.Fatal("misaligned payload must error")
+	}
+	// Valid length but inconsistent header.
+	a := New(100, 0.05)
+	data := a.Marshal()
+	data[0] = 0x01 // corrupt nbits so the word count disagrees
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("inconsistent header must error")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f := New(1000, 0.05)
+	want := int((BitsFor(1000, 0.05) + 63) / 64 * 8)
+	if f.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", f.SizeBytes(), want)
+	}
+}
+
+func TestQuickNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		bf := New(len(keys)+1, 0.05)
+		for _, k := range keys {
+			bf.Add(k)
+		}
+		for _, k := range keys {
+			if !bf.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectionPreservesSharedKeys(t *testing.T) {
+	f := func(shared [][]byte) bool {
+		a := NewWithBits(4096, 0)
+		b := NewWithBits(4096, 0)
+		for _, k := range shared {
+			a.Add(k)
+			b.Add(k)
+		}
+		if err := a.IntersectWith(b); err != nil {
+			return false
+		}
+		for _, k := range shared {
+			if !a.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package catalog holds table metadata and data for the engine: schemas,
+// keys, foreign keys, and the statistics the optimizer's cost modeler uses.
+// Per the paper (§V-A), the cost modeler "does not require histograms:
+// instead, it relies on cardinality estimates and information about keys and
+// foreign keys when estimating the selectivity of join conditions."
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// ForeignKey declares that Cols in this table reference RefCols of RefTable.
+type ForeignKey struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// Table is a base relation: schema, data, and optimizer metadata.
+type Table struct {
+	Name        string
+	Schema      *types.Schema
+	Rows        []types.Tuple
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+
+	// DistinctEst maps a column name to an estimated distinct-value count.
+	// Populated by the generator; consulted by the cost modeler.
+	DistinctEst map[string]int64
+}
+
+// NumRows returns the table cardinality.
+func (t *Table) NumRows() int64 { return int64(len(t.Rows)) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Schema.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsKey reports whether the named column is (the whole of) the primary key,
+// i.e. whether it is unique. Used for key/FK-based join selectivity.
+func (t *Table) IsKey(col string) bool {
+	return len(t.PrimaryKey) == 1 && strings.EqualFold(t.PrimaryKey[0], col)
+}
+
+// Distinct returns the estimated number of distinct values in the column,
+// falling back to the row count for key columns and a heuristic fraction
+// otherwise.
+func (t *Table) Distinct(col string) int64 {
+	if d, ok := t.DistinctEst[strings.ToLower(col)]; ok {
+		return d
+	}
+	if t.IsKey(col) {
+		return t.NumRows()
+	}
+	if n := t.NumRows(); n > 0 {
+		// Uniform fallback: assume one-tenth distinct, at least 1.
+		d := n / 10
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return 1
+}
+
+// SetDistinct records a distinct-count estimate for a column.
+func (t *Table) SetDistinct(col string, n int64) {
+	if t.DistinctEst == nil {
+		t.DistinctEst = make(map[string]int64)
+	}
+	t.DistinctEst[strings.ToLower(col)] = n
+}
+
+// MemBytes returns the approximate memory footprint of the table data.
+func (t *Table) MemBytes() int64 {
+	var n int64
+	for _, row := range t.Rows {
+		n += int64(row.MemSize())
+	}
+	return n
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table; it replaces any previous table of the same name.
+func (c *Catalog) Add(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, exists := c.tables[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.tables[key] = t
+}
+
+// Table looks up a table by (case-insensitive) name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether the named table exists.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns table names in registration order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// FKJoinSelectivity estimates the fraction of the cross product surviving an
+// equijoin between left.lcol and right.rcol using key/FK knowledge: when one
+// side is a key the selectivity is 1/|keyside| (each non-key row matches at
+// most one key row); otherwise 1/max(distinct(l), distinct(r)), the
+// classical System-R estimate.
+func FKJoinSelectivity(left *Table, lcol string, right *Table, rcol string) float64 {
+	switch {
+	case left.IsKey(lcol) && left.NumRows() > 0:
+		return 1.0 / float64(left.NumRows())
+	case right.IsKey(rcol) && right.NumRows() > 0:
+		return 1.0 / float64(right.NumRows())
+	default:
+		dl, dr := left.Distinct(lcol), right.Distinct(rcol)
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d < 1 {
+			d = 1
+		}
+		return 1.0 / float64(d)
+	}
+}

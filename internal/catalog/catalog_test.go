@@ -1,0 +1,116 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sampleTable() *Table {
+	sch := types.NewSchema(
+		types.Column{Table: "t", Name: "id", Kind: types.KindInt},
+		types.Column{Table: "t", Name: "grp", Kind: types.KindInt},
+	)
+	rows := make([]types.Tuple, 100)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 10))}
+	}
+	t := &Table{Name: "t", Schema: sch, Rows: rows, PrimaryKey: []string{"id"}}
+	t.SetDistinct("grp", 10)
+	return t
+}
+
+func TestCatalogAddLookup(t *testing.T) {
+	c := New()
+	c.Add(sampleTable())
+	tbl, err := c.Table("T") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 100 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !c.Has("t") || c.Has("missing") {
+		t.Fatal("Has() wrong")
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "t" {
+		t.Fatalf("Names = %v", names)
+	}
+	// Replacing keeps single entry.
+	c.Add(sampleTable())
+	if len(c.Names()) != 1 {
+		t.Fatal("replacement duplicated name")
+	}
+}
+
+func TestTableMetadata(t *testing.T) {
+	tbl := sampleTable()
+	if tbl.ColumnIndex("grp") != 1 || tbl.ColumnIndex("GRP") != 1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+	if tbl.ColumnIndex("nope") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+	if !tbl.IsKey("id") || tbl.IsKey("grp") {
+		t.Fatal("IsKey wrong")
+	}
+	if tbl.Distinct("id") != 100 {
+		t.Fatalf("key distinct = %d", tbl.Distinct("id"))
+	}
+	if tbl.Distinct("grp") != 10 {
+		t.Fatalf("recorded distinct = %d", tbl.Distinct("grp"))
+	}
+	// Fallback heuristic for unknown columns.
+	if d := tbl.Distinct("unknown"); d != 10 {
+		t.Fatalf("fallback distinct = %d, want rows/10", d)
+	}
+	if tbl.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+}
+
+func TestCompositeKeyIsNotSingleKey(t *testing.T) {
+	tbl := sampleTable()
+	tbl.PrimaryKey = []string{"id", "grp"}
+	if tbl.IsKey("id") {
+		t.Fatal("part of a composite key is not unique by itself")
+	}
+}
+
+func TestFKJoinSelectivity(t *testing.T) {
+	key := sampleTable() // 100 rows, id is key
+	fact := &Table{
+		Name: "f",
+		Schema: types.NewSchema(
+			types.Column{Table: "f", Name: "tid", Kind: types.KindInt}),
+		Rows: make([]types.Tuple, 1000),
+	}
+	fact.SetDistinct("tid", 100)
+
+	// Key side: selectivity = 1/|key table|.
+	if got := FKJoinSelectivity(key, "id", fact, "tid"); got != 0.01 {
+		t.Fatalf("key selectivity = %v", got)
+	}
+	if got := FKJoinSelectivity(fact, "tid", key, "id"); got != 0.01 {
+		t.Fatalf("reversed key selectivity = %v", got)
+	}
+	// Non-key: 1/max(distincts).
+	if got := FKJoinSelectivity(fact, "tid", fact, "tid"); got != 0.01 {
+		t.Fatalf("non-key selectivity = %v", got)
+	}
+	// Empty tables must not divide by zero.
+	empty := &Table{Name: "e", Schema: key.Schema, PrimaryKey: []string{"id"}}
+	if got := FKJoinSelectivity(empty, "id", fact, "tid"); got <= 0 {
+		t.Fatalf("empty-table selectivity = %v", got)
+	}
+}
+
+func TestDistinctOnEmptyTable(t *testing.T) {
+	empty := &Table{Name: "e", Schema: sampleTable().Schema}
+	if empty.Distinct("grp") != 1 {
+		t.Fatal("empty table distinct should floor at 1")
+	}
+}

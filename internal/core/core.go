@@ -1,0 +1,193 @@
+// Package core implements Adaptive Information Passing (AIP), the paper's
+// primary contribution: runtime decision making that reuses the
+// intermediate state of completed subexpressions to prune other,
+// still-running subexpressions of the same query plan — across blocking
+// operators and between correlated query blocks.
+//
+// Two strategies are provided, matching §IV of the paper:
+//
+//   - FeedForward (§IV-A): optimistically builds a working AIP set for
+//     every attribute with an interested party, publishes it to a central
+//     AIP Registry when its input completes, and injects it (merging
+//     compatible Bloom filters by bitwise intersection) into every
+//     interested operator.
+//
+//   - CostBased (§IV-B): does nothing incrementally; when an input to a
+//     stateful operator completes, an AIP Manager re-invokes the
+//     optimizer's cost machinery (ESTIMATEBENEFIT, Fig. 4) to decide
+//     whether scanning the state, building a summary, and injecting it
+//     elsewhere pays for itself — including network shipping costs in the
+//     distributed setting (§V, "Distributed query extensions").
+//
+// Both plug into the executor through the exec.Controller interface and the
+// per-operator injection points (exec.Point) created by the optimizer.
+package core
+
+import (
+	"math"
+
+	"repro/internal/bloom"
+	"repro/internal/exec"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// SummaryKind selects the AIP-set representation.
+type SummaryKind int
+
+const (
+	// SummaryBloom uses single-hash Bloom filters sized for Options.FPR —
+	// the representation the paper's implementation settled on (§V).
+	SummaryBloom SummaryKind = iota
+	// SummaryHashSet uses exact hash sets; kept for the ablation study
+	// (the paper found the precision "generally countered by its increased
+	// creation and probing cost").
+	SummaryHashSet
+)
+
+// CostParams are the constants of the cost model used by CostBased. Units
+// are abstract "work units per tuple"; only ratios matter.
+type CostParams struct {
+	// Tuple is the cost of moving one tuple through one operator.
+	Tuple float64
+	// Probe is the per-tuple cost of probing one injected filter.
+	Probe float64
+	// Build is the per-key cost of scanning state into a new AIP set.
+	Build float64
+	// Fixed is the fixed overhead of creating any AIP set.
+	Fixed float64
+	// NetworkByte is the cost per byte of shipping a filter to a remote
+	// site (the paper assumes 10 Mbps when costing transfers).
+	NetworkByte float64
+}
+
+// DefaultCostParams returns the calibration used by the experiments.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		Tuple:       1.0,
+		Probe:       0.15,
+		Build:       0.4,
+		Fixed:       64,
+		NetworkByte: 0.002,
+	}
+}
+
+// Options configure a controller.
+type Options struct {
+	// FPR is the Bloom-filter false-positive target (paper: 5%).
+	FPR float64
+	// Kind selects Bloom filters or exact hash sets.
+	Kind SummaryKind
+	// Stats receives filter accounting; required.
+	Stats *stats.Registry
+	// Topology models filter-shipping costs for remote points; nil means
+	// everything is local.
+	Topology *network.Topology
+	// Cost parameterizes the CostBased manager.
+	Cost CostParams
+}
+
+func (o Options) fpr() float64 {
+	if o.FPR <= 0 || o.FPR >= 1 {
+		return bloom.DefaultFPR
+	}
+	return o.FPR
+}
+
+// ---------------------------------------------------------------------------
+// Shared class analysis — the runtime analog of AIPCANDIDATES (Fig. 3).
+
+// classUse is one (point, column) attachment site for a class.
+type classUse struct {
+	point *exec.Point
+	col   int
+}
+
+// classInfo aggregates the producers and consumers of one attribute
+// equivalence class in the source-predicate graph.
+type classInfo struct {
+	id        int
+	producers []classUse // stateful points; col indexes the state schema
+	consumers []classUse // any points; col indexes the input schema
+	domain    float64    // distinct-value estimate for the attribute domain
+	bits      uint64     // shared Bloom sizing so filters intersect
+}
+
+// analyze computes the per-class producer/consumer sets from the
+// registered points, discarding classes without both a producer and an
+// interested (distinct) consumer — "any potential AIP sets without
+// interested parties are then eliminated" (§IV-A).
+func analyze(points []*exec.Point, fpr float64) map[int]*classInfo {
+	classes := make(map[int]*classInfo)
+	get := func(id int) *classInfo {
+		ci, ok := classes[id]
+		if !ok {
+			ci = &classInfo{id: id}
+			classes[id] = ci
+		}
+		return ci
+	}
+	for _, p := range points {
+		if p.Stateful {
+			for _, col := range p.KeyCols {
+				id := p.StateEqIDs[col]
+				if id < 0 {
+					continue
+				}
+				get(id).producers = append(get(id).producers, classUse{p, col})
+			}
+		}
+		for col, id := range p.EqIDs {
+			if id < 0 {
+				continue
+			}
+			ci := get(id)
+			ci.consumers = append(ci.consumers, classUse{p, col})
+			if d := p.DomainDistinct[col]; d > ci.domain {
+				ci.domain = d
+			}
+		}
+	}
+	for id, ci := range classes {
+		useful := false
+		for _, pr := range ci.producers {
+			for _, co := range ci.consumers {
+				if co.point != pr.point {
+					useful = true
+					break
+				}
+			}
+			if useful {
+				break
+			}
+		}
+		if !useful {
+			delete(classes, id)
+			continue
+		}
+		// Shared sizing: the largest expected producer population governs
+		// the class's filter length so all of its filters are
+		// intersection-compatible.
+		maxN := 1.0
+		for _, pr := range ci.producers {
+			n := pr.point.EstRows
+			if ci.domain > 0 {
+				n = math.Min(n, ci.domain)
+			}
+			if n > maxN {
+				maxN = n
+			}
+		}
+		ci.bits = bloom.BitsFor(int(maxN), fpr)
+	}
+	return classes
+}
+
+// linkFor returns the link used to ship a filter between two sites, or nil
+// when they are co-located (or no topology is configured).
+func (o Options) linkFor(a, b int) *network.Link {
+	if o.Topology == nil || a == b {
+		return nil
+	}
+	return o.Topology.LinkBetween(a, b)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bloom"
+	"repro/internal/exec"
+	"repro/internal/filter"
+	"repro/internal/types"
+)
+
+// FeedForward is the greedy feed-forward filtering strategy of §IV-A: it
+// requires no runtime statistics and "optimistically creates and uses every
+// potentially useful AIP set".
+//
+// Query initialization registers, for every stateful operator input, a
+// candidate AIP set per produced attribute and interest in the sets of
+// every transitively-equated attribute produced elsewhere; candidates
+// without interested parties are dropped. During execution each operator
+// builds a local working copy incrementally (via the OnStore hook, called
+// when a tuple is recorded by the operator); when its input completes, the
+// working copy is published to the central AIP Registry, merged by bitwise
+// intersection with previously published Bloom sets of the same class, and
+// injected into every live interested operator.
+type FeedForward struct {
+	opts Options
+
+	mu      sync.Mutex
+	classes map[int]*classInfo
+	points  []*exec.Point
+	state   map[int]*ffClassState
+}
+
+// workingSet is one producer's incrementally built AIP set. The owning
+// operator goroutine is the only writer; a nil pointer means the set was
+// discarded because interest dropped to zero.
+type workingSet struct {
+	class int
+	col   int // state-schema column holding the attribute
+	bf    atomic.Pointer[bloom.Filter]
+	hs    atomic.Pointer[filter.HashSet]
+}
+
+// ffClassState is the AIP Registry entry for one attribute class.
+type ffClassState struct {
+	interest int // live consumer points
+	working  map[*exec.Point]*workingSet
+	merged   *bloom.Filter // intersection of published Bloom sets
+	// attached tracks the summary currently injected per consumer point so
+	// a stronger merge can replace it in place.
+	attached map[*exec.Point]filter.Summary
+}
+
+// NewFeedForward creates the controller.
+func NewFeedForward(opts Options) *FeedForward {
+	return &FeedForward{opts: opts, state: map[int]*ffClassState{}}
+}
+
+// RegisterPoint records an injection point (query initialization).
+func (f *FeedForward) RegisterPoint(p *exec.Point) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.points = append(f.points, p)
+}
+
+// Begin runs the registry analysis and installs the OnStore hooks that
+// build the working AIP sets.
+func (f *FeedForward) Begin() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.classes = analyze(f.points, f.opts.fpr())
+
+	producedBy := map[*exec.Point][]*workingSet{}
+	for id, ci := range f.classes {
+		st := &ffClassState{
+			working:  map[*exec.Point]*workingSet{},
+			attached: map[*exec.Point]filter.Summary{},
+		}
+		f.state[id] = st
+		seenConsumer := map[*exec.Point]bool{}
+		for _, co := range ci.consumers {
+			if !seenConsumer[co.point] {
+				seenConsumer[co.point] = true
+				st.interest++
+			}
+		}
+		seenProducer := map[*exec.Point]bool{}
+		for _, pr := range ci.producers {
+			if seenProducer[pr.point] {
+				continue
+			}
+			seenProducer[pr.point] = true
+			ws := &workingSet{class: id, col: pr.col}
+			if f.opts.Kind == SummaryHashSet {
+				ws.hs.Store(filter.NewHashSet(256))
+			} else {
+				bf := bloom.NewWithBits(ci.bits, 0)
+				ws.bf.Store(bf)
+				f.opts.Stats.FilterBytes.Add(int64(bf.SizeBytes()))
+			}
+			st.working[pr.point] = ws
+			producedBy[pr.point] = append(producedBy[pr.point], ws)
+		}
+	}
+
+	for p, sets := range producedBy {
+		sets := sets
+		p.OnStore = func(t types.Tuple) {
+			var buf []byte
+			for _, ws := range sets {
+				buf = buf[:0]
+				buf = t[ws.col].AppendKey(buf)
+				if bf := ws.bf.Load(); bf != nil {
+					bf.Add(buf)
+				} else if hs := ws.hs.Load(); hs != nil {
+					hs.Add(buf)
+				}
+			}
+		}
+	}
+}
+
+// PointDone publishes the completed input's working sets, injects them into
+// interested operators, and retires the point's interest so unneeded
+// working sets can be discarded (§IV-A, query execution).
+func (f *FeedForward) PointDone(p *exec.Point) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, ci := range f.classes {
+		st := f.state[id]
+		if st == nil {
+			continue
+		}
+		if ws, ok := st.working[p]; ok {
+			delete(st.working, p)
+			// Working sets cover every tuple that passed the input's
+			// filters — complete summaries of the subexpression even when
+			// the join short-circuited its buffering.
+			if bf := ws.bf.Swap(nil); bf != nil {
+				f.publishBloom(ci, st, bf)
+			}
+			if hs := ws.hs.Swap(nil); hs != nil {
+				f.opts.Stats.FiltersMade.Inc()
+				f.opts.Stats.FilterBytes.Add(int64(hs.SizeBytes()))
+				f.attachAll(ci, st, hs)
+			}
+		}
+		if consumes(ci, p) {
+			st.interest--
+			if st.interest <= 0 {
+				// Nobody left to prune with these sets: discard them.
+				for q, ws := range st.working {
+					ws.bf.Store(nil)
+					ws.hs.Store(nil)
+					delete(st.working, q)
+				}
+			}
+		}
+	}
+}
+
+func consumes(ci *classInfo, p *exec.Point) bool {
+	for _, co := range ci.consumers {
+		if co.point == p {
+			return true
+		}
+	}
+	return false
+}
+
+// publishBloom merges a completed Bloom working set into the registry and
+// (re-)injects the merged summary into live consumers. Caller holds f.mu.
+func (f *FeedForward) publishBloom(ci *classInfo, st *ffClassState, bf *bloom.Filter) {
+	f.opts.Stats.FiltersMade.Inc()
+	if st.merged == nil {
+		st.merged = bf
+	} else {
+		next := st.merged.Clone()
+		if err := next.IntersectWith(bf); err != nil {
+			// Incompatible geometry (cannot happen with class-wide
+			// sizing, kept as a safety net): attach separately.
+			f.attachAll(ci, st, filter.Bloom{F: bf})
+			return
+		}
+		st.merged = next
+		f.opts.Stats.FilterBytes.Add(int64(next.SizeBytes()))
+	}
+	newSum := filter.Bloom{F: st.merged}
+	for _, co := range ci.consumers {
+		if co.point.Done() {
+			continue
+		}
+		old := st.attached[co.point]
+		if old == nil {
+			co.point.Bank.Attach([]int{co.col}, newSum)
+			f.opts.Stats.FiltersUsed.Inc()
+		} else {
+			co.point.Bank.Replace([]int{co.col}, old, newSum)
+		}
+		st.attached[co.point] = newSum
+	}
+}
+
+// attachAll injects a summary into every live consumer of the class.
+func (f *FeedForward) attachAll(ci *classInfo, st *ffClassState, sum filter.Summary) {
+	seen := map[*exec.Point]bool{}
+	for _, co := range ci.consumers {
+		if co.point.Done() || seen[co.point] {
+			continue
+		}
+		seen[co.point] = true
+		co.point.Bank.Attach([]int{co.col}, sum)
+		f.opts.Stats.FiltersUsed.Inc()
+	}
+}
+
+// End is a no-op for Feed-Forward.
+func (f *FeedForward) End() {}

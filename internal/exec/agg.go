@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// aggAcc accumulates one aggregate for one group.
+type aggAcc struct {
+	count int64
+	sumF  float64
+	sumI  int64
+	isInt bool
+	min   types.Value
+	max   types.Value
+	seen  bool
+}
+
+func (a *aggAcc) add(f plan.AggFunc, v types.Value) {
+	if f == plan.AggCountStar {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch f {
+	case plan.AggSum, plan.AggAvg:
+		if v.K == types.KindInt {
+			a.sumI += v.I
+		}
+		fv, _ := v.AsFloat()
+		a.sumF += fv
+	case plan.AggMin:
+		if !a.seen || types.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case plan.AggMax:
+		if !a.seen || types.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.seen = true
+}
+
+func (a *aggAcc) result(f plan.AggFunc, argKind types.Kind) types.Value {
+	switch f {
+	case plan.AggCount, plan.AggCountStar:
+		return types.Int(a.count)
+	case plan.AggSum:
+		if a.count == 0 {
+			return types.Null()
+		}
+		if argKind == types.KindInt {
+			return types.Int(a.sumI)
+		}
+		return types.Float(a.sumF)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return types.Null()
+		}
+		return types.Float(a.sumF / float64(a.count))
+	case plan.AggMin:
+		if !a.seen {
+			return types.Null()
+		}
+		return a.min
+	default:
+		if !a.seen {
+			return types.Null()
+		}
+		return a.max
+	}
+}
+
+// groupState is the buffered state for one group.
+type groupState struct {
+	groupVals types.Tuple
+	accs      []aggAcc
+}
+
+// HashAgg is the blocking hash-based aggregation operator. Its input is an
+// AIP injection point: filters prune arriving tuples before they create or
+// update groups, and once the input completes the set of group keys is
+// available as AIP-set state (the paper's Example 3.2 builds a Bloom filter
+// of PARTKEY "from the state in the aggregation operator").
+type HashAgg struct {
+	Name    string
+	Child   Op
+	GroupBy []expr.Expr
+	Aggs    []plan.AggSpec
+	Point   *Point
+
+	sch *types.Schema
+}
+
+// NewHashAgg builds the operator; sch must be [group cols..., agg cols...].
+func NewHashAgg(name string, child Op, groupBy []expr.Expr, aggs []plan.AggSpec, sch *types.Schema) *HashAgg {
+	return &HashAgg{Name: name, Child: child, GroupBy: groupBy, Aggs: aggs, sch: sch}
+}
+
+// Schema returns the post-aggregation schema.
+func (h *HashAgg) Schema() *types.Schema { return h.sch }
+
+// Start launches the aggregation goroutine.
+func (h *HashAgg) Start(ctx *Context) <-chan Batch {
+	in := h.Child.Start(ctx)
+	out := make(chan Batch, 4)
+	op := ctx.Stats.NewOp("agg:" + h.Name)
+
+	go func() {
+		defer close(out)
+		var mu sync.Mutex
+		groups := make(map[string]*groupState)
+		var scratch []byte
+
+		for b := range in {
+			for _, t := range b {
+				op.In.Inc()
+				if h.Point != nil {
+					h.Point.received.Add(1)
+					var keep bool
+					keep, scratch = h.Point.Bank.Probe(t, scratch)
+					if !keep {
+						op.Pruned.Inc()
+						continue
+					}
+				}
+				gvals := make(types.Tuple, len(h.GroupBy))
+				scratch = scratch[:0]
+				for i, g := range h.GroupBy {
+					gvals[i] = g.Eval(t)
+					scratch = gvals[i].AppendKey(scratch)
+				}
+				key := string(scratch)
+
+				mu.Lock()
+				gs, ok := groups[key]
+				if !ok {
+					gs = &groupState{groupVals: gvals, accs: make([]aggAcc, len(h.Aggs))}
+					groups[key] = gs
+					op.StateRows.Inc()
+					op.StateBytes.Add(int64(gvals.MemSize()) + int64(48*len(h.Aggs)))
+					if h.Point != nil {
+						h.Point.stored.Add(1)
+						if h.Point.OnStore != nil {
+							h.Point.OnStore(gvals)
+						}
+					}
+				}
+				for i := range h.Aggs {
+					var v types.Value
+					if h.Aggs[i].Arg != nil {
+						v = h.Aggs[i].Arg.Eval(t)
+					}
+					gs.accs[i].add(h.Aggs[i].Func, v)
+				}
+				mu.Unlock()
+			}
+		}
+
+		if h.Point != nil {
+			h.Point.setStateIter(func(emit func(types.Tuple) bool) {
+				mu.Lock()
+				defer mu.Unlock()
+				for _, gs := range groups {
+					if !emit(gs.groupVals) {
+						return
+					}
+				}
+			})
+			h.Point.done.Store(true)
+			ctx.pointDone(h.Point)
+		}
+
+		// SQL semantics: a global aggregate (no GROUP BY) over empty input
+		// yields exactly one row (count 0, sum/min/max/avg NULL).
+		if len(groups) == 0 && len(h.GroupBy) == 0 {
+			groups[""] = &groupState{accs: make([]aggAcc, len(h.Aggs))}
+		}
+
+		batch := make(Batch, 0, BatchSize)
+		for _, gs := range groups {
+			row := make(types.Tuple, 0, len(gs.groupVals)+len(h.Aggs))
+			row = append(row, gs.groupVals...)
+			for i := range h.Aggs {
+				argKind := types.KindFloat
+				if h.Aggs[i].Arg != nil {
+					argKind = h.Aggs[i].Arg.Kind()
+				}
+				row = append(row, gs.accs[i].result(h.Aggs[i].Func, argKind))
+			}
+			op.Out.Inc()
+			batch = append(batch, row)
+			if len(batch) == BatchSize {
+				if !send(ctx, out, batch) {
+					return
+				}
+				batch = make(Batch, 0, BatchSize)
+			}
+		}
+		send(ctx, out, batch)
+	}()
+	return out
+}
+
+// Distinct is the pipelined duplicate eliminator: the first occurrence of a
+// tuple is forwarded immediately; its state (the set of tuples seen) is AIP
+// state like any other (the paper's Example 3.1 builds a hash set "from the
+// state in the distinct operator").
+type Distinct struct {
+	Name  string
+	Child Op
+	Point *Point
+}
+
+// Schema returns the child schema.
+func (d *Distinct) Schema() *types.Schema { return d.Child.Schema() }
+
+// Start launches the distinct goroutine.
+func (d *Distinct) Start(ctx *Context) <-chan Batch {
+	in := d.Child.Start(ctx)
+	out := make(chan Batch, 4)
+	op := ctx.Stats.NewOp("distinct:" + d.Name)
+	allCols := make([]int, d.Child.Schema().Len())
+	for i := range allCols {
+		allCols[i] = i
+	}
+
+	go func() {
+		defer close(out)
+		var mu sync.Mutex
+		seen := make(map[string]types.Tuple)
+		var scratch []byte
+		for b := range in {
+			fresh := make(Batch, 0, len(b))
+			for _, t := range b {
+				op.In.Inc()
+				if d.Point != nil {
+					d.Point.received.Add(1)
+					var keep bool
+					keep, scratch = d.Point.Bank.Probe(t, scratch)
+					if !keep {
+						op.Pruned.Inc()
+						continue
+					}
+				}
+				scratch = scratch[:0]
+				scratch = t.AppendKeyCols(scratch, allCols)
+				key := string(scratch)
+				mu.Lock()
+				_, dup := seen[key]
+				if !dup {
+					seen[key] = t
+					op.StateRows.Inc()
+					op.StateBytes.Add(int64(t.MemSize()))
+					if d.Point != nil {
+						d.Point.stored.Add(1)
+						if d.Point.OnStore != nil {
+							d.Point.OnStore(t)
+						}
+					}
+				}
+				mu.Unlock()
+				if !dup {
+					op.Out.Inc()
+					fresh = append(fresh, t)
+				}
+			}
+			if !send(ctx, out, fresh) {
+				return
+			}
+		}
+		if d.Point != nil {
+			d.Point.setStateIter(func(emit func(types.Tuple) bool) {
+				mu.Lock()
+				defer mu.Unlock()
+				for _, t := range seen {
+					if !emit(t) {
+						return
+					}
+				}
+			})
+			d.Point.done.Store(true)
+			ctx.pointDone(d.Point)
+		}
+	}()
+	return out
+}

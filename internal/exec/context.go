@@ -1,0 +1,128 @@
+// Package exec is the push-style execution engine modeled on Tukwila
+// (§V-A): multithreaded, with pipelined (symmetric) hash joins that run one
+// goroutine per input, hash-based aggregation, bushy plans, per-operator
+// cardinality counters, and support for on-the-fly registration of semijoin
+// filters ("we extended our join and group-by implementations to support
+// registration of new semijoin operators on the fly; these semijoins are
+// called when a tuple is received and before it is processed internally").
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// BatchSize is the number of tuples moved per channel send.
+const BatchSize = 128
+
+// Batch is a group of tuples flowing between operators.
+type Batch []types.Tuple
+
+// Controller is the runtime hook set implemented by the AIP strategies in
+// internal/core. A nil Controller runs the baseline engine.
+type Controller interface {
+	// RegisterPoint is called once per injection point while the physical
+	// plan is instantiated, before execution starts.
+	RegisterPoint(p *Point)
+	// Begin is called after all points are registered, before data flows.
+	Begin()
+	// PointDone is called when an input has consumed all of its data; for
+	// stateful points the buffered state is final at this moment.
+	PointDone(p *Point)
+	// End is called after the query completes.
+	End()
+}
+
+// Context carries per-query runtime state shared by all operators.
+type Context struct {
+	Stats *stats.Registry
+	Ctl   Controller
+
+	cancel    chan struct{}
+	cancelOne sync.Once
+
+	mu     sync.Mutex
+	points []*Point
+	nextID int
+}
+
+// NewContext creates an execution context. reg must be non-nil; ctl may be
+// nil for baseline execution.
+func NewContext(reg *stats.Registry, ctl Controller) *Context {
+	return &Context{Stats: reg, Ctl: ctl, cancel: make(chan struct{})}
+}
+
+// Cancel aborts the query; operators drain and stop promptly.
+func (c *Context) Cancel() { c.cancelOne.Do(func() { close(c.cancel) }) }
+
+// Cancelled returns the cancellation channel.
+func (c *Context) Cancelled() <-chan struct{} { return c.cancel }
+
+// Register assigns an id to a point, records it, and forwards it to the
+// controller. All points must be registered before Run starts the plan.
+func (c *Context) Register(p *Point) {
+	c.mu.Lock()
+	p.ID = c.nextID
+	c.nextID++
+	c.points = append(c.points, p)
+	c.mu.Unlock()
+	if c.Ctl != nil {
+		c.Ctl.RegisterPoint(p)
+	}
+}
+
+// Points returns all registered injection points.
+func (c *Context) Points() []*Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Point, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// pointDone notifies the controller.
+func (c *Context) pointDone(p *Point) {
+	if c.Ctl != nil {
+		c.Ctl.PointDone(p)
+	}
+}
+
+// send delivers a batch unless the query was cancelled; it reports whether
+// the send happened.
+func send(ctx *Context, out chan<- Batch, b Batch) bool {
+	if len(b) == 0 {
+		return true
+	}
+	select {
+	case out <- b:
+		return true
+	case <-ctx.Cancelled():
+		return false
+	}
+}
+
+// Op is a physical operator. Start launches the operator's goroutines and
+// returns its output channel; the channel is closed when the operator
+// finishes or the context is cancelled.
+type Op interface {
+	Schema() *types.Schema
+	Start(ctx *Context) <-chan Batch
+}
+
+// Run executes a plan to completion and collects all output tuples.
+func Run(ctx *Context, root Op) []types.Tuple {
+	if ctx.Ctl != nil {
+		ctx.Ctl.Begin()
+	}
+	out := root.Start(ctx)
+	var rows []types.Tuple
+	for b := range out {
+		rows = append(rows, b...)
+	}
+	if ctx.Ctl != nil {
+		ctx.Ctl.End()
+	}
+	return rows
+}

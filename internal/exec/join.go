@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// HashJoin is the pipelined (symmetric) hash join of the paper: each input
+// is consumed by its own goroutine; an arriving tuple is inserted into its
+// side's hash table and immediately probed against the other side's table,
+// so results stream as soon as both matching tuples have arrived,
+// independent of input order or delays.
+//
+// Concurrency: the two sides use independent locks so that a fast input
+// never serializes against a slow one (Tukwila's per-input threads are
+// likewise independent). Exactly-once match emission is guaranteed by
+// insertion sequence numbers: every stored tuple takes a ticket from a
+// shared counter inside its side's critical section, and a probing tuple
+// emits only the matches whose ticket is smaller than its own. For any
+// result pair, the later-inserted tuple is guaranteed to see the earlier
+// one in its probe (the earlier insert completed before the later probe
+// can acquire that side's lock), and the earlier tuple — whether or not it
+// observes the later one — never emits it.
+//
+// It also implements the "short-circuit" optimization the paper describes
+// in §VI-A: once one input completes, the other side stops buffering,
+// since nothing will ever probe its table.
+type HashJoin struct {
+	Name        string
+	Left, Right Op
+	LKeys       []int     // equi-key columns of the left schema
+	RKeys       []int     // equi-key columns of the right schema
+	Residual    expr.Expr // evaluated over the concatenated schema, may be nil
+
+	// LPoint and RPoint are the AIP injection points for the two inputs.
+	LPoint, RPoint *Point
+
+	sch *types.Schema
+}
+
+// NewHashJoin wires up the join.
+func NewHashJoin(name string, left, right Op, lkeys, rkeys []int, residual expr.Expr) *HashJoin {
+	return &HashJoin{
+		Name: name, Left: left, Right: right,
+		LKeys: lkeys, RKeys: rkeys, Residual: residual,
+		sch: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema returns the concatenated output schema.
+func (j *HashJoin) Schema() *types.Schema { return j.sch }
+
+// seqTuple is one stored tuple with its insertion ticket.
+type seqTuple struct {
+	t   types.Tuple
+	seq uint64
+}
+
+// joinSide is the per-input state of the symmetric join.
+type joinSide struct {
+	mu    sync.Mutex
+	keys  []int
+	table map[string][]seqTuple
+	done  atomic.Bool
+	point *Point
+}
+
+// Start launches one goroutine per input; each emits its own matches, so
+// with Go's scheduler the operator behaves like Tukwila's three-thread
+// join with the output thread folded into the producers.
+func (j *HashJoin) Start(ctx *Context) <-chan Batch {
+	lin := j.Left.Start(ctx)
+	rin := j.Right.Start(ctx)
+	out := make(chan Batch, 4)
+
+	lop := ctx.Stats.NewOp("join:" + j.Name + ".left")
+	rop := ctx.Stats.NewOp("join:" + j.Name + ".right")
+
+	var ticket atomic.Uint64
+	left := &joinSide{keys: j.LKeys, table: make(map[string][]seqTuple), point: j.LPoint}
+	right := &joinSide{keys: j.RKeys, table: make(map[string][]seqTuple), point: j.RPoint}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	consume := func(in <-chan Batch, own, other *joinSide, ownIsLeft bool, op *stats.OpStats) {
+		defer wg.Done()
+		var scratch []byte
+		var matchBuf []seqTuple
+		for b := range in {
+			outBatch := make(Batch, 0, BatchSize)
+			for _, t := range b {
+				op.In.Inc()
+				if own.point != nil {
+					own.point.received.Add(1)
+					var keep bool
+					keep, scratch = own.point.Bank.Probe(t, scratch)
+					if !keep {
+						op.Pruned.Inc()
+						continue
+					}
+				}
+				scratch = scratch[:0]
+				scratch = t.AppendKeyCols(scratch, own.keys)
+				key := string(scratch)
+
+				// Insert into own table (unless the other side already
+				// finished: short-circuit) and take a ticket.
+				own.mu.Lock()
+				mySeq := ticket.Add(1)
+				if !other.done.Load() {
+					own.table[key] = append(own.table[key], seqTuple{t: t, seq: mySeq})
+					if own.point != nil {
+						own.point.stored.Add(1)
+					}
+					op.StateRows.Inc()
+					op.StateBytes.Add(int64(t.MemSize()))
+				} else if own.point != nil {
+					// The buffered state no longer reflects the full
+					// input; Cost-Based AIP must not build a set from it.
+					own.point.stateIncomplete.Store(true)
+				}
+				own.mu.Unlock()
+
+				// The working AIP set covers every tuple that passed the
+				// filters, whether or not it was buffered (Feed-Forward
+				// publishes it as a complete summary of this input).
+				if own.point != nil && own.point.OnStore != nil {
+					own.point.OnStore(t)
+				}
+
+				// Probe the other side; emit only earlier-ticket matches.
+				other.mu.Lock()
+				bucket := other.table[key]
+				matchBuf = matchBuf[:0]
+				for _, m := range bucket {
+					if m.seq < mySeq {
+						matchBuf = append(matchBuf, m)
+					}
+				}
+				other.mu.Unlock()
+
+				for _, m := range matchBuf {
+					var row types.Tuple
+					if ownIsLeft {
+						row = types.Concat(t, m.t)
+					} else {
+						row = types.Concat(m.t, t)
+					}
+					if j.Residual != nil && !j.Residual.Eval(row).Truth() {
+						continue
+					}
+					op.Out.Inc()
+					outBatch = append(outBatch, row)
+					if len(outBatch) == BatchSize {
+						if !send(ctx, out, outBatch) {
+							return
+						}
+						outBatch = make(Batch, 0, BatchSize)
+					}
+				}
+			}
+			if !send(ctx, out, outBatch) {
+				return
+			}
+		}
+		// Input exhausted: let the other side short-circuit, then expose
+		// this side's state to the AIP runtime.
+		own.mu.Lock()
+		own.done.Store(true)
+		own.mu.Unlock()
+		if own.point != nil {
+			own.point.setStateIter(func(emit func(types.Tuple) bool) {
+				own.mu.Lock()
+				defer own.mu.Unlock()
+				for _, bucket := range own.table {
+					for _, m := range bucket {
+						if !emit(m.t) {
+							return
+						}
+					}
+				}
+			})
+			own.point.done.Store(true)
+			ctx.pointDone(own.point)
+		}
+	}
+
+	go consume(lin, left, right, true, lop)
+	go consume(rin, right, left, false, rop)
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/filter"
+	"repro/internal/types"
+)
+
+// attachedFilter is one injected semijoin: probe the summary with the key
+// built from cols.
+type attachedFilter struct {
+	cols []int
+	sum  filter.Summary
+}
+
+// FilterBank holds the semijoin filters injected into one operator input.
+// Probes are lock-free (copy-on-write snapshot); attachment is rare.
+type FilterBank struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[[]attachedFilter]
+}
+
+// NewFilterBank returns an empty bank.
+func NewFilterBank() *FilterBank {
+	b := &FilterBank{}
+	empty := []attachedFilter{}
+	b.cur.Store(&empty)
+	return b
+}
+
+// Attach injects a filter over the given input columns. Duplicate
+// attachments of the same summary are ignored.
+func (b *FilterBank) Attach(cols []int, sum filter.Summary) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := *b.cur.Load()
+	for _, a := range old {
+		if a.sum == sum && equalInts(a.cols, cols) {
+			return
+		}
+	}
+	next := make([]attachedFilter, len(old)+1)
+	copy(next, old)
+	next[len(old)] = attachedFilter{cols: append([]int(nil), cols...), sum: sum}
+	b.cur.Store(&next)
+}
+
+// Replace swaps out an existing summary for a strictly stronger one over
+// the same columns (paper §IV-B: "in the case of a filter with strictly
+// weaker constraints, directly replaced"). If the old summary is absent the
+// new one is attached.
+func (b *FilterBank) Replace(cols []int, oldSum, newSum filter.Summary) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := *b.cur.Load()
+	next := make([]attachedFilter, 0, len(old)+1)
+	replaced := false
+	for _, a := range old {
+		if a.sum == oldSum && equalInts(a.cols, cols) {
+			next = append(next, attachedFilter{cols: a.cols, sum: newSum})
+			replaced = true
+			continue
+		}
+		next = append(next, a)
+	}
+	if !replaced {
+		next = append(next, attachedFilter{cols: append([]int(nil), cols...), sum: newSum})
+	}
+	b.cur.Store(&next)
+}
+
+// Len returns the number of attached filters.
+func (b *FilterBank) Len() int { return len(*b.cur.Load()) }
+
+// Probe runs the tuple through every attached filter; false means prune.
+func (b *FilterBank) Probe(t types.Tuple, scratch []byte) (keep bool, buf []byte) {
+	filters := *b.cur.Load()
+	for i := range filters {
+		scratch = scratch[:0]
+		scratch = t.AppendKeyCols(scratch, filters[i].cols)
+		if !filters[i].sum.MayContain(scratch) {
+			return false, scratch
+		}
+	}
+	return true, scratch
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is one AIP injection point: an operator input that can consume
+// injected semijoin filters and, when stateful, produce AIP sets from its
+// buffered state. The physical planner creates points with plan metadata;
+// the executor drives the runtime callbacks; the controllers in
+// internal/core do the decision making.
+type Point struct {
+	ID   int
+	Name string
+
+	// EqIDs maps each input column to its attribute equivalence class in
+	// the query's source-predicate graph, or -1 when the column is a
+	// computed value that participates in no cross-expression predicate.
+	EqIDs []int
+
+	// StateEqIDs maps each column of the tuples exposed by IterState and
+	// OnStore to its equivalence class. For hash-join inputs and distinct
+	// this equals EqIDs (state tuples are input tuples); for group-by the
+	// state tuples are the group keys, whose classes come from the
+	// group-by expressions.
+	StateEqIDs []int
+
+	// Schema of the tuples arriving at this input.
+	Schema *types.Schema
+
+	// Bank receives injected filters; the owning operator probes it for
+	// every arriving tuple before processing.
+	Bank *FilterBank
+
+	// Stateful marks inputs whose tuples are buffered (hash-join inputs,
+	// group-by, distinct); only these produce AIP sets.
+	Stateful bool
+
+	// KeyCols are the state-schema columns the operator hashes its state
+	// on (join keys, group-by keys, the full tuple for distinct). AIP sets
+	// are produced over these columns only: they are the attributes the
+	// operator's state is organized by, and building working summaries of
+	// every carried column would cost far more than it prunes.
+	KeyCols []int
+
+	// Site is the executing node (0 = master). Filters attached to a
+	// remote point must be shipped; the harness models that cost.
+	Site int
+
+	// Depth is the input's depth in the physical plan tree (root joins are
+	// depth 0); ESTIMATEBENEFIT visits candidate users bottom-up.
+	Depth int
+
+	// Ancestors lists the points on the path from this input up to the
+	// plan root, nearest first. Used to avoid double-counting benefits.
+	Ancestors []*Point
+
+	// EstRows is the optimizer's cardinality estimate for this input.
+	EstRows float64
+
+	// DomainDistinct estimates, per input column, the number of distinct
+	// values in the column's attribute domain (used for filter
+	// selectivity estimation); 0 means unknown.
+	DomainDistinct []float64
+
+	// Runtime counters maintained by the owning operator.
+	received        atomic.Int64
+	stored          atomic.Int64
+	done            atomic.Bool
+	stateIncomplete atomic.Bool
+
+	// OnStore, when set by a controller, is invoked for every tuple the
+	// operator buffers into its state (Feed-Forward builds its working
+	// AIP sets here). It must be set before execution begins.
+	OnStore func(t types.Tuple)
+
+	// state gives controllers access to the operator's buffered tuples
+	// once the input is done (Cost-Based scans it to build AIP sets).
+	stateMu   sync.Mutex
+	stateIter func(emit func(t types.Tuple) bool)
+}
+
+// Received returns the number of tuples that have arrived at this input.
+func (p *Point) Received() int64 { return p.received.Load() }
+
+// StoredRows returns the number of tuples buffered into operator state.
+func (p *Point) StoredRows() int64 { return p.stored.Load() }
+
+// Done reports whether the input has been fully consumed.
+func (p *Point) Done() bool { return p.done.Load() }
+
+// StateComplete reports whether the buffered state reflects the entire
+// input; it is false after the join's short-circuit optimization stopped
+// buffering. AIP sets may only be built from complete state.
+func (p *Point) StateComplete() bool { return !p.stateIncomplete.Load() }
+
+// MarkDoneForTest flips the done flag without running an operator; tests of
+// the AIP controllers use it to simulate input completion.
+func (p *Point) MarkDoneForTest() { p.done.Store(true) }
+
+// setStateIter installs the operator's state iterator.
+func (p *Point) setStateIter(f func(emit func(t types.Tuple) bool)) {
+	p.stateMu.Lock()
+	p.stateIter = f
+	p.stateMu.Unlock()
+}
+
+// IterState streams the operator's buffered tuples to emit; it stops early
+// when emit returns false. Valid once the point is Done (the state is then
+// immutable); it is a no-op for stateless points.
+func (p *Point) IterState(emit func(t types.Tuple) bool) {
+	p.stateMu.Lock()
+	f := p.stateIter
+	p.stateMu.Unlock()
+	if f != nil {
+		f(emit)
+	}
+}

@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// DelayConfig reproduces the paper's §VI-B source-delay model: an initial
+// delay before the first tuple, then a fixed pause every N tuples ("delayed
+// by 100msec and rate-limited by injecting a 5msec delay every 1000
+// tuples").
+type DelayConfig struct {
+	Initial time.Duration
+	EveryN  int
+	Pause   time.Duration
+}
+
+// Scan streams a base table.
+type Scan struct {
+	Name  string
+	Rows  []types.Tuple
+	Sch   *types.Schema
+	Delay *DelayConfig
+
+	// BytesPerSec paces the scan like a disk or source stream (the paper's
+	// non-delayed experiments "streamed data directly from disk"): large
+	// relations finish proportionally later than small ones, which is what
+	// staggers subexpression completion times. Zero means unpaced.
+	BytesPerSec int64
+
+	op *stats.OpStats
+}
+
+// Schema returns the scan's output schema.
+func (s *Scan) Schema() *types.Schema { return s.Sch }
+
+// Start launches the scan goroutine.
+func (s *Scan) Start(ctx *Context) <-chan Batch {
+	out := make(chan Batch, 4)
+	s.op = ctx.Stats.NewOp("scan:" + s.Name)
+	go func() {
+		defer close(out)
+		if s.Delay != nil && s.Delay.Initial > 0 {
+			select {
+			case <-time.After(s.Delay.Initial):
+			case <-ctx.Cancelled():
+				return
+			}
+		}
+		batch := make(Batch, 0, BatchSize)
+		count := 0
+		var cumBytes int64
+		start := time.Now()
+		flush := func() bool {
+			if !send(ctx, out, batch) {
+				return false
+			}
+			if s.BytesPerSec > 0 {
+				// Pace against a cumulative deadline; sleeping only when
+				// the debt exceeds a couple of milliseconds keeps the rate
+				// accurate despite coarse timer granularity.
+				target := time.Duration(float64(cumBytes) / float64(s.BytesPerSec) * float64(time.Second))
+				if debt := target - time.Since(start); debt > 2*time.Millisecond {
+					select {
+					case <-time.After(debt):
+					case <-ctx.Cancelled():
+						return false
+					}
+				}
+			}
+			batch = make(Batch, 0, BatchSize)
+			return true
+		}
+		for _, t := range s.Rows {
+			batch = append(batch, t)
+			if s.BytesPerSec > 0 {
+				cumBytes += int64(t.MemSize())
+			}
+			count++
+			if s.Delay != nil && s.Delay.EveryN > 0 && count%s.Delay.EveryN == 0 {
+				if !flush() {
+					return
+				}
+				select {
+				case <-time.After(s.Delay.Pause):
+				case <-ctx.Cancelled():
+					return
+				}
+				continue
+			}
+			if len(batch) == BatchSize {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
+		s.op.Out.Add(int64(count))
+	}()
+	return out
+}
+
+// Filter applies a predicate.
+type Filter struct {
+	Child Op
+	Pred  expr.Expr
+	Name  string
+}
+
+// Schema returns the child schema.
+func (f *Filter) Schema() *types.Schema { return f.Child.Schema() }
+
+// Start launches the filter goroutine.
+func (f *Filter) Start(ctx *Context) <-chan Batch {
+	in := f.Child.Start(ctx)
+	out := make(chan Batch, 4)
+	op := ctx.Stats.NewOp("filter:" + f.Name)
+	go func() {
+		defer close(out)
+		for b := range in {
+			kept := make(Batch, 0, len(b))
+			for _, t := range b {
+				op.In.Inc()
+				if f.Pred.Eval(t).Truth() {
+					kept = append(kept, t)
+					op.Out.Inc()
+				}
+			}
+			if !send(ctx, out, kept) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Project computes output expressions.
+type Project struct {
+	Child Op
+	Exprs []expr.Expr
+	Sch   *types.Schema
+	Name  string
+}
+
+// Schema returns the projection schema.
+func (p *Project) Schema() *types.Schema { return p.Sch }
+
+// Start launches the projection goroutine.
+func (p *Project) Start(ctx *Context) <-chan Batch {
+	in := p.Child.Start(ctx)
+	out := make(chan Batch, 4)
+	op := ctx.Stats.NewOp("project:" + p.Name)
+	go func() {
+		defer close(out)
+		for b := range in {
+			res := make(Batch, len(b))
+			for i, t := range b {
+				row := make(types.Tuple, len(p.Exprs))
+				for j, e := range p.Exprs {
+					row[j] = e.Eval(t)
+				}
+				res[i] = row
+			}
+			op.In.Add(int64(len(b)))
+			op.Out.Add(int64(len(b)))
+			if !send(ctx, out, res) {
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// Ship moves its child's output across a simulated network link: the
+// sender side of a distributed exchange. Its Point is a probe-only AIP
+// injection point executing at the remote site — attaching a filter here
+// prunes tuples *before* they cross the wire, which is exactly the
+// Bloomjoin-style saving the paper's distributed experiments (Q1C, Q3C)
+// measure.
+type Ship struct {
+	Name  string
+	Child Op
+	Link  *network.Link
+	Point *Point
+}
+
+// Schema returns the child schema.
+func (s *Ship) Schema() *types.Schema { return s.Child.Schema() }
+
+// Start launches the shipping goroutine.
+func (s *Ship) Start(ctx *Context) <-chan Batch {
+	in := s.Child.Start(ctx)
+	out := make(chan Batch, 4)
+	op := ctx.Stats.NewOp("ship:" + s.Name)
+	go func() {
+		defer close(out)
+		var scratch []byte
+		for b := range in {
+			kept := make(Batch, 0, len(b))
+			nbytes := 0
+			for _, t := range b {
+				op.In.Inc()
+				if s.Point != nil {
+					s.Point.received.Add(1)
+					var keep bool
+					keep, scratch = s.Point.Bank.Probe(t, scratch)
+					if !keep {
+						op.Pruned.Inc()
+						continue
+					}
+				}
+				kept = append(kept, t)
+				nbytes += t.MemSize()
+			}
+			if len(kept) > 0 && s.Link != nil {
+				if !s.Link.Transfer(nbytes, ctx.Cancelled()) {
+					return
+				}
+				ctx.Stats.NetworkBytes.Add(int64(nbytes))
+			}
+			op.Out.Add(int64(len(kept)))
+			if !send(ctx, out, kept) {
+				return
+			}
+		}
+		if s.Point != nil {
+			s.Point.done.Store(true)
+			ctx.pointDone(s.Point)
+		}
+	}()
+	return out
+}

@@ -1,0 +1,463 @@
+// Package expr defines bound (position-resolved) scalar expressions: the
+// executable form produced by the plan binder and evaluated by the push
+// executor for selections, join residuals, projections, and aggregates.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Expr is an executable scalar expression over one input tuple.
+type Expr interface {
+	// Eval computes the expression's value for the tuple.
+	Eval(t types.Tuple) types.Value
+	// Kind is the statically inferred result type.
+	Kind() types.Kind
+	// String renders the expression for plan display.
+	String() string
+}
+
+// ColRef reads column Idx of the input tuple.
+type ColRef struct {
+	Idx int
+	Col types.Column
+}
+
+// Eval returns the referenced column's value.
+func (c *ColRef) Eval(t types.Tuple) types.Value { return t[c.Idx] }
+
+// Kind returns the column's declared type.
+func (c *ColRef) Kind() types.Kind { return c.Col.Kind }
+
+func (c *ColRef) String() string { return c.Col.QualifiedName() }
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// Eval returns the literal.
+func (c *Const) Eval(types.Tuple) types.Value { return c.V }
+
+// Kind returns the literal's type.
+func (c *Const) Kind() types.Kind { return c.V.K }
+
+func (c *Const) String() string {
+	if c.V.K == types.KindString {
+		return "'" + c.V.S + "'"
+	}
+	return c.V.String()
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators: arithmetic, comparison, and boolean connectives.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op is one of = <> < <= > >=.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// Binary applies Op to L and R.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval evaluates the operands and applies the operator with SQL NULL
+// semantics: any NULL operand yields NULL (and AND/OR use three-valued
+// logic).
+func (b *Binary) Eval(t types.Tuple) types.Value {
+	switch b.Op {
+	case OpAnd:
+		l := b.L.Eval(t)
+		if l.K == types.KindBool && l.I == 0 {
+			return types.Bool(false)
+		}
+		r := b.R.Eval(t)
+		if r.K == types.KindBool && r.I == 0 {
+			return types.Bool(false)
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null()
+		}
+		return types.Bool(true)
+	case OpOr:
+		l := b.L.Eval(t)
+		if l.Truth() {
+			return types.Bool(true)
+		}
+		r := b.R.Eval(t)
+		if r.Truth() {
+			return types.Bool(true)
+		}
+		if l.IsNull() || r.IsNull() {
+			return types.Null()
+		}
+		return types.Bool(false)
+	}
+	l := b.L.Eval(t)
+	r := b.R.Eval(t)
+	if l.IsNull() || r.IsNull() {
+		return types.Null()
+	}
+	if b.Op.IsComparison() {
+		cmp := types.Compare(l, r)
+		switch b.Op {
+		case OpEq:
+			return types.Bool(cmp == 0)
+		case OpNe:
+			return types.Bool(cmp != 0)
+		case OpLt:
+			return types.Bool(cmp < 0)
+		case OpLe:
+			return types.Bool(cmp <= 0)
+		case OpGt:
+			return types.Bool(cmp > 0)
+		default:
+			return types.Bool(cmp >= 0)
+		}
+	}
+	// Arithmetic: integer when both sides are integers (except division),
+	// float otherwise.
+	if l.K == types.KindInt && r.K == types.KindInt && b.Op != OpDiv {
+		switch b.Op {
+		case OpAdd:
+			return types.Int(l.I + r.I)
+		case OpSub:
+			return types.Int(l.I - r.I)
+		case OpMul:
+			return types.Int(l.I * r.I)
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return types.Null()
+	}
+	switch b.Op {
+	case OpAdd:
+		return types.Float(lf + rf)
+	case OpSub:
+		return types.Float(lf - rf)
+	case OpMul:
+		return types.Float(lf * rf)
+	case OpDiv:
+		if rf == 0 {
+			return types.Null()
+		}
+		return types.Float(lf / rf)
+	default:
+		panic(fmt.Sprintf("expr: unhandled operator %v", b.Op))
+	}
+}
+
+// Kind infers the static result type.
+func (b *Binary) Kind() types.Kind {
+	if b.Op.IsComparison() || b.Op == OpAnd || b.Op == OpOr {
+		return types.KindBool
+	}
+	if b.Op != OpDiv && b.L.Kind() == types.KindInt && b.R.Kind() == types.KindInt {
+		return types.KindInt
+	}
+	return types.KindFloat
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression with three-valued logic.
+type Not struct{ E Expr }
+
+// Eval negates; NULL stays NULL.
+func (n *Not) Eval(t types.Tuple) types.Value {
+	v := n.E.Eval(t)
+	if v.IsNull() {
+		return v
+	}
+	return types.Bool(!v.Truth())
+}
+
+// Kind returns boolean.
+func (n *Not) Kind() types.Kind { return types.KindBool }
+
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// Like implements SQL LIKE with % and _ wildcards over a constant pattern.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Eval matches the pattern.
+func (l *Like) Eval(t types.Tuple) types.Value {
+	v := l.E.Eval(t)
+	if v.IsNull() {
+		return v
+	}
+	m := likeMatch(v.S, l.Pattern)
+	if l.Negate {
+		m = !m
+	}
+	return types.Bool(m)
+}
+
+// Kind returns boolean.
+func (l *Like) Kind() types.Kind { return types.KindBool }
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return l.E.String() + " " + op + " '" + l.Pattern + "'"
+}
+
+// likeMatch implements %/_ glob matching without regexp, case-sensitive as
+// in standard SQL.
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer algorithm with backtracking on %.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// Year extracts the calendar year from a date expression (the paper's Q5
+// uses year(o_orderdate)).
+type Year struct{ E Expr }
+
+// Eval converts days-since-epoch to a calendar year.
+func (y *Year) Eval(t types.Tuple) types.Value {
+	v := y.E.Eval(t)
+	if v.IsNull() {
+		return v
+	}
+	days, _ := v.AsInt()
+	return types.Int(yearOfDays(days))
+}
+
+// Kind returns integer.
+func (y *Year) Kind() types.Kind { return types.KindInt }
+
+func (y *Year) String() string { return "year(" + y.E.String() + ")" }
+
+// yearOfDays converts a day count since 1970-01-01 to a calendar year using
+// civil-calendar arithmetic (no time package needed on the hot path).
+func yearOfDays(days int64) int64 {
+	// Shift epoch to 0000-03-01 (era-based algorithm, Howard Hinnant).
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	if mp >= 10 {
+		return y + 1
+	}
+	return y
+}
+
+// And conjoins the expressions, returning nil for an empty list.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// SplitConjuncts flattens nested ANDs into a conjunct list.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// CollectCols appends the column indices referenced by e to dst (with
+// duplicates preserved in reference order).
+func CollectCols(e Expr, dst []int) []int {
+	switch v := e.(type) {
+	case nil:
+		return dst
+	case *ColRef:
+		return append(dst, v.Idx)
+	case *Const:
+		return dst
+	case *Binary:
+		return CollectCols(v.R, CollectCols(v.L, dst))
+	case *Not:
+		return CollectCols(v.E, dst)
+	case *Like:
+		return CollectCols(v.E, dst)
+	case *Year:
+		return CollectCols(v.E, dst)
+	default:
+		panic(fmt.Sprintf("expr: CollectCols on %T", e))
+	}
+}
+
+// Remap rewrites every column reference through the mapping old→new
+// position; a missing mapping returns ok=false (the expression references a
+// column the new schema does not carry).
+func Remap(e Expr, mapping map[int]int) (Expr, bool) {
+	switch v := e.(type) {
+	case nil:
+		return nil, true
+	case *ColRef:
+		if ni, ok := mapping[v.Idx]; ok {
+			return &ColRef{Idx: ni, Col: v.Col}, true
+		}
+		return nil, false
+	case *Const:
+		return v, true
+	case *Binary:
+		l, ok := Remap(v.L, mapping)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Remap(v.R, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Binary{Op: v.Op, L: l, R: r}, true
+	case *Not:
+		inner, ok := Remap(v.E, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Not{E: inner}, true
+	case *Like:
+		inner, ok := Remap(v.E, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Like{E: inner, Pattern: v.Pattern, Negate: v.Negate}, true
+	case *Year:
+		inner, ok := Remap(v.E, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Year{E: inner}, true
+	default:
+		panic(fmt.Sprintf("expr: Remap on %T", e))
+	}
+}
+
+// Shift remaps all column references by a constant offset, used when an
+// expression bound against a join's right input must run over concatenated
+// join output.
+func Shift(e Expr, offset int) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *ColRef:
+		return &ColRef{Idx: v.Idx + offset, Col: v.Col}
+	case *Const:
+		return v
+	case *Binary:
+		return &Binary{Op: v.Op, L: Shift(v.L, offset), R: Shift(v.R, offset)}
+	case *Not:
+		return &Not{E: Shift(v.E, offset)}
+	case *Like:
+		return &Like{E: Shift(v.E, offset), Pattern: v.Pattern, Negate: v.Negate}
+	case *Year:
+		return &Year{E: Shift(v.E, offset)}
+	default:
+		panic(fmt.Sprintf("expr: Shift on %T", e))
+	}
+}
+
+// EquiPair extracts (leftCol, rightCol) when e is `col = col`; ok=false
+// otherwise.
+func EquiPair(e Expr) (l, r *ColRef, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || b.Op != OpEq {
+		return nil, nil, false
+	}
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	return lc, rc, true
+}
+
+// MaxCol returns the largest column index referenced, or -1 for none.
+func MaxCol(e Expr) int {
+	max := -1
+	for _, c := range CollectCols(e, nil) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Describe renders a conjunct list for debugging.
+func Describe(conjuncts []Expr) string {
+	parts := make([]string, len(conjuncts))
+	for i, c := range conjuncts {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}

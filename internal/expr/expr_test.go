@@ -1,0 +1,343 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func colRef(i int, k types.Kind) *ColRef {
+	return &ColRef{Idx: i, Col: types.Column{Name: "c", Kind: k}}
+}
+
+func evalOn(e Expr, vals ...types.Value) types.Value {
+	return e.Eval(types.Tuple(vals))
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r types.Value
+		want types.Value
+	}{
+		{OpAdd, types.Int(2), types.Int(3), types.Int(5)},
+		{OpSub, types.Int(2), types.Int(3), types.Int(-1)},
+		{OpMul, types.Int(4), types.Int(3), types.Int(12)},
+		{OpDiv, types.Int(7), types.Int(2), types.Float(3.5)},
+		{OpAdd, types.Float(0.5), types.Int(1), types.Float(1.5)},
+		{OpMul, types.Float(2), types.Float(0.25), types.Float(0.5)},
+	}
+	for _, c := range cases {
+		got := evalOn(&Binary{Op: c.op, L: &Const{V: c.l}, R: &Const{V: c.r}})
+		if !types.Equal(got, c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	got := evalOn(&Binary{Op: OpDiv, L: &Const{V: types.Int(1)}, R: &Const{V: types.Int(0)}})
+	if !got.IsNull() {
+		t.Fatalf("1/0 = %v, want NULL", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	two := &Const{V: types.Int(2)}
+	three := &Const{V: types.Int(3)}
+	cases := []struct {
+		op   BinOp
+		want bool
+	}{
+		{OpEq, false}, {OpNe, true}, {OpLt, true},
+		{OpLe, true}, {OpGt, false}, {OpGe, false},
+	}
+	for _, c := range cases {
+		got := evalOn(&Binary{Op: c.op, L: two, R: three})
+		if got.Truth() != c.want {
+			t.Errorf("2 %v 3 = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	null := &Const{V: types.Null()}
+	one := &Const{V: types.Int(1)}
+	// Comparisons with NULL are NULL.
+	if got := evalOn(&Binary{Op: OpEq, L: null, R: one}); !got.IsNull() {
+		t.Fatalf("NULL = 1 evaluated to %v", got)
+	}
+	// Arithmetic with NULL is NULL.
+	if got := evalOn(&Binary{Op: OpAdd, L: null, R: one}); !got.IsNull() {
+		t.Fatalf("NULL + 1 evaluated to %v", got)
+	}
+	// Three-valued AND/OR.
+	tru := &Const{V: types.Bool(true)}
+	fls := &Const{V: types.Bool(false)}
+	if got := evalOn(&Binary{Op: OpAnd, L: fls, R: null}); got.Truth() || got.IsNull() {
+		t.Fatalf("false AND NULL = %v, want false", got)
+	}
+	if got := evalOn(&Binary{Op: OpAnd, L: tru, R: null}); !got.IsNull() {
+		t.Fatalf("true AND NULL = %v, want NULL", got)
+	}
+	if got := evalOn(&Binary{Op: OpOr, L: tru, R: null}); !got.Truth() {
+		t.Fatalf("true OR NULL = %v, want true", got)
+	}
+	if got := evalOn(&Binary{Op: OpOr, L: fls, R: null}); !got.IsNull() {
+		t.Fatalf("false OR NULL = %v, want NULL", got)
+	}
+	// NOT NULL is NULL.
+	if got := evalOn(&Not{E: null}); !got.IsNull() {
+		t.Fatalf("NOT NULL = %v", got)
+	}
+	if got := evalOn(&Not{E: tru}); got.Truth() {
+		t.Fatal("NOT true must be false")
+	}
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	// false AND <would-panic> must not evaluate the right side.
+	fls := &Const{V: types.Bool(false)}
+	panicky := &Year{E: colRef(99, types.KindDate)} // out-of-range column
+	got := evalOn(&Binary{Op: OpAnd, L: fls, R: panicky}, types.Int(0))
+	if got.Truth() {
+		t.Fatal("false AND x must be false")
+	}
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"STANDARD BRUSHED TIN", "%TIN", true},
+		{"STANDARD BRUSHED TIN", "%BRASS", false},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"black olive", "%black%", true},
+		{"pitch blACk", "%black%", false}, // case-sensitive
+		{"xazb", "x%z_", true},
+		{"banana", "%an%an%", true},
+		{"banana", "b%na", true},
+		{"mississippi", "%iss%ppi", true},
+		{"abc", "", false},
+	}
+	for _, c := range cases {
+		e := &Like{E: &Const{V: types.Str(c.s)}, Pattern: c.pat}
+		if got := evalOn(e).Truth(); got != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got, c.want)
+		}
+		neg := &Like{E: &Const{V: types.Str(c.s)}, Pattern: c.pat, Negate: true}
+		if got := evalOn(neg).Truth(); got == c.want {
+			t.Errorf("%q NOT LIKE %q = %v, want %v", c.s, c.pat, got, !c.want)
+		}
+	}
+	// NULL input stays NULL.
+	if got := evalOn(&Like{E: &Const{V: types.Null()}, Pattern: "%"}); !got.IsNull() {
+		t.Fatal("NULL LIKE must be NULL")
+	}
+}
+
+func TestYear(t *testing.T) {
+	cases := map[string]int64{
+		"1970-01-01": 1970,
+		"1969-12-31": 1969,
+		"1995-06-15": 1995,
+		"2000-02-29": 2000,
+		"1992-01-01": 1992,
+		"1998-12-31": 1998,
+		"2007-01-01": 2007,
+	}
+	for s, want := range cases {
+		e := &Year{E: &Const{V: types.MustDate(s)}}
+		got := evalOn(e)
+		if y, _ := got.AsInt(); y != want {
+			t.Errorf("year(%s) = %v, want %d", s, got, want)
+		}
+	}
+	if got := evalOn(&Year{E: &Const{V: types.Null()}}); !got.IsNull() {
+		t.Fatal("year(NULL) must be NULL")
+	}
+}
+
+func TestQuickYearMatchesCivilCalendar(t *testing.T) {
+	f := func(d int32) bool {
+		days := int64(d % 100000)
+		got := yearOfDays(days)
+		// Verify via types's date rendering (time package based).
+		want := types.Date(days).String()[:4]
+		gotStr := intToStr(got)
+		return gotStr == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intToStr(v int64) string {
+	out := make([]byte, 0, 4)
+	if v < 0 {
+		return "neg"
+	}
+	for _, div := range []int64{1000, 100, 10, 1} {
+		out = append(out, byte('0'+(v/div)%10))
+	}
+	return string(out)
+}
+
+func TestAndHelper(t *testing.T) {
+	if And() != nil {
+		t.Fatal("And() must be nil")
+	}
+	one := &Const{V: types.Bool(true)}
+	if And(one) != one {
+		t.Fatal("And(x) must be x")
+	}
+	combined := And(one, nil, one)
+	if len(SplitConjuncts(combined)) != 2 {
+		t.Fatal("And must skip nils and SplitConjuncts must flatten")
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	a := &Const{V: types.Bool(true)}
+	b := &Const{V: types.Bool(false)}
+	c := &Const{V: types.Bool(true)}
+	e := &Binary{Op: OpAnd, L: &Binary{Op: OpAnd, L: a, R: b}, R: c}
+	if got := SplitConjuncts(e); len(got) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts", len(got))
+	}
+	if SplitConjuncts(nil) != nil {
+		t.Fatal("nil must split to nil")
+	}
+	// OR is not split.
+	or := &Binary{Op: OpOr, L: a, R: b}
+	if got := SplitConjuncts(or); len(got) != 1 {
+		t.Fatal("OR must not be split")
+	}
+}
+
+func TestCollectColsAndMaxCol(t *testing.T) {
+	e := &Binary{Op: OpAdd,
+		L: colRef(2, types.KindInt),
+		R: &Year{E: colRef(5, types.KindDate)}}
+	cols := CollectCols(e, nil)
+	if len(cols) != 2 || cols[0] != 2 || cols[1] != 5 {
+		t.Fatalf("CollectCols = %v", cols)
+	}
+	if MaxCol(e) != 5 {
+		t.Fatalf("MaxCol = %d", MaxCol(e))
+	}
+	if MaxCol(&Const{V: types.Int(1)}) != -1 {
+		t.Fatal("constants reference no columns")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	e := &Binary{Op: OpEq, L: colRef(3, types.KindInt), R: &Const{V: types.Int(7)}}
+	mapped, ok := Remap(e, map[int]int{3: 0})
+	if !ok {
+		t.Fatal("remap failed")
+	}
+	if got := evalOn(mapped, types.Int(7)); !got.Truth() {
+		t.Fatal("remapped expression wrong")
+	}
+	if _, ok := Remap(e, map[int]int{5: 0}); ok {
+		t.Fatal("remap with missing column must fail")
+	}
+	// All node kinds survive remapping.
+	complexE := &Not{E: &Like{E: &ColRef{Idx: 1, Col: types.Column{Kind: types.KindString}}, Pattern: "x%"}}
+	if _, ok := Remap(complexE, map[int]int{1: 0}); !ok {
+		t.Fatal("remap of Not/Like failed")
+	}
+}
+
+func TestShift(t *testing.T) {
+	e := &Binary{Op: OpAdd, L: colRef(0, types.KindInt), R: colRef(1, types.KindInt)}
+	shifted := Shift(e, 2)
+	got := evalOn(shifted, types.Int(0), types.Int(0), types.Int(3), types.Int(4))
+	if v, _ := got.AsInt(); v != 7 {
+		t.Fatalf("shifted eval = %v", got)
+	}
+	if Shift(nil, 1) != nil {
+		t.Fatal("Shift(nil) must be nil")
+	}
+}
+
+func TestEquiPair(t *testing.T) {
+	l := colRef(0, types.KindInt)
+	r := colRef(1, types.KindInt)
+	if _, _, ok := EquiPair(&Binary{Op: OpEq, L: l, R: r}); !ok {
+		t.Fatal("col = col must be an equi pair")
+	}
+	if _, _, ok := EquiPair(&Binary{Op: OpLt, L: l, R: r}); ok {
+		t.Fatal("col < col is not an equi pair")
+	}
+	if _, _, ok := EquiPair(&Binary{Op: OpEq, L: l, R: &Const{V: types.Int(1)}}); ok {
+		t.Fatal("col = const is not an equi pair")
+	}
+}
+
+func TestKindInference(t *testing.T) {
+	if (&Binary{Op: OpDiv, L: colRef(0, types.KindInt), R: colRef(1, types.KindInt)}).Kind() != types.KindFloat {
+		t.Fatal("int/int division must be float")
+	}
+	if (&Binary{Op: OpAdd, L: colRef(0, types.KindInt), R: colRef(1, types.KindInt)}).Kind() != types.KindInt {
+		t.Fatal("int+int must be int")
+	}
+	if (&Binary{Op: OpEq, L: colRef(0, types.KindInt), R: colRef(1, types.KindInt)}).Kind() != types.KindBool {
+		t.Fatal("comparison must be bool")
+	}
+	if (&Year{E: colRef(0, types.KindDate)}).Kind() != types.KindInt {
+		t.Fatal("year must be int")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &Binary{Op: OpLt,
+		L: &Binary{Op: OpMul, L: &Const{V: types.Int(2)}, R: colRef(0, types.KindFloat)},
+		R: &Const{V: types.Str("x")}}
+	if got := e.String(); got != "((2 * c) < 'x')" {
+		t.Fatalf("String = %q", got)
+	}
+	if Describe(SplitConjuncts(e)) == "" {
+		t.Fatal("Describe must render")
+	}
+}
+
+func TestQuickLikeLiteralPatterns(t *testing.T) {
+	// A pattern with no wildcards matches only itself.
+	f := func(s string) bool {
+		if s == "" {
+			return true
+		}
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' {
+				clean += string(r)
+			}
+		}
+		if clean == "" {
+			return true
+		}
+		return likeMatch(clean, clean) && !likeMatch(clean+"!", clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLikePrefixSuffix(t *testing.T) {
+	f := func(pre, suf string) bool {
+		s := pre + "-mid-" + suf
+		return likeMatch(s, pre+"%") && likeMatch(s, "%"+suf) && likeMatch(s, pre+"%"+suf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package filter defines the summary-structure abstraction probed by
+// executor operators when an AIP filter has been injected, plus a hash-set
+// implementation. The Bloom implementation lives in internal/bloom; this
+// package keeps the executor decoupled from the AIP decision logic in
+// internal/core.
+package filter
+
+import (
+	"sync"
+
+	"repro/internal/bloom"
+)
+
+// Summary is a one-sided membership summary of a completed subexpression's
+// key values: MayContain never returns a false negative, so probing it as a
+// semijoin preserves query answers (paper §III-B). Implementations must be
+// safe for concurrent probes.
+type Summary interface {
+	// MayContain reports whether the canonical key encoding may be present.
+	MayContain(key []byte) bool
+	// SizeBytes is the summary's memory footprint (and shipping cost).
+	SizeBytes() int
+	// Len is the (approximate) number of distinct keys summarized.
+	Len() int
+}
+
+// Bloom adapts a bloom.Filter to the Summary interface.
+type Bloom struct{ F *bloom.Filter }
+
+// MayContain probes the underlying Bloom filter.
+func (b Bloom) MayContain(key []byte) bool { return b.F.Contains(key) }
+
+// SizeBytes returns the bit-array footprint.
+func (b Bloom) SizeBytes() int { return b.F.SizeBytes() }
+
+// Len returns the insertion count.
+func (b Bloom) Len() int { return b.F.Len() }
+
+// HashSet is an exact summary backed by a hash set of key encodings. It has
+// no false positives but costs more memory and probe time than a Bloom
+// filter; the paper found Bloom superior in nearly all cases (§V), and this
+// implementation exists for the ablation benchmarks and for the Cost-based
+// algorithm's direct reuse of operator hash tables.
+//
+// Memory overflow is handled per the paper: buckets may be discarded, and a
+// probe that lands in a discarded bucket passes (never a false negative).
+type HashSet struct {
+	mu        sync.RWMutex
+	buckets   []map[string]struct{}
+	discarded []bool
+	nbuckets  uint64
+	size      int
+	bytes     int
+}
+
+// NewHashSet creates a hash-set summary with the given bucket count
+// (rounded up to at least 1).
+func NewHashSet(nbuckets int) *HashSet {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	h := &HashSet{
+		buckets:   make([]map[string]struct{}, nbuckets),
+		discarded: make([]bool, nbuckets),
+		nbuckets:  uint64(nbuckets),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = make(map[string]struct{})
+	}
+	return h
+}
+
+func (h *HashSet) bucketOf(key []byte) uint64 {
+	const prime = 1099511628211
+	var x uint64 = 14695981039346656037
+	for _, c := range key {
+		x ^= uint64(c)
+		x *= prime
+	}
+	return x % h.nbuckets
+}
+
+// Add inserts a key encoding. Adding to a discarded bucket is a no-op (the
+// bucket already passes everything).
+func (h *HashSet) Add(key []byte) {
+	b := h.bucketOf(key)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.discarded[b] {
+		return
+	}
+	s := string(key)
+	if _, ok := h.buckets[b][s]; !ok {
+		h.buckets[b][s] = struct{}{}
+		h.size++
+		h.bytes += len(s) + 16
+	}
+}
+
+// MayContain reports membership; keys in discarded buckets always pass.
+func (h *HashSet) MayContain(key []byte) bool {
+	b := h.bucketOf(key)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.discarded[b] {
+		return true
+	}
+	_, ok := h.buckets[b][string(key)]
+	return ok
+}
+
+// DiscardBucket drops one bucket's contents to relieve memory pressure;
+// probes to that bucket subsequently pass unconditionally (§V).
+func (h *HashSet) DiscardBucket(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if i < 0 || i >= len(h.buckets) || h.discarded[i] {
+		return
+	}
+	for k := range h.buckets[i] {
+		h.size--
+		h.bytes -= len(k) + 16
+	}
+	h.buckets[i] = nil
+	h.discarded[i] = true
+}
+
+// DiscardedBuckets returns how many buckets have been dropped.
+func (h *HashSet) DiscardedBuckets() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := 0
+	for _, d := range h.discarded {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes returns the approximate footprint of the retained keys.
+func (h *HashSet) SizeBytes() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
+
+// Len returns the number of retained distinct keys.
+func (h *HashSet) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.size
+}

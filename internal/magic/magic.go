@@ -1,0 +1,159 @@
+// Package magic implements the magic-sets rewriting baseline the paper
+// compares against (§VI, "we extended Tukwila to perform magic sets
+// rewritings using the approach of [Seshadri et al., SIGMOD 1996]").
+//
+// Following that paper's heuristics as adopted here: (1) the filter set is
+// computed from the entire outer query — the join of the parent block's
+// relations under the parent's own predicates — and (2) the filter set
+// contains the largest number of attributes that can be joined (every
+// correlation attribute). The rewritten plan computes the filter set fully
+// pipelined, simultaneously with the main query and the subquery, and each
+// decorrelated subquery block gains a semijoin (an extra equijoin against
+// the DISTINCT filter set) that restricts its computation to
+// possibly-relevant bindings.
+//
+// Note the structural consequence the paper observes experimentally: the
+// filter-set computation duplicates parent work and adds state of its own
+// (the Q2C space blow-up), and when the parent predicates are weak the
+// filter set filters nothing (Q2E's slowdown).
+package magic
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Rewrite returns a clone of the block with a magic filter set injected
+// into every decorrelated subquery relation. Blocks without correlated
+// subqueries are returned as an unmodified clone.
+func Rewrite(root *plan.Block) *plan.Block {
+	nb := root.Clone()
+	for _, rel := range nb.Rels {
+		if rel.Sub == nil || len(rel.Correlated) == 0 {
+			continue
+		}
+		fs := buildFilterSet(nb, rel)
+		if fs == nil {
+			continue
+		}
+		injectFilterSet(rel, fs)
+	}
+	return nb
+}
+
+// HasCorrelatedSubquery reports whether the rewrite would change the block.
+func HasCorrelatedSubquery(b *plan.Block) bool {
+	for _, rel := range b.Rels {
+		if rel.Sub != nil && len(rel.Correlated) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildFilterSet constructs the magic-set block: DISTINCT projection of the
+// correlation attributes over the join of the parent's non-subquery
+// relations under the parent-only predicates.
+func buildFilterSet(parent *plan.Block, target *plan.Rel) *plan.Block {
+	fs := &plan.Block{Global: types.NewSchema(), Distinct: true}
+	colMap := map[int]int{} // parent global col -> filter-set global col
+	included := map[int]bool{}
+
+	for ri, rel := range parent.Rels {
+		if rel.Sub != nil && len(rel.Correlated) > 0 {
+			continue // exclude every decorrelated subquery, not just target
+		}
+		included[ri] = true
+		nr := &plan.Rel{
+			Alias:   rel.Alias,
+			Table:   rel.Table,
+			Schema:  types.NewSchema(append([]types.Column(nil), rel.Schema.Cols...)...),
+			Offset:  fs.Global.Len(),
+			Site:    rel.Site,
+			Delayed: rel.Delayed,
+		}
+		if rel.Sub != nil {
+			nr.Sub = rel.Sub.Clone()
+		}
+		for i := 0; i < rel.Schema.Len(); i++ {
+			colMap[rel.Offset+i] = nr.Offset + i
+			fs.EqIDs = append(fs.EqIDs, -1)
+		}
+		fs.Rels = append(fs.Rels, nr)
+		fs.Global = fs.Global.Concat(nr.Schema)
+	}
+	if len(fs.Rels) == 0 {
+		return nil
+	}
+
+	// Parent-only predicates, remapped into the filter-set block.
+	for _, c := range parent.Conjuncts {
+		all := true
+		for _, r := range c.Rels {
+			if !included[r] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		mapped, ok := expr.Remap(c.E, colMap)
+		if !ok {
+			continue
+		}
+		fs.AddConjunct(mapped)
+	}
+
+	// Output: the correlation attributes (heuristic 2 — all of them).
+	for k, cp := range target.Correlated {
+		ng, ok := colMap[cp.OuterCol]
+		if !ok {
+			return nil // correlation attribute lives in another subquery
+		}
+		fs.Output = append(fs.Output, plan.OutputCol{
+			E:    &expr.ColRef{Idx: ng, Col: fs.Global.Cols[ng]},
+			Name: fmt.Sprintf("mk%d", k),
+		})
+	}
+	return fs
+}
+
+// injectFilterSet appends the filter set as a relation of the subquery
+// block, joined on the correlation attributes — the logical semijoin of the
+// magic-sets rewriting.
+func injectFilterSet(target *plan.Rel, fs *plan.Block) {
+	inner := target.Sub
+	offset := inner.Global.Len()
+	outSchema := fs.OutputSchema()
+	cols := make([]types.Column, outSchema.Len())
+	for i, c := range outSchema.Cols {
+		cols[i] = types.Column{Table: "_magic", Name: c.Name, Kind: c.Kind}
+	}
+	fsRel := &plan.Rel{
+		Alias:  "_magic",
+		Sub:    fs,
+		Schema: types.NewSchema(cols...),
+		Offset: offset,
+	}
+	inner.Rels = append(inner.Rels, fsRel)
+	inner.Global = inner.Global.Concat(fsRel.Schema)
+	for range cols {
+		inner.EqIDs = append(inner.EqIDs, -1)
+	}
+	for k, cp := range target.Correlated {
+		gb, ok := inner.GroupBy[cp.InnerOutCol].(*expr.ColRef)
+		if !ok {
+			continue
+		}
+		fcol := offset + k
+		inner.AddConjunct(&expr.Binary{
+			Op: expr.OpEq,
+			L:  &expr.ColRef{Idx: gb.Idx, Col: inner.Global.Cols[gb.Idx]},
+			R:  &expr.ColRef{Idx: fcol, Col: inner.Global.Cols[fcol]},
+		})
+	}
+}

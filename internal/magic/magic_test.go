@@ -1,0 +1,109 @@
+package magic
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+func bind(t *testing.T, sql string) *plan.Block {
+	t.Helper()
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002})
+	blk, err := plan.BindSQL(cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+const correlatedSQL = `
+	SELECT s_name FROM part, supplier, partsupp
+	WHERE p_size = 15
+	  AND p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+	  AND ps_supplycost = (SELECT min(ps_supplycost) FROM partsupp, supplier
+	       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey)`
+
+func TestHasCorrelatedSubquery(t *testing.T) {
+	if !HasCorrelatedSubquery(bind(t, correlatedSQL)) {
+		t.Fatal("correlated subquery not detected")
+	}
+	plain := bind(t, "SELECT p_name FROM part WHERE p_size = 1")
+	if HasCorrelatedSubquery(plain) {
+		t.Fatal("phantom correlation")
+	}
+}
+
+func TestRewriteInjectsFilterSet(t *testing.T) {
+	blk := bind(t, correlatedSQL)
+	origInnerRels := len(blk.Rels[3].Sub.Rels)
+	rewritten := Rewrite(blk)
+
+	// Original untouched.
+	if len(blk.Rels[3].Sub.Rels) != origInnerRels {
+		t.Fatal("rewrite mutated the original block")
+	}
+	inner := rewritten.Rels[3].Sub
+	if len(inner.Rels) != origInnerRels+1 {
+		t.Fatalf("inner rels = %d, want %d", len(inner.Rels), origInnerRels+1)
+	}
+	fsRel := inner.Rels[len(inner.Rels)-1]
+	if fsRel.Alias != "_magic" || fsRel.Sub == nil {
+		t.Fatalf("filter-set rel malformed: %+v", fsRel)
+	}
+	// The filter set is a DISTINCT projection of the correlation attrs.
+	if !fsRel.Sub.Distinct {
+		t.Fatal("filter set must be DISTINCT")
+	}
+	if len(fsRel.Sub.Output) != len(blk.Rels[3].Correlated) {
+		t.Fatalf("filter set outputs = %d, want %d", len(fsRel.Sub.Output), len(blk.Rels[3].Correlated))
+	}
+	// The filter set excludes the subquery itself (only base parent rels).
+	for _, r := range fsRel.Sub.Rels {
+		if r.Sub != nil {
+			t.Fatal("filter set must not contain subquery relations")
+		}
+	}
+	// Parent predicates carried over (p_size = 15 must appear).
+	found := false
+	for _, c := range fsRel.Sub.Conjuncts {
+		if c.E.String() == "(part.p_size = 15)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("parent predicate missing from filter set: %v", fsRel.Sub.Conjuncts)
+	}
+	// The inner block gained a semijoin conjunct to the filter set.
+	joins := 0
+	for _, c := range inner.Conjuncts {
+		for _, r := range c.Rels {
+			if r == len(inner.Rels)-1 {
+				joins++
+			}
+		}
+	}
+	if joins == 0 {
+		t.Fatal("no semijoin conjunct added to the subquery block")
+	}
+}
+
+func TestRewriteNoopWithoutCorrelation(t *testing.T) {
+	blk := bind(t, `SELECT n_name FROM nation WHERE n_regionkey = 1`)
+	rewritten := Rewrite(blk)
+	if len(rewritten.Rels) != len(blk.Rels) {
+		t.Fatal("rewrite changed an uncorrelated query")
+	}
+}
+
+func TestRewritePlainDerivedTableUntouched(t *testing.T) {
+	blk := bind(t, `
+		SELECT partkey FROM
+		  (SELECT ps_partkey AS partkey, sum(ps_availqty) AS a
+		   FROM partsupp GROUP BY ps_partkey) d
+		WHERE a < 100`)
+	rewritten := Rewrite(blk)
+	if len(rewritten.Rels[0].Sub.Rels) != 1 {
+		t.Fatal("plain derived tables must not receive filter sets")
+	}
+}

@@ -1,0 +1,140 @@
+// Package network simulates the wide-area links of the paper's distributed
+// experiments. The paper runs its distributed setting over 10 Mbps (cost
+// model assumption, §V) and 100 Mbps Ethernet (§VI-C); this package models
+// a link as latency + bandwidth and charges real wall-clock time for
+// transfers, so running-time figures reflect shipping costs exactly the way
+// the paper's testbed did.
+//
+// A Topology names a set of sites (site 0 is the master query node) and the
+// links between them; filters shipped by the distributed AIP Manager and
+// tuples shipped by exec.Ship both pay the link's transfer cost and are
+// accounted in stats.Registry.NetworkBytes.
+package network
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link models one directed connection.
+type Link struct {
+	// BytesPerSec is the modeled bandwidth; zero means infinite.
+	BytesPerSec int64
+	// Latency is the fixed per-message delay.
+	Latency time.Duration
+	// Scale divides all sleep times, letting experiments compress
+	// wall-clock time uniformly; 0 or 1 means real time.
+	Scale float64
+
+	mu        sync.Mutex
+	sentBytes int64
+	sentMsgs  int64
+	busyUntil time.Time
+}
+
+// TransferTime returns the modeled time for a message of n bytes.
+func (l *Link) TransferTime(n int) time.Duration {
+	d := l.Latency
+	if l.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / float64(l.BytesPerSec) * float64(time.Second))
+	}
+	if l.Scale > 0 && l.Scale != 1 {
+		d = time.Duration(float64(d) / l.Scale)
+	}
+	return d
+}
+
+// Transfer blocks for the modeled transfer time of an n-byte message and
+// records the traffic. Concurrent transfers share the link: they serialize
+// on the modeled bandwidth, as a real link would.
+func (l *Link) Transfer(n int, cancel <-chan struct{}) bool {
+	l.mu.Lock()
+	now := time.Now()
+	start := now
+	if l.busyUntil.After(now) {
+		start = l.busyUntil
+	}
+	end := start.Add(l.TransferTime(n))
+	l.busyUntil = end
+	l.sentBytes += int64(n)
+	l.sentMsgs++
+	l.mu.Unlock()
+
+	wait := time.Until(end)
+	if wait <= 0 {
+		return true
+	}
+	select {
+	case <-time.After(wait):
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// SentBytes returns the total bytes transferred over the link.
+func (l *Link) SentBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sentBytes
+}
+
+// SentMessages returns the number of messages transferred.
+func (l *Link) SentMessages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sentMsgs
+}
+
+// Topology is the set of sites and pairwise links of one experiment.
+type Topology struct {
+	mu    sync.Mutex
+	links map[[2]int]*Link
+	// Default is used for site pairs without an explicit link.
+	Default *Link
+}
+
+// NewTopology creates a topology with the given default link parameters.
+func NewTopology(def *Link) *Topology {
+	return &Topology{links: make(map[[2]int]*Link), Default: def}
+}
+
+// SetLink installs a dedicated link between two sites (symmetric).
+func (t *Topology) SetLink(a, b int, l *Link) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.links[[2]int{a, b}] = l
+	t.links[[2]int{b, a}] = l
+}
+
+// LinkBetween returns the link connecting two sites; same-site traffic is
+// free (returns nil).
+func (t *Topology) LinkBetween(a, b int) *Link {
+	if a == b {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.links[[2]int{a, b}]; ok {
+		return l
+	}
+	if t.Default != nil {
+		return t.Default
+	}
+	return nil
+}
+
+// String describes the topology.
+func (t *Topology) String() string {
+	if t == nil {
+		return "local"
+	}
+	if t.Default != nil {
+		return fmt.Sprintf("topology(default %d B/s, %v latency)", t.Default.BytesPerSec, t.Default.Latency)
+	}
+	return "topology(custom links)"
+}
+
+// Mbps converts megabits/second to bytes/second for link construction.
+func Mbps(m float64) int64 { return int64(m * 1e6 / 8) }

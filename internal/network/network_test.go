@@ -1,0 +1,109 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := &Link{BytesPerSec: 1000, Latency: 10 * time.Millisecond}
+	if got := l.TransferTime(1000); got != 10*time.Millisecond+time.Second {
+		t.Fatalf("TransferTime = %v", got)
+	}
+	// Infinite bandwidth: latency only.
+	fast := &Link{Latency: 5 * time.Millisecond}
+	if got := fast.TransferTime(1 << 30); got != 5*time.Millisecond {
+		t.Fatalf("latency-only TransferTime = %v", got)
+	}
+	// Scale compresses time.
+	scaled := &Link{BytesPerSec: 1000, Scale: 10}
+	if got := scaled.TransferTime(1000); got != 100*time.Millisecond {
+		t.Fatalf("scaled TransferTime = %v", got)
+	}
+}
+
+func TestTransferBlocksAndAccounts(t *testing.T) {
+	l := &Link{BytesPerSec: 1 << 20, Latency: 20 * time.Millisecond}
+	start := time.Now()
+	if !l.Transfer(1024, nil) {
+		t.Fatal("transfer failed")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("transfer returned too fast: %v", elapsed)
+	}
+	if l.SentBytes() != 1024 || l.SentMessages() != 1 {
+		t.Fatalf("accounting: %d bytes, %d msgs", l.SentBytes(), l.SentMessages())
+	}
+}
+
+func TestTransferCancellation(t *testing.T) {
+	l := &Link{BytesPerSec: 10, Latency: 0} // 10 B/s: 100 bytes = 10 s
+	cancel := make(chan struct{})
+	done := make(chan bool)
+	go func() { done <- l.Transfer(100, cancel) }()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled transfer reported success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled transfer did not return")
+	}
+}
+
+// TestLinkSerializesConcurrentTransfers: two concurrent transfers share the
+// modeled bandwidth, so together they take about twice one transfer's time.
+func TestLinkSerializesConcurrentTransfers(t *testing.T) {
+	l := &Link{BytesPerSec: 1 << 20} // 1 MiB/s; 64 KiB ≈ 62 ms
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Transfer(64<<10, nil)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("concurrent transfers did not serialize: %v", elapsed)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	def := &Link{BytesPerSec: Mbps(10)}
+	topo := NewTopology(def)
+	if topo.LinkBetween(0, 0) != nil {
+		t.Fatal("same-site traffic must be free")
+	}
+	if topo.LinkBetween(0, 1) != def {
+		t.Fatal("default link not used")
+	}
+	fast := &Link{BytesPerSec: Mbps(100)}
+	topo.SetLink(0, 2, fast)
+	if topo.LinkBetween(0, 2) != fast || topo.LinkBetween(2, 0) != fast {
+		t.Fatal("dedicated link must be symmetric")
+	}
+	if topo.LinkBetween(0, 1) != def {
+		t.Fatal("dedicated link leaked to other pairs")
+	}
+	if topo.String() == "" || (*Topology)(nil).String() != "local" {
+		t.Fatal("String rendering broken")
+	}
+	bare := NewTopology(nil)
+	if bare.LinkBetween(0, 5) != nil {
+		t.Fatal("no-default topology should return nil link")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if Mbps(8) != 1e6 {
+		t.Fatalf("Mbps(8) = %d, want 1e6 bytes/s", Mbps(8))
+	}
+	if Mbps(100) != 12500000 {
+		t.Fatalf("Mbps(100) = %d", Mbps(100))
+	}
+}

@@ -1,0 +1,665 @@
+// Package optimizer converts bound query blocks into physical push plans.
+//
+// Following Tukwila (§V-A), it emphasizes maximally pipelined bushy plans
+// built from pipelined hash joins and hash aggregation, and its cost
+// modeler needs no histograms: join selectivities come from cardinality
+// estimates plus key/foreign-key information, propagated assuming uniform,
+// uncorrelated attributes. Join ordering is greedy smallest-output-first
+// over the join graph, which yields the bushy shapes the paper's plans
+// exhibit (joins between intermediate results, not only left-deep chains).
+//
+// The optimizer also attaches the metadata the AIP runtime needs to every
+// injection point: attribute equivalence classes, cardinality estimates,
+// per-attribute domain sizes, plan depth, and ancestor chains — the
+// services ESTIMATEBENEFIT (Fig. 4 of the paper) re-invokes at runtime.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/plan"
+)
+
+// Config carries the environmental knobs of an optimization run.
+type Config struct {
+	// Topology models the network for distributed relations; nil means
+	// everything is local.
+	Topology *network.Topology
+	// Delay is applied to relations tagged Delayed in the block.
+	Delay *exec.DelayConfig
+	// ScanBytesPerSec paces every base-table scan like a disk stream;
+	// zero means unpaced.
+	ScanBytesPerSec int64
+}
+
+// Result is a physical plan plus the AIP metadata the runtime consumes.
+type Result struct {
+	Root   exec.Op
+	Points []*exec.Point
+	// EstRows is the optimizer's estimate for the final result size.
+	EstRows float64
+}
+
+// Build compiles a block to a physical plan.
+func Build(cfg Config, b *plan.Block) (*Result, error) {
+	o := &builder{cfg: cfg}
+	comp, err := o.buildBlock(b, "q")
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Root: comp.op, Points: o.points, EstRows: comp.est}, nil
+}
+
+type builder struct {
+	cfg    Config
+	points []*exec.Point
+	nextID int
+}
+
+// component is one connected piece of the join forest during ordering.
+type component struct {
+	op       exec.Op
+	rels     map[int]bool
+	colmap   map[int]int     // global col id -> position in op schema
+	est      float64         // estimated output rows
+	distinct map[int]float64 // global col id -> distinct estimate
+	points   []*exec.Point   // injection points inside this subtree
+}
+
+func (c *component) mappingFor(cols []int) (map[int]int, bool) {
+	m := make(map[int]int, len(cols))
+	for _, g := range cols {
+		p, ok := c.colmap[g]
+		if !ok {
+			return nil, false
+		}
+		m[g] = p
+	}
+	return m, true
+}
+
+// newPoint allocates an injection point with the component-derived
+// metadata. The point's ancestors are filled in as joins stack up.
+func (o *builder) newPoint(name string, b *plan.Block, comp *component, stateful bool, site int) *exec.Point {
+	sch := comp.op.Schema()
+	eq := make([]int, sch.Len())
+	dom := make([]float64, sch.Len())
+	inv := make([]int, sch.Len())
+	for i := range inv {
+		inv[i] = -1
+	}
+	for g, p := range comp.colmap {
+		inv[p] = g
+	}
+	for p := range eq {
+		eq[p] = -1
+		if g := inv[p]; g >= 0 {
+			eq[p] = b.EqIDs[g]
+			dom[p] = comp.distinct[g]
+		}
+	}
+	pt := &exec.Point{
+		Name:           name,
+		EqIDs:          eq,
+		StateEqIDs:     eq,
+		Schema:         sch,
+		Bank:           exec.NewFilterBank(),
+		Stateful:       stateful,
+		Site:           site,
+		EstRows:        comp.est,
+		DomainDistinct: dom,
+	}
+	o.points = append(o.points, pt)
+	return pt
+}
+
+// adopt records that parent is now an ancestor of every point in comp.
+func adopt(comp *component, parent *exec.Point) {
+	for _, p := range comp.points {
+		p.Ancestors = append(p.Ancestors, parent)
+	}
+}
+
+// finalizeDepths sets Depth = number of ancestors for every point.
+func (o *builder) finalizeDepths() {
+	for _, p := range o.points {
+		p.Depth = len(p.Ancestors)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Block compilation.
+
+func (o *builder) buildBlock(b *plan.Block, prefix string) (*component, error) {
+	used := make([]bool, len(b.Conjuncts))
+
+	// 1. Build one component per relation, pushing single-relation
+	// predicates down to it.
+	comps := make([]*component, 0, len(b.Rels))
+	for ri, rel := range b.Rels {
+		comp, err := o.buildRel(b, ri, rel, used, fmt.Sprintf("%s.%s", prefix, rel.Alias))
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, comp)
+	}
+
+	// 2. Greedy bushy join ordering.
+	for len(comps) > 1 {
+		bi, bj := -1, -1
+		bestEst := math.Inf(1)
+		bestConnected := false
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				connected, est := o.joinEstimate(b, comps[i], comps[j], used)
+				if connected && !bestConnected || connected == bestConnected && est < bestEst {
+					bi, bj, bestEst, bestConnected = i, j, est, connected
+				}
+			}
+		}
+		joined, err := o.buildJoin(b, comps[bi], comps[bj], used, fmt.Sprintf("%s.j%d", prefix, o.nextID))
+		o.nextID++
+		if err != nil {
+			return nil, err
+		}
+		next := comps[:0]
+		for k, c := range comps {
+			if k != bi && k != bj {
+				next = append(next, c)
+			}
+		}
+		comps = append(next, joined)
+	}
+	comp := comps[0]
+
+	// 3. Any conjunct not yet applied (e.g. a single-component residual
+	// discovered late) runs as a filter.
+	for ci := range b.Conjuncts {
+		if used[ci] {
+			continue
+		}
+		mapped, ok := remapGlobal(b.Conjuncts[ci].E, comp)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: conjunct %s references unavailable columns", b.Conjuncts[ci].E)
+		}
+		sel := predSelectivity(b.Conjuncts[ci].E)
+		comp.op = &exec.Filter{Child: comp.op, Pred: mapped, Name: prefix + ".resid"}
+		comp.est *= sel
+		used[ci] = true
+	}
+
+	// 4. Aggregation.
+	if len(b.GroupBy) > 0 || len(b.Aggs) > 0 {
+		if err := o.buildAgg(b, comp, prefix); err != nil {
+			return nil, err
+		}
+	}
+
+	// 5. Final projection to the block's output schema.
+	if err := o.buildOutput(b, comp, prefix); err != nil {
+		return nil, err
+	}
+
+	// 6. DISTINCT.
+	if b.Distinct {
+		pt := o.newPointForOutput(b, comp, prefix+".distinct")
+		d := &exec.Distinct{Name: prefix, Child: comp.op, Point: pt}
+		adopt(comp, pt)
+		comp.points = append(comp.points, pt)
+		comp.op = d
+		comp.est = math.Min(comp.est, comp.est*0.9)
+	}
+	o.finalizeDepths()
+	return comp, nil
+}
+
+// buildRel compiles one relation reference and pushes its local predicates.
+func (o *builder) buildRel(b *plan.Block, ri int, rel *plan.Rel, used []bool, name string) (*component, error) {
+	comp := &component{
+		rels:     map[int]bool{ri: true},
+		colmap:   make(map[int]int),
+		distinct: make(map[int]float64),
+	}
+	for i := 0; i < rel.Schema.Len(); i++ {
+		comp.colmap[rel.Offset+i] = i
+	}
+
+	if rel.IsBase() {
+		var delay *exec.DelayConfig
+		if rel.Delayed && o.cfg.Delay != nil {
+			delay = o.cfg.Delay
+		}
+		comp.op = &exec.Scan{
+			Name:        name,
+			Rows:        rel.Table.Rows,
+			Sch:         rel.Schema,
+			Delay:       delay,
+			BytesPerSec: o.cfg.ScanBytesPerSec,
+		}
+		comp.est = float64(rel.Table.NumRows())
+		for i, c := range rel.Schema.Cols {
+			comp.distinct[rel.Offset+i] = float64(rel.Table.Distinct(c.Name))
+		}
+	} else {
+		sub, err := o.buildBlock(rel.Sub, name)
+		if err != nil {
+			return nil, err
+		}
+		// Re-key the sub-block's output columns into this block's ids.
+		comp.op = sub.op
+		comp.est = sub.est
+		comp.points = sub.points
+		for i := 0; i < rel.Schema.Len(); i++ {
+			comp.distinct[rel.Offset+i] = subOutputDistinct(rel.Sub, i, sub)
+		}
+	}
+
+	// Push single-relation conjuncts.
+	var preds []expr.Expr
+	for ci, c := range b.Conjuncts {
+		if used[ci] || len(c.Rels) != 1 || c.Rels[0] != ri {
+			continue
+		}
+		mapped, ok := remapGlobal(c.E, comp)
+		if !ok {
+			continue
+		}
+		preds = append(preds, mapped)
+		comp.est *= predSelectivity(c.E)
+		used[ci] = true
+	}
+	if len(preds) > 0 {
+		comp.op = &exec.Filter{Child: comp.op, Pred: expr.And(preds...), Name: name}
+	}
+	clampDistinct(comp)
+
+	// Remote relation: evaluate local predicates at the remote site, then
+	// ship across the link; the ship point lets AIP filters prune at the
+	// source.
+	if rel.Site != 0 && o.cfg.Topology != nil {
+		link := o.cfg.Topology.LinkBetween(rel.Site, 0)
+		pt := o.newPoint(name+".ship", b, comp, false, rel.Site)
+		comp.op = &exec.Ship{Name: name, Child: comp.op, Link: link, Point: pt}
+		comp.points = append(comp.points, pt)
+	}
+	return comp, nil
+}
+
+// subOutputDistinct estimates distinct values of a sub-block output column.
+func subOutputDistinct(sub *plan.Block, outCol int, comp *component) float64 {
+	if outCol < len(sub.Output) {
+		if cr, ok := sub.Output[outCol].E.(*expr.ColRef); ok {
+			if len(sub.Aggs) == 0 && len(sub.GroupBy) == 0 {
+				if d, ok2 := comp.distinct[cr.Idx]; ok2 {
+					return math.Min(d, comp.est)
+				}
+			}
+		}
+	}
+	return comp.est
+}
+
+// joinEstimate reports whether two components share an unused equi
+// conjunct and the estimated output size of joining them.
+func (o *builder) joinEstimate(b *plan.Block, l, r *component, used []bool) (connected bool, est float64) {
+	est = l.est * r.est
+	for ci, c := range b.Conjuncts {
+		if used[ci] || !c.IsEqui {
+			continue
+		}
+		lIn := l.rels[c.LRel] && r.rels[c.RRel]
+		rIn := l.rels[c.RRel] && r.rels[c.LRel]
+		if !lIn && !rIn {
+			continue
+		}
+		connected = true
+		dl := l.distinct[c.LCol]
+		dr := r.distinct[c.RCol]
+		if rIn {
+			dl, dr = l.distinct[c.RCol], r.distinct[c.LCol]
+		}
+		d := math.Max(dl, dr)
+		if d < 1 {
+			d = 1
+		}
+		est /= d
+	}
+	if est < 1 {
+		est = 1
+	}
+	return connected, est
+}
+
+// buildJoin combines two components with a pipelined hash join.
+func (o *builder) buildJoin(b *plan.Block, l, r *component, used []bool, name string) (*component, error) {
+	var lkeys, rkeys []int
+	sel := 1.0
+	// Equi conjuncts spanning exactly these two components become keys.
+	for ci, c := range b.Conjuncts {
+		if used[ci] || !c.IsEqui {
+			continue
+		}
+		var lg, rg int
+		switch {
+		case l.rels[c.LRel] && r.rels[c.RRel]:
+			lg, rg = c.LCol, c.RCol
+		case l.rels[c.RRel] && r.rels[c.LRel]:
+			lg, rg = c.RCol, c.LCol
+		default:
+			continue
+		}
+		lp, lok := l.colmap[lg]
+		rp, rok := r.colmap[rg]
+		if !lok || !rok {
+			continue
+		}
+		lkeys = append(lkeys, lp)
+		rkeys = append(rkeys, rp)
+		d := math.Max(l.distinct[lg], r.distinct[rg])
+		if d < 1 {
+			d = 1
+		}
+		sel /= d
+		used[ci] = true
+	}
+
+	merged := &component{
+		rels:     map[int]bool{},
+		colmap:   map[int]int{},
+		distinct: map[int]float64{},
+	}
+	for ri := range l.rels {
+		merged.rels[ri] = true
+	}
+	for ri := range r.rels {
+		merged.rels[ri] = true
+	}
+	nl := l.op.Schema().Len()
+	for g, p := range l.colmap {
+		merged.colmap[g] = p
+	}
+	for g, p := range r.colmap {
+		merged.colmap[g] = p + nl
+	}
+	for g, d := range l.distinct {
+		merged.distinct[g] = d
+	}
+	for g, d := range r.distinct {
+		merged.distinct[g] = d
+	}
+	merged.est = l.est * r.est * sel
+	if merged.est < 1 {
+		merged.est = 1
+	}
+
+	// Residual: remaining conjuncts fully contained in the merged set.
+	var residuals []expr.Expr
+	for ci, c := range b.Conjuncts {
+		if used[ci] {
+			continue
+		}
+		if !relsSubset(c.Rels, merged.rels) {
+			continue
+		}
+		mapped, ok := remapGlobal(c.E, merged)
+		if !ok {
+			continue
+		}
+		residuals = append(residuals, mapped)
+		merged.est *= predSelectivity(c.E)
+		used[ci] = true
+	}
+
+	j := exec.NewHashJoin(name, l.op, r.op, lkeys, rkeys, expr.And(residuals...))
+	j.LPoint = o.newPoint(name+".left", b, l, true, 0)
+	j.LPoint.KeyCols = append([]int(nil), lkeys...)
+	j.RPoint = o.newPoint(name+".right", b, r, true, 0)
+	j.RPoint.KeyCols = append([]int(nil), rkeys...)
+	adopt(l, j.LPoint)
+	adopt(r, j.RPoint)
+	merged.points = append(merged.points, l.points...)
+	merged.points = append(merged.points, r.points...)
+	merged.points = append(merged.points, j.LPoint, j.RPoint)
+	merged.op = j
+	clampDistinct(merged)
+	return merged, nil
+}
+
+func relsSubset(rels []int, set map[int]bool) bool {
+	for _, r := range rels {
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildAgg lowers grouping and aggregation, leaving comp holding the
+// post-aggregation schema.
+func (o *builder) buildAgg(b *plan.Block, comp *component, prefix string) error {
+	groupBy := make([]expr.Expr, len(b.GroupBy))
+	for i, g := range b.GroupBy {
+		mapped, ok := remapGlobal(g, comp)
+		if !ok {
+			return fmt.Errorf("optimizer: group-by expression %s references unavailable columns", g)
+		}
+		groupBy[i] = mapped
+	}
+	aggs := make([]plan.AggSpec, len(b.Aggs))
+	for i, a := range b.Aggs {
+		na := a
+		if a.Arg != nil {
+			mapped, ok := remapGlobal(a.Arg, comp)
+			if !ok {
+				return fmt.Errorf("optimizer: aggregate argument %s references unavailable columns", a.Arg)
+			}
+			na.Arg = mapped
+		}
+		aggs[i] = na
+	}
+
+	pt := o.newPoint(prefix+".agg", b, comp, true, 0)
+	// Group count estimate: product of group-by distincts, capped by input.
+	groups := 1.0
+	stateEq := make([]int, len(groupBy))
+	groupSrcCols := map[int]bool{}
+	for i, g := range b.GroupBy {
+		stateEq[i] = -1
+		if cr, ok := g.(*expr.ColRef); ok {
+			stateEq[i] = b.EqIDs[cr.Idx]
+			if p, ok2 := comp.colmap[cr.Idx]; ok2 {
+				groupSrcCols[p] = true
+			}
+			if d, ok2 := comp.distinct[cr.Idx]; ok2 {
+				groups *= d
+			} else {
+				groups *= 100
+			}
+		} else {
+			groups *= 100
+		}
+	}
+	groups = math.Min(groups, comp.est)
+	if groups < 1 {
+		groups = 1
+	}
+	pt.StateEqIDs = stateEq
+	for i := range stateEq {
+		pt.KeyCols = append(pt.KeyCols, i)
+	}
+	// Correctness: only group-by source columns may be probed at an
+	// aggregation input. Pruning an arriving tuple on any other column
+	// would silently change the aggregate of a group that survives, so
+	// non-group columns are removed from the probe-eligible set (the
+	// paper's filters are likewise keyed on the grouping attribute, e.g.
+	// PARTKEY in Examples 3.1/3.2).
+	for p := range pt.EqIDs {
+		if !groupSrcCols[p] {
+			pt.EqIDs[p] = -1
+		}
+	}
+
+	agg := exec.NewHashAgg(prefix, comp.op, groupBy, aggs, b.PostAggSchema())
+	agg.Point = pt
+	adopt(comp, pt)
+	comp.points = append(comp.points, pt)
+	comp.op = agg
+	comp.est = groups
+
+	// The component now produces the post-agg schema: rewire colmap so the
+	// output step can bind against it (post-agg positions are "virtual"
+	// globals; buildOutput binds positionally instead).
+	comp.colmap = nil
+	comp.distinct = nil
+	return nil
+}
+
+// buildOutput projects the block's output expressions.
+func (o *builder) buildOutput(b *plan.Block, comp *component, prefix string) error {
+	exprs := make([]expr.Expr, len(b.Output))
+	aggregated := len(b.GroupBy) > 0 || len(b.Aggs) > 0
+	for i, out := range b.Output {
+		if aggregated {
+			// Already bound against the post-agg schema, which is exactly
+			// comp.op's schema.
+			exprs[i] = out.E
+			continue
+		}
+		mapped, ok := remapGlobal(out.E, comp)
+		if !ok {
+			return fmt.Errorf("optimizer: output %s references unavailable columns", out.E)
+		}
+		exprs[i] = mapped
+	}
+	outSchema := b.OutputSchema()
+
+	// Identity projection elision: skip when outputs are exactly the
+	// child's columns in order.
+	if !aggregated || len(exprs) != comp.op.Schema().Len() {
+		comp.op = &exec.Project{Child: comp.op, Exprs: exprs, Sch: outSchema, Name: prefix}
+	} else {
+		identity := true
+		for i, e := range exprs {
+			cr, ok := e.(*expr.ColRef)
+			if !ok || cr.Idx != i {
+				identity = false
+				break
+			}
+		}
+		if !identity {
+			comp.op = &exec.Project{Child: comp.op, Exprs: exprs, Sch: outSchema, Name: prefix}
+		}
+	}
+	return nil
+}
+
+// newPointForOutput builds a point whose schema is the block's output; the
+// equivalence ids flow through output column provenance.
+func (o *builder) newPointForOutput(b *plan.Block, comp *component, name string) *exec.Point {
+	outEq := blockOutputEq(b)
+	pt := &exec.Point{
+		Name:           name,
+		EqIDs:          outEq,
+		StateEqIDs:     outEq,
+		Schema:         comp.op.Schema(),
+		Bank:           exec.NewFilterBank(),
+		Stateful:       true,
+		EstRows:        comp.est,
+		DomainDistinct: make([]float64, len(outEq)),
+	}
+	for i := range outEq {
+		pt.KeyCols = append(pt.KeyCols, i)
+	}
+	o.points = append(o.points, pt)
+	return pt
+}
+
+// blockOutputEq computes the equivalence class of each output column (-1
+// for computed columns), mirroring the binder's propagation rule.
+func blockOutputEq(b *plan.Block) []int {
+	out := make([]int, len(b.Output))
+	for i, o := range b.Output {
+		out[i] = -1
+		if len(b.Aggs) > 0 || len(b.GroupBy) > 0 {
+			if cr, ok := o.E.(*expr.ColRef); ok && cr.Idx < len(b.GroupBy) {
+				if src, ok2 := b.GroupBy[cr.Idx].(*expr.ColRef); ok2 {
+					out[i] = b.EqIDs[src.Idx]
+				}
+			}
+			continue
+		}
+		if cr, ok := o.E.(*expr.ColRef); ok {
+			out[i] = b.EqIDs[cr.Idx]
+		}
+	}
+	return out
+}
+
+// remapGlobal rewrites a global-bound expression into component positions.
+func remapGlobal(e expr.Expr, comp *component) (expr.Expr, bool) {
+	if comp.colmap == nil {
+		return nil, false
+	}
+	cols := expr.CollectCols(e, nil)
+	m, ok := comp.mappingFor(cols)
+	if !ok {
+		return nil, false
+	}
+	return expr.Remap(e, m)
+}
+
+// clampDistinct caps per-column distinct estimates at the component's
+// cardinality estimate.
+func clampDistinct(c *component) {
+	for g, d := range c.distinct {
+		if d > c.est {
+			c.distinct[g] = c.est
+		}
+		if c.distinct[g] < 1 {
+			c.distinct[g] = 1
+		}
+	}
+}
+
+// predSelectivity is the histogram-free selectivity heuristic of §V-A.
+func predSelectivity(e expr.Expr) float64 {
+	switch v := e.(type) {
+	case *expr.Binary:
+		switch v.Op {
+		case expr.OpEq:
+			// col = const: moderately selective without distinct info at
+			// this layer; the caller's distinct-aware paths refine this.
+			if isConstComparison(v) {
+				return 0.05
+			}
+			return 0.1
+		case expr.OpNe:
+			return 0.9
+		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			return 0.33
+		case expr.OpAnd:
+			return predSelectivity(v.L) * predSelectivity(v.R)
+		case expr.OpOr:
+			s := predSelectivity(v.L) + predSelectivity(v.R)
+			return math.Min(s, 1)
+		}
+	case *expr.Like:
+		if v.Negate {
+			return 0.9
+		}
+		return 0.1
+	case *expr.Not:
+		return 1 - predSelectivity(v.E)
+	}
+	return 0.25
+}
+
+func isConstComparison(b *expr.Binary) bool {
+	_, lc := b.L.(*expr.Const)
+	_, rc := b.R.(*expr.Const)
+	return lc != rc // exactly one side constant
+}

@@ -1,0 +1,317 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/tpch"
+)
+
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	return tpch.Generate(tpch.Config{ScaleFactor: 0.002})
+}
+
+func mustBind(t *testing.T, sql string) *Block {
+	t.Helper()
+	blk, err := BindSQL(testCatalog(t), sql)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	return blk
+}
+
+func TestBindSimpleScan(t *testing.T) {
+	blk := mustBind(t, "SELECT p_name FROM part WHERE p_size = 1")
+	if len(blk.Rels) != 1 || !blk.Rels[0].IsBase() {
+		t.Fatalf("rels: %+v", blk.Rels)
+	}
+	if len(blk.Conjuncts) != 1 || len(blk.Conjuncts[0].Rels) != 1 {
+		t.Fatalf("conjuncts: %+v", blk.Conjuncts)
+	}
+	if blk.OutputSchema().Cols[0].Name != "p_name" {
+		t.Fatal("output name lost")
+	}
+}
+
+func TestBindUnknownTableAndColumn(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := BindSQL(cat, "SELECT x FROM missing"); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if _, err := BindSQL(cat, "SELECT nope FROM part"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if _, err := BindSQL(cat, "SELECT p_partkey FROM part, partsupp WHERE partkey = 1"); err == nil {
+		t.Fatal("unknown column in join must error")
+	}
+}
+
+func TestBindEquiConjunctMetadata(t *testing.T) {
+	blk := mustBind(t, `SELECT p_name FROM part, partsupp WHERE p_partkey = ps_partkey`)
+	var equi *Conjunct
+	for i := range blk.Conjuncts {
+		if blk.Conjuncts[i].IsEqui {
+			equi = &blk.Conjuncts[i]
+		}
+	}
+	if equi == nil {
+		t.Fatal("join conjunct not marked equi")
+	}
+	if equi.LRel >= equi.RRel {
+		t.Fatal("equi rel ordering violated")
+	}
+	// Equivalence classes must be unified.
+	if blk.EqIDs[equi.LCol] != blk.EqIDs[equi.RCol] {
+		t.Fatal("equated columns must share an equivalence class")
+	}
+}
+
+func TestTransitiveEquivalence(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT p_name FROM part, partsupp, lineitem
+		WHERE p_partkey = ps_partkey AND ps_partkey = l_partkey`)
+	// p_partkey, ps_partkey, l_partkey all in one class.
+	p, _ := blk.Global.Resolve("part", "p_partkey")
+	ps, _ := blk.Global.Resolve("partsupp", "ps_partkey")
+	l, _ := blk.Global.Resolve("lineitem", "l_partkey")
+	if blk.EqIDs[p] != blk.EqIDs[ps] || blk.EqIDs[ps] != blk.EqIDs[l] {
+		t.Fatal("transitive equivalence not computed (function EQ of the paper)")
+	}
+	// An unrelated column stays in its own class.
+	nm, _ := blk.Global.Resolve("part", "p_name")
+	if blk.EqIDs[nm] == blk.EqIDs[p] {
+		t.Fatal("unrelated column joined the class")
+	}
+}
+
+func TestDateCoercion(t *testing.T) {
+	blk := mustBind(t, `SELECT o_orderkey FROM orders WHERE o_orderdate >= '1995-01-01'`)
+	bin := blk.Conjuncts[0].E.(*expr.Binary)
+	c, ok := bin.R.(*expr.Const)
+	if !ok || c.V.K.String() != "DATE" {
+		t.Fatalf("date literal not coerced: %v", bin.R)
+	}
+	// Loose form too ('2007-1-1').
+	blk2 := mustBind(t, `SELECT o_orderkey FROM orders WHERE o_orderdate > '1995-1-1'`)
+	c2 := blk2.Conjuncts[0].E.(*expr.Binary).R.(*expr.Const)
+	if c2.V.K.String() != "DATE" {
+		t.Fatal("loose date literal not coerced")
+	}
+}
+
+func TestAggregateBinding(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT n_name, sum(s_acctbal), count(*) FROM supplier, nation
+		WHERE s_nationkey = n_nationkey GROUP BY n_name`)
+	if len(blk.Aggs) != 2 || blk.Aggs[0].Func != AggSum || blk.Aggs[1].Func != AggCountStar {
+		t.Fatalf("aggs: %+v", blk.Aggs)
+	}
+	if len(blk.GroupBy) != 1 {
+		t.Fatalf("group by: %d", len(blk.GroupBy))
+	}
+	sch := blk.OutputSchema()
+	if sch.Cols[0].Name != "n_name" {
+		t.Fatalf("output schema: %v", sch)
+	}
+}
+
+func TestAggregateArithmeticOutput(t *testing.T) {
+	blk := mustBind(t, `SELECT sum(l_extendedprice) / 7.0 FROM lineitem`)
+	if len(blk.Aggs) != 1 || len(blk.GroupBy) != 0 {
+		t.Fatalf("aggs=%d groupby=%d", len(blk.Aggs), len(blk.GroupBy))
+	}
+	// Output expression must be division over the post-agg schema.
+	if _, ok := blk.Output[0].E.(*expr.Binary); !ok {
+		t.Fatalf("output: %T", blk.Output[0].E)
+	}
+}
+
+func TestUngroupedColumnRejected(t *testing.T) {
+	if _, err := BindSQL(testCatalog(t),
+		`SELECT n_name, s_name, count(*) FROM supplier, nation
+		 WHERE s_nationkey = n_nationkey GROUP BY n_name`); err == nil ||
+		!strings.Contains(err.Error(), "neither grouped nor aggregated") {
+		t.Fatalf("ungrouped select item must be rejected, got %v", err)
+	}
+}
+
+func TestDerivedTableBinding(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT partkey, avail
+		FROM (SELECT ps_partkey AS partkey, sum(ps_availqty) AS avail
+		      FROM partsupp GROUP BY ps_partkey) a
+		WHERE avail < 1000`)
+	if len(blk.Rels) != 1 || blk.Rels[0].Sub == nil {
+		t.Fatal("derived table not bound as sub-block")
+	}
+	inner := blk.Rels[0].Sub
+	if len(inner.GroupBy) != 1 || len(inner.Aggs) != 1 {
+		t.Fatalf("inner block: groupby=%d aggs=%d", len(inner.GroupBy), len(inner.Aggs))
+	}
+	// Equivalence must flow through the derived output: outer partkey col
+	// shares a class with the inner ps_partkey.
+	outerPK, _ := blk.Global.Resolve("a", "partkey")
+	innerPK, _ := inner.Global.Resolve("partsupp", "ps_partkey")
+	if blk.EqIDs[outerPK] != inner.EqIDs[innerPK] {
+		t.Fatal("equivalence class must span the derived-table boundary")
+	}
+	// The aggregate output gets a fresh class.
+	availCol, _ := blk.Global.Resolve("a", "avail")
+	if blk.EqIDs[availCol] == blk.EqIDs[outerPK] {
+		t.Fatal("aggregate output should not share the group-key class")
+	}
+}
+
+func TestDecorrelation(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT s_name FROM part, supplier, partsupp
+		WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+		  AND ps_supplycost = (SELECT min(ps_supplycost) FROM partsupp, supplier
+		       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey)`)
+	// The subquery becomes a 4th relation.
+	if len(blk.Rels) != 4 {
+		t.Fatalf("rels = %d, want 4 (part, supplier, partsupp, subquery)", len(blk.Rels))
+	}
+	sq := blk.Rels[3]
+	if sq.Sub == nil || len(sq.Correlated) != 1 {
+		t.Fatalf("subquery rel: sub=%v corr=%v", sq.Sub != nil, sq.Correlated)
+	}
+	// The inner block is grouped on the correlation attribute.
+	if len(sq.Sub.GroupBy) != 1 || len(sq.Sub.Aggs) != 1 {
+		t.Fatalf("inner: groupby=%d aggs=%d", len(sq.Sub.GroupBy), len(sq.Sub.Aggs))
+	}
+	// Inner output = [corr key, scalar].
+	if len(sq.Sub.Output) != 2 {
+		t.Fatalf("inner outputs = %d", len(sq.Sub.Output))
+	}
+	// Outer gains: a join conjunct on the correlation attr plus the
+	// rewritten comparison on the scalar column (here `ps_supplycost =
+	// min(...)`, itself an equi conjunct the optimizer may hash on), so at
+	// least two conjuncts reference the subquery relation.
+	refs := 0
+	for _, c := range blk.Conjuncts {
+		for _, r := range c.Rels {
+			if r == 3 {
+				refs++
+			}
+		}
+	}
+	if refs < 2 {
+		t.Fatalf("expected ≥2 conjuncts referencing the subquery rel, got %d:\n%s", refs, blk)
+	}
+	// The correlation class spans blocks: outer p_partkey ≡ inner
+	// ps_partkey.
+	outerP, _ := blk.Global.Resolve("part", "p_partkey")
+	innerPS, _ := sq.Sub.Global.Resolve("partsupp", "ps_partkey")
+	if blk.EqIDs[outerP] != sq.Sub.EqIDs[innerPS] {
+		t.Fatal("correlation equivalence class must span blocks")
+	}
+}
+
+func TestDecorrelationMultiplePairs(t *testing.T) {
+	// Q17-style with a single correlation.
+	blk := mustBind(t, `
+		SELECT sum(l_extendedprice) / 7.0 FROM lineitem, part
+		WHERE p_partkey = l_partkey
+		  AND l_quantity < (SELECT 0.2 * avg(l_quantity) FROM lineitem
+		       WHERE l_partkey = p_partkey)`)
+	sq := blk.Rels[2]
+	if len(sq.Correlated) != 1 {
+		t.Fatalf("correlations = %d", len(sq.Correlated))
+	}
+	// The scalar output is an expression (0.2 * avg), shifted past the
+	// correlation group-by column.
+	inner := sq.Sub
+	scalarOut := inner.Output[len(inner.Output)-1].E
+	if _, ok := scalarOut.(*expr.Binary); !ok {
+		t.Fatalf("scalar output: %T", scalarOut)
+	}
+	cols := expr.CollectCols(scalarOut, nil)
+	for _, c := range cols {
+		if c < len(inner.GroupBy) {
+			t.Fatal("scalar output references a group-by slot; shift failed")
+		}
+	}
+}
+
+func TestUnsupportedCorrelatedPredicates(t *testing.T) {
+	cat := testCatalog(t)
+	// Non-equality correlation.
+	if _, err := BindSQL(cat, `
+		SELECT p_name FROM part
+		WHERE p_retailprice > (SELECT avg(ps_supplycost) FROM partsupp
+		     WHERE ps_partkey < p_partkey)`); err == nil {
+		t.Fatal("range correlation must be rejected")
+	}
+	// Multi-output scalar subquery.
+	if _, err := BindSQL(cat, `
+		SELECT p_name FROM part
+		WHERE p_partkey = (SELECT ps_partkey FROM partsupp WHERE ps_partkey = p_partkey)`); err == nil {
+		t.Fatal("non-aggregate scalar subquery must be rejected")
+	}
+}
+
+func TestSelectStarExpansion(t *testing.T) {
+	blk := mustBind(t, "SELECT * FROM region")
+	if len(blk.Output) != 3 {
+		t.Fatalf("star expansion = %d columns", len(blk.Output))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT s_name FROM supplier, partsupp
+		WHERE s_suppkey = ps_suppkey AND s_nation = 'FRANCE'`)
+	cp := blk.Clone()
+	cp.Rels[0].Delayed = true
+	cp.Rels[0].Site = 3
+	cp.Conjuncts = cp.Conjuncts[:0]
+	if blk.Rels[0].Delayed || blk.Rels[0].Site != 0 {
+		t.Fatal("clone mutates original rels")
+	}
+	if len(blk.Conjuncts) == 0 {
+		t.Fatal("clone shares conjunct slice")
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	blk := mustBind(t, `SELECT s_name FROM supplier WHERE s_nation = 'FRANCE'`)
+	if s := blk.String(); !strings.Contains(s, "supplier") {
+		t.Fatalf("block description: %s", s)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	if _, err := BindSQL(testCatalog(t),
+		`SELECT ps_partkey FROM partsupp ps1, partsupp ps2`); err == nil {
+		t.Fatal("ambiguous column must be rejected")
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	blk := mustBind(t, `
+		SELECT ps1.ps_suppkey FROM partsupp ps1, partsupp ps2
+		WHERE ps1.ps_partkey = ps2.ps_partkey AND ps2.ps_availqty < 10`)
+	if len(blk.Rels) != 2 {
+		t.Fatalf("rels = %d", len(blk.Rels))
+	}
+	if blk.Rels[0].Alias != "ps1" || blk.Rels[1].Alias != "ps2" {
+		t.Fatal("aliases lost")
+	}
+}
+
+func TestAggFuncMetadata(t *testing.T) {
+	if AggSum.String() != "sum" || AggCountStar.String() != "count(*)" {
+		t.Fatal("agg names wrong")
+	}
+	if AggCount.ResultKind(0) != 1 { // KindInt
+		t.Fatal("count must be integer")
+	}
+	spec := AggSpec{Func: AggAvg, Name: "a"}
+	if spec.Kind().String() != "DECIMAL" {
+		t.Fatal("avg must be decimal")
+	}
+}

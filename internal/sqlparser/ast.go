@@ -1,0 +1,172 @@
+package sqlparser
+
+import "strings"
+
+// Node is the interface of all AST nodes (marker plus display).
+type Node interface{ String() string }
+
+// SelectStmt is one query block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+}
+
+// SelectItem is one output column: an expression with an optional alias, or
+// a bare `*`.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a FROM-list entry: a base table with optional alias, or a
+// parenthesized derived table with a mandatory alias.
+type TableRef struct {
+	Name     string // base table name; empty for derived tables
+	Alias    string
+	Subquery *SelectStmt // non-nil for derived tables
+}
+
+// EffectiveAlias returns the name this relation is referenced by.
+func (t TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Expr is an unbound scalar expression.
+type Expr interface{ Node }
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qualifier string // table alias, may be empty
+	Name      string
+}
+
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// NumberLit is an integer or decimal literal (text preserved for exactness).
+type NumberLit struct {
+	Text  string
+	IsInt bool
+}
+
+func (n *NumberLit) String() string { return n.Text }
+
+// StringLit is a quoted string literal.
+type StringLit struct{ Val string }
+
+func (s *StringLit) String() string { return "'" + s.Val + "'" }
+
+// BinaryExpr is an infix operation; Op is the SQL spelling (=, <>, <, <=,
+// >, >=, +, -, *, /, AND, OR).
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ E Expr }
+
+func (n *NotExpr) String() string { return "NOT " + n.E.String() }
+
+// LikeExpr is `expr [NOT] LIKE 'pattern'`.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+func (l *LikeExpr) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return l.E.String() + op + "'" + l.Pattern + "'"
+}
+
+// Call is a function application: the aggregates sum/min/max/avg/count and
+// the scalar function year. Star marks count(*).
+type Call struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool
+}
+
+func (c *Call) String() string {
+	if c.Star {
+		return c.Name + "(*)"
+	}
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// SubqueryExpr is a parenthesized scalar subquery used as a value.
+type SubqueryExpr struct{ Sel *SelectStmt }
+
+func (s *SubqueryExpr) String() string { return "(" + s.Sel.String() + ")" }
+
+// String renders the statement back to SQL-ish text (for diagnostics).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Star {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if f.Subquery != nil {
+			sb.WriteString("(" + f.Subquery.String() + ") " + f.Alias)
+		} else {
+			sb.WriteString(f.Name)
+			if f.Alias != "" && f.Alias != f.Name {
+				sb.WriteString(" " + f.Alias)
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	return sb.String()
+}

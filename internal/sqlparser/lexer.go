@@ -1,0 +1,179 @@
+// Package sqlparser implements the SQL front end for the fragment the paper
+// exercises: select-project-join blocks with DISTINCT, GROUP BY,
+// aggregation, LIKE, arithmetic, derived tables, and correlated scalar
+// subqueries (Table I of the paper).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int    // byte offset, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "ORDER": true, "ASC": true, "DESC": true,
+	"IS": true, "NULL": true, "BETWEEN": true, "IN": true, "EXISTS": true,
+	"HAVING": true, "LIMIT": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+
+	case isDigit(c) || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(start, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "<>", pos: start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected '!'")
+	case strings.IndexByte("=+-*/(),.", c) >= 0:
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, *lexer, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, l, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, l, nil
+		}
+	}
+}

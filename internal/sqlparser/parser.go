@@ -1,0 +1,419 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, lx, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, lx: lx}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errHere("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	lx   *lexer
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return p.lx.errorf(p.peek().pos, format, args...)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errHere("expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+// acceptOp consumes the operator token if present.
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errHere("expected %q, found %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errHere("expected identifier, found %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Distinct: p.acceptKeyword("DISTINCT")}
+
+	for {
+		if p.acceptOp("*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if t := p.peek(); t.kind == tokIdent {
+				// Bare alias (SELECT x y).
+				p.advance()
+				item.Alias = t.text
+			}
+			stmt.Items = append(stmt.Items, item)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.acceptOp("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return TableRef{}, err
+		}
+		p.acceptKeyword("AS")
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, fmt.Errorf("derived table requires an alias: %w", err)
+		}
+		return TableRef{Alias: alias, Subquery: sub}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if t := p.peek(); t.kind == tokIdent {
+		p.advance()
+		ref.Alias = t.text
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr ((= | <> | < | <= | > | >=) addExpr
+//	            | [NOT] LIKE 'pat')?
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/) unary)*
+//	unary    := - unary | primary
+//	primary  := literal | ident[.ident] | func(args) | ( expr | SELECT... )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: inner}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// [NOT] LIKE
+	negate := false
+	if t := p.peek(); t.kind == tokKeyword && t.text == "NOT" {
+		// Lookahead for LIKE; plain NOT is handled at parseNot level.
+		if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokKeyword && p.toks[p.i+1].text == "LIKE" {
+			p.advance()
+			negate = true
+		}
+	}
+	if p.acceptKeyword("LIKE") {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errHere("LIKE requires a string pattern")
+		}
+		p.advance()
+		return &LikeExpr{E: l, Pattern: t.text, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errHere("expected LIKE after NOT")
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.acceptOp(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "+", L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "*", L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "-", L: &NumberLit{Text: "0", IsInt: true}, R: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumberLit{Text: t.text, IsInt: !strings.Contains(t.text, ".")}, nil
+	case tokString:
+		p.advance()
+		return &StringLit{Val: t.text}, nil
+	case tokIdent:
+		p.advance()
+		// Function call?
+		if p.acceptOp("(") {
+			name := strings.ToLower(t.text)
+			call := &Call{Name: name}
+			if p.acceptOp("*") {
+				call.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if !p.acceptOp(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.text, Name: name}, nil
+		}
+		return &Ident{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			// Scalar subquery or parenthesized expression.
+			if nt := p.peek(); nt.kind == tokKeyword && nt.text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sel: sub}, nil
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errHere("unexpected token %q", t.text)
+}

@@ -1,0 +1,284 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return stmt
+}
+
+func TestBasicSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t WHERE a = 1")
+	if len(stmt.Items) != 2 || len(stmt.From) != 1 || stmt.Where == nil {
+		t.Fatalf("structure wrong: %+v", stmt)
+	}
+	if stmt.From[0].Name != "t" {
+		t.Fatalf("table = %q", stmt.From[0].Name)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t")
+	if !stmt.Items[0].Star {
+		t.Fatal("star not detected")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if !mustParse(t, "SELECT DISTINCT a FROM t").Distinct {
+		t.Fatal("DISTINCT lost")
+	}
+	if mustParse(t, "SELECT a FROM t").Distinct {
+		t.Fatal("phantom DISTINCT")
+	}
+}
+
+func TestAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT a AS x, b y FROM t1 AS u, t2 v")
+	if stmt.Items[0].Alias != "x" || stmt.Items[1].Alias != "y" {
+		t.Fatalf("item aliases: %+v", stmt.Items)
+	}
+	if stmt.From[0].Alias != "u" || stmt.From[1].Alias != "v" {
+		t.Fatalf("table aliases: %+v", stmt.From)
+	}
+	if stmt.From[0].EffectiveAlias() != "u" {
+		t.Fatal("effective alias wrong")
+	}
+	bare := mustParse(t, "SELECT a FROM t")
+	if bare.From[0].EffectiveAlias() != "t" {
+		t.Fatal("effective alias should default to table name")
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a + b * c = d")
+	be := stmt.Where.(*BinaryExpr)
+	if be.Op != "=" {
+		t.Fatalf("top op = %q", be.Op)
+	}
+	add := be.L.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("second op = %q", add.Op)
+	}
+	if add.R.(*BinaryExpr).Op != "*" {
+		t.Fatal("* must bind tighter than +")
+	}
+}
+
+func TestAndOrPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	or := stmt.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top must be OR, got %q", or.Op)
+	}
+	if or.R.(*BinaryExpr).Op != "AND" {
+		t.Fatal("AND must bind tighter than OR")
+	}
+}
+
+func TestParenthesesOverridePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE (a + b) * c = 1")
+	mul := stmt.Where.(*BinaryExpr).L.(*BinaryExpr)
+	if mul.Op != "*" || mul.L.(*BinaryExpr).Op != "+" {
+		t.Fatal("parentheses ignored")
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		stmt := mustParse(t, "SELECT a FROM t WHERE a "+op+" 1")
+		if got := stmt.Where.(*BinaryExpr).Op; got != op {
+			t.Errorf("op %q parsed as %q", op, got)
+		}
+	}
+	// != normalizes to <>.
+	stmt := mustParse(t, "SELECT a FROM t WHERE a != 1")
+	if stmt.Where.(*BinaryExpr).Op != "<>" {
+		t.Fatal("!= must normalize to <>")
+	}
+}
+
+func TestLike(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE p_type LIKE '%TIN'")
+	like := stmt.Where.(*LikeExpr)
+	if like.Pattern != "%TIN" || like.Negate {
+		t.Fatalf("like = %+v", like)
+	}
+	neg := mustParse(t, "SELECT a FROM t WHERE x NOT LIKE 'a%'").Where.(*LikeExpr)
+	if !neg.Negate {
+		t.Fatal("NOT LIKE lost negation")
+	}
+	if _, err := Parse("SELECT a FROM t WHERE x LIKE 5"); err == nil {
+		t.Fatal("LIKE with non-string pattern must error")
+	}
+}
+
+func TestNot(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE NOT a = 1")
+	if _, ok := stmt.Where.(*NotExpr); !ok {
+		t.Fatalf("NOT not parsed: %T", stmt.Where)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE s = 'it''s'")
+	lit := stmt.Where.(*BinaryExpr).R.(*StringLit)
+	if lit.Val != "it's" {
+		t.Fatalf("escape handling: %q", lit.Val)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1, 2.5, 0.2 FROM t")
+	if !stmt.Items[0].Expr.(*NumberLit).IsInt {
+		t.Fatal("1 must be integer")
+	}
+	if stmt.Items[1].Expr.(*NumberLit).IsInt {
+		t.Fatal("2.5 must be decimal")
+	}
+	if stmt.Items[2].Expr.(*NumberLit).Text != "0.2" {
+		t.Fatal("0.2 text lost")
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a = -5")
+	sub := stmt.Where.(*BinaryExpr).R.(*BinaryExpr)
+	if sub.Op != "-" {
+		t.Fatal("unary minus must desugar to 0 - x")
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	stmt := mustParse(t, "SELECT sum(a), count(*), year(d) FROM t")
+	if c := stmt.Items[0].Expr.(*Call); c.Name != "sum" || len(c.Args) != 1 {
+		t.Fatalf("sum call: %+v", c)
+	}
+	if c := stmt.Items[1].Expr.(*Call); !c.Star || c.Name != "count" {
+		t.Fatalf("count(*): %+v", c)
+	}
+	if c := stmt.Items[2].Expr.(*Call); c.Name != "year" {
+		t.Fatalf("year call: %+v", c)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, sum(b) FROM t GROUP BY a, c")
+	if len(stmt.GroupBy) != 2 {
+		t.Fatalf("group by = %d exprs", len(stmt.GroupBy))
+	}
+}
+
+func TestQualifiedColumns(t *testing.T) {
+	stmt := mustParse(t, "SELECT t.a FROM t WHERE t.a = u.b")
+	id := stmt.Items[0].Expr.(*Ident)
+	if id.Qualifier != "t" || id.Name != "a" {
+		t.Fatalf("qualified ident: %+v", id)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT x FROM (SELECT a AS x FROM t GROUP BY a) d WHERE x = 1`)
+	if stmt.From[0].Subquery == nil || stmt.From[0].Alias != "d" {
+		t.Fatalf("derived table: %+v", stmt.From[0])
+	}
+	if _, err := Parse("SELECT x FROM (SELECT a FROM t)"); err == nil {
+		t.Fatal("derived table without alias must error")
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE c = (SELECT min(c) FROM u WHERE u.k = t.k)`)
+	sub, ok := stmt.Where.(*BinaryExpr).R.(*SubqueryExpr)
+	if !ok {
+		t.Fatalf("scalar subquery not parsed: %T", stmt.Where.(*BinaryExpr).R)
+	}
+	if len(sub.Sel.From) != 1 || sub.Sel.From[0].Name != "u" {
+		t.Fatal("subquery body wrong")
+	}
+}
+
+func TestComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a -- trailing comment\nFROM t -- another\nWHERE a = 1")
+	if stmt.Where == nil {
+		t.Fatal("comment swallowed the query")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	stmt := mustParse(t, "select A fRoM t wHeRe A = 1 gRoUp By A")
+	if stmt.Where == nil || len(stmt.GroupBy) != 1 {
+		t.Fatal("case-insensitive keywords broken")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing garbage (",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t WHERE a ! b",
+		"SELECT a FROM t WHERE @",
+		"SELECT a, FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t\nWHERE @")
+	if err == nil || !strings.Contains(err.Error(), "sql:3:") {
+		t.Fatalf("error should carry line info, got %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	sqls := []string{
+		"SELECT DISTINCT a FROM t WHERE (a = 1)",
+		"SELECT sum(a) AS s FROM t, u WHERE t.k = u.k GROUP BY b",
+		"SELECT a FROM (SELECT b AS a FROM t) d",
+	}
+	for _, sql := range sqls {
+		s1 := mustParse(t, sql)
+		// The rendered text must itself parse to the same rendering.
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("unstable round trip:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestTableIStyleQuery(t *testing.T) {
+	// The paper's running example (Section II) must parse end to end.
+	stmt := mustParse(t, `
+SELECT DISTINCT p_partkey FROM part p, partsupp ps1,
+  (SELECT ps_partkey AS partkey, SUM(ps_availqty) AS avail
+   FROM partsupp ps2 GROUP BY ps_partkey) avail,
+  (SELECT l_partkey AS partkey, SUM(l_quantity) AS numsold
+   FROM lineitem l WHERE l_receiptdate > '2007-1-1'
+   GROUP BY l_partkey) sold
+WHERE p_partkey = ps_partkey
+  AND p_partkey = avail.partkey
+  AND p_partkey = sold.partkey
+  AND 10 * avail < numsold
+  AND 2 * ps_supplycost < p_retailprice`)
+	if len(stmt.From) != 4 || !stmt.Distinct {
+		t.Fatalf("running example structure wrong: %d relations", len(stmt.From))
+	}
+}

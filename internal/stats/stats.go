@@ -1,0 +1,127 @@
+// Package stats provides the runtime instrumentation the paper's engine
+// exposes: per-operator cardinality counters (§V-A, "all query operators are
+// supplemented with cardinality counters") and intermediate-state accounting
+// used to reproduce the space-usage figures (7, 8, 11, 12, 14).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge tracks a current value and its high-water mark.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Add moves the gauge by delta (which may be negative) and updates the peak.
+func (g *Gauge) Add(delta int64) {
+	n := g.cur.Add(delta)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
+}
+
+// Current returns the present value.
+func (g *Gauge) Current() int64 { return g.cur.Load() }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// OpStats is the per-operator instrumentation block. Operators update it as
+// they run; the AIP Manager and the figure harness read it.
+type OpStats struct {
+	Name string
+
+	In         Counter // tuples received
+	Out        Counter // tuples emitted
+	Pruned     Counter // tuples dropped by injected AIP filters
+	StateRows  Counter // tuples buffered into operator state
+	StateBytes Gauge   // bytes of buffered state (current/peak)
+}
+
+// Registry aggregates the OpStats of one query execution.
+type Registry struct {
+	mu  sync.Mutex
+	ops []*OpStats
+
+	FilterBytes   Counter // memory spent on AIP summary structures
+	FiltersMade   Counter // AIP sets constructed
+	FiltersUsed   Counter // filter injections performed
+	NetworkBytes  Counter // bytes shipped across simulated links
+	FilterNetWork Counter // of which, AIP filter payloads
+}
+
+// NewRegistry creates an empty stats registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewOp registers and returns a stats block for a named operator.
+func (r *Registry) NewOp(name string) *OpStats {
+	op := &OpStats{Name: name}
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+	return op
+}
+
+// Ops returns a snapshot of the registered operator blocks.
+func (r *Registry) Ops() []*OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*OpStats, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// PeakStateBytes totals the per-operator state high-water marks plus AIP
+// summary memory: the "intermediate state" series of the space figures.
+func (r *Registry) PeakStateBytes() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.StateBytes.Peak()
+	}
+	return total + r.FilterBytes.Load()
+}
+
+// TotalPruned sums tuples dropped by AIP filters across operators.
+func (r *Registry) TotalPruned() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.Pruned.Load()
+	}
+	return total
+}
+
+// Report renders a per-operator table, sorted by name, for debugging and
+// the CLI's -v mode.
+func (r *Registry) Report() string {
+	ops := r.Ops()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
+	out := fmt.Sprintf("%-40s %10s %10s %10s %12s\n", "operator", "in", "out", "pruned", "state-peak")
+	for _, op := range ops {
+		out += fmt.Sprintf("%-40s %10d %10d %10d %12d\n",
+			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak())
+	}
+	out += fmt.Sprintf("filters: made=%d used=%d bytes=%d; network bytes=%d (filters %d)\n",
+		r.FiltersMade.Load(), r.FiltersUsed.Load(), r.FilterBytes.Load(),
+		r.NetworkBytes.Load(), r.FilterNetWork.Load())
+	return out
+}

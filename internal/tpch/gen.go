@@ -1,0 +1,432 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/types"
+)
+
+// Config controls generation.
+type Config struct {
+	// ScaleFactor scales table cardinalities relative to TPC-H SF 1
+	// (supplier 10k, part 200k, orders 1.5M, …). The paper ran at SF 1;
+	// this reproduction defaults to much smaller scales (see DESIGN.md §2).
+	ScaleFactor float64
+	// Skew enables the Zipf-skewed variant standing in for the Microsoft
+	// skewed TPC-D generator; Z is the skew factor (the paper used 0.5).
+	Skew bool
+	Z    float64
+	// Seed makes generation deterministic; 0 selects a fixed default.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by tests and examples:
+// SF 0.01, uniform.
+func DefaultConfig() Config { return Config{ScaleFactor: 0.01} }
+
+// SkewedConfig returns the Zipf z=0.5 variant of DefaultConfig.
+func SkewedConfig() Config { return Config{ScaleFactor: 0.01, Skew: true, Z: 0.5} }
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 0x5349502d32303038 // "SIP-2008"
+	}
+	return c.Seed
+}
+
+func (c Config) scaled(base int64) int64 {
+	n := int64(float64(base) * c.ScaleFactor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Standard TPC-H nation → region assignment.
+var nations = []struct {
+	name   string
+	region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"ROMANIA", 3}, {"SAUDI ARABIA", 4},
+	{"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	{"CHINA", 2},
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var (
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+	nameWords = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+		"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+		"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+		"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+		"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+		"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+		"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+		"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+		"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+		"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+		"yellow",
+	}
+)
+
+const (
+	dateLo = 8035 // 1992-01-01 as days since 1970-01-01
+	dateHi = 10440
+)
+
+// Generate builds the full catalog for the configuration.
+func Generate(cfg Config) *catalog.Catalog {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 0.01
+	}
+	if cfg.Skew && cfg.Z <= 0 {
+		cfg.Z = 0.5
+	}
+	g := &generator{cfg: cfg, r: newRNG(cfg.seed())}
+	c := catalog.New()
+	c.Add(g.region())
+	c.Add(g.nation())
+	c.Add(g.supplier())
+	c.Add(g.part())
+	c.Add(g.partsupp())
+	c.Add(g.customer())
+	orders, lineitem := g.ordersAndLineitem()
+	c.Add(orders)
+	c.Add(lineitem)
+	return c
+}
+
+type generator struct {
+	cfg cfgAlias
+	r   *rng
+
+	nSupplier int64
+	nPart     int64
+	nCustomer int64
+	nOrders   int64
+}
+
+// cfgAlias exists so the generator struct literal above stays readable.
+type cfgAlias = Config
+
+func col(table, name string, k types.Kind) types.Column {
+	return types.Column{Table: table, Name: name, Kind: k}
+}
+
+func (g *generator) region() *catalog.Table {
+	sch := types.NewSchema(
+		col("region", "r_regionkey", types.KindInt),
+		col("region", "r_name", types.KindString),
+		col("region", "r_comment", types.KindString),
+	)
+	rows := make([]types.Tuple, len(regions))
+	for i, name := range regions {
+		rows[i] = types.Tuple{types.Int(int64(i)), types.Str(name), types.Str("region " + name)}
+	}
+	t := &catalog.Table{Name: "region", Schema: sch, Rows: rows, PrimaryKey: []string{"r_regionkey"}}
+	t.SetDistinct("r_name", int64(len(regions)))
+	return t
+}
+
+func (g *generator) nation() *catalog.Table {
+	sch := types.NewSchema(
+		col("nation", "n_nationkey", types.KindInt),
+		col("nation", "n_name", types.KindString),
+		col("nation", "n_regionkey", types.KindInt),
+	)
+	rows := make([]types.Tuple, len(nations))
+	for i, n := range nations {
+		rows[i] = types.Tuple{types.Int(int64(i)), types.Str(n.name), types.Int(n.region)}
+	}
+	t := &catalog.Table{
+		Name: "nation", Schema: sch, Rows: rows,
+		PrimaryKey: []string{"n_nationkey"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"n_regionkey"}, RefTable: "region", RefCols: []string{"r_regionkey"}},
+		},
+	}
+	t.SetDistinct("n_name", int64(len(nations)))
+	t.SetDistinct("n_regionkey", int64(len(regions)))
+	return t
+}
+
+func (g *generator) supplier() *catalog.Table {
+	g.nSupplier = g.cfg.scaled(10000)
+	sch := types.NewSchema(
+		col("supplier", "s_suppkey", types.KindInt),
+		col("supplier", "s_name", types.KindString),
+		col("supplier", "s_address", types.KindString),
+		col("supplier", "s_nationkey", types.KindInt),
+		col("supplier", "s_nation", types.KindString),
+		col("supplier", "s_phone", types.KindString),
+		col("supplier", "s_acctbal", types.KindFloat),
+		col("supplier", "s_comment", types.KindString),
+	)
+	rows := make([]types.Tuple, g.nSupplier)
+	for i := int64(0); i < g.nSupplier; i++ {
+		key := i + 1
+		nk := g.r.intn(int64(len(nations)))
+		rows[i] = types.Tuple{
+			types.Int(key),
+			types.Str(fmt.Sprintf("Supplier#%09d", key)),
+			types.Str(fmt.Sprintf("addr-%d", g.r.intn(100000))),
+			types.Int(nk),
+			types.Str(nations[nk].name),
+			types.Str(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nk, g.r.intn(1000), g.r.intn(1000), g.r.intn(10000))),
+			types.Float(float64(g.r.rangeInclusive(-99999, 999999)) / 100),
+			types.Str("supplier comment"),
+		}
+	}
+	t := &catalog.Table{
+		Name: "supplier", Schema: sch, Rows: rows,
+		PrimaryKey: []string{"s_suppkey"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"s_nationkey"}, RefTable: "nation", RefCols: []string{"n_nationkey"}},
+		},
+	}
+	t.SetDistinct("s_nationkey", int64(len(nations)))
+	t.SetDistinct("s_nation", int64(len(nations)))
+	return t
+}
+
+func (g *generator) part() *catalog.Table {
+	g.nPart = g.cfg.scaled(200000)
+	sch := types.NewSchema(
+		col("part", "p_partkey", types.KindInt),
+		col("part", "p_name", types.KindString),
+		col("part", "p_mfgr", types.KindString),
+		col("part", "p_brand", types.KindString),
+		col("part", "p_type", types.KindString),
+		col("part", "p_size", types.KindInt),
+		col("part", "p_container", types.KindString),
+		col("part", "p_retailprice", types.KindFloat),
+	)
+	// Skewed mode concentrates brand/container/size on popular values.
+	var zp *zipf
+	if g.cfg.Skew {
+		zp = newZipf(50, g.cfg.Z)
+	}
+	rows := make([]types.Tuple, g.nPart)
+	for i := int64(0); i < g.nPart; i++ {
+		key := i + 1
+		m := g.r.rangeInclusive(1, 5)
+		n := g.r.rangeInclusive(1, 5)
+		size := g.r.rangeInclusive(1, 50)
+		if zp != nil {
+			size = zp.draw(g.r) + 1
+			m = size%5 + 1
+		}
+		name := nameWords[g.r.intn(int64(len(nameWords)))] + " " +
+			nameWords[g.r.intn(int64(len(nameWords)))]
+		ptype := typeSyl1[g.r.intn(int64(len(typeSyl1)))] + " " +
+			typeSyl2[g.r.intn(int64(len(typeSyl2)))] + " " +
+			typeSyl3[g.r.intn(int64(len(typeSyl3)))]
+		cont := containerSyl1[g.r.intn(int64(len(containerSyl1)))] + " " +
+			containerSyl2[g.r.intn(int64(len(containerSyl2)))]
+		retail := (90000 + float64((key/10)%20001) + 100*float64(key%1000)) / 100
+		rows[i] = types.Tuple{
+			types.Int(key),
+			types.Str(name),
+			types.Str(fmt.Sprintf("Manufacturer#%d", m)),
+			types.Str(fmt.Sprintf("Brand#%d%d", m, n)),
+			types.Str(ptype),
+			types.Int(size),
+			types.Str(cont),
+			types.Float(retail),
+		}
+	}
+	t := &catalog.Table{Name: "part", Schema: sch, Rows: rows, PrimaryKey: []string{"p_partkey"}}
+	t.SetDistinct("p_brand", 25)
+	t.SetDistinct("p_type", int64(len(typeSyl1)*len(typeSyl2)*len(typeSyl3)))
+	t.SetDistinct("p_size", 50)
+	t.SetDistinct("p_container", int64(len(containerSyl1)*len(containerSyl2)))
+	t.SetDistinct("p_mfgr", 5)
+	return t
+}
+
+func (g *generator) partsupp() *catalog.Table {
+	sch := types.NewSchema(
+		col("partsupp", "ps_partkey", types.KindInt),
+		col("partsupp", "ps_suppkey", types.KindInt),
+		col("partsupp", "ps_availqty", types.KindInt),
+		col("partsupp", "ps_supplycost", types.KindFloat),
+	)
+	rows := make([]types.Tuple, 0, g.nPart*4)
+	perPart := int64(4)
+	if perPart > g.nSupplier {
+		perPart = g.nSupplier
+	}
+	for p := int64(1); p <= g.nPart; p++ {
+		used := make(map[int64]bool, perPart)
+		for j := int64(0); j < perPart; j++ {
+			// TPC-H's supplier spreading formula distributes each part
+			// across distant suppliers; at the tiny scale factors this
+			// reproduction runs, the stride can wrap onto itself, so
+			// collisions advance to the next free supplier to keep
+			// (partkey, suppkey) a key.
+			s := (p+(j*((g.nSupplier/4)+(p-1)/g.nSupplier)))%g.nSupplier + 1
+			for used[s] {
+				s = s%g.nSupplier + 1
+			}
+			used[s] = true
+			rows = append(rows, types.Tuple{
+				types.Int(p),
+				types.Int(s),
+				types.Int(g.r.rangeInclusive(1, 9999)),
+				types.Float(float64(g.r.rangeInclusive(100, 100000)) / 100),
+			})
+		}
+	}
+	t := &catalog.Table{
+		Name: "partsupp", Schema: sch, Rows: rows,
+		PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"ps_partkey"}, RefTable: "part", RefCols: []string{"p_partkey"}},
+			{Cols: []string{"ps_suppkey"}, RefTable: "supplier", RefCols: []string{"s_suppkey"}},
+		},
+	}
+	t.SetDistinct("ps_partkey", g.nPart)
+	t.SetDistinct("ps_suppkey", g.nSupplier)
+	return t
+}
+
+func (g *generator) customer() *catalog.Table {
+	g.nCustomer = g.cfg.scaled(150000)
+	sch := types.NewSchema(
+		col("customer", "c_custkey", types.KindInt),
+		col("customer", "c_name", types.KindString),
+		col("customer", "c_nationkey", types.KindInt),
+		col("customer", "c_acctbal", types.KindFloat),
+	)
+	rows := make([]types.Tuple, g.nCustomer)
+	for i := int64(0); i < g.nCustomer; i++ {
+		key := i + 1
+		rows[i] = types.Tuple{
+			types.Int(key),
+			types.Str(fmt.Sprintf("Customer#%09d", key)),
+			types.Int(g.r.intn(int64(len(nations)))),
+			types.Float(float64(g.r.rangeInclusive(-99999, 999999)) / 100),
+		}
+	}
+	t := &catalog.Table{
+		Name: "customer", Schema: sch, Rows: rows,
+		PrimaryKey: []string{"c_custkey"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"c_nationkey"}, RefTable: "nation", RefCols: []string{"n_nationkey"}},
+		},
+	}
+	t.SetDistinct("c_nationkey", int64(len(nations)))
+	return t
+}
+
+func (g *generator) ordersAndLineitem() (*catalog.Table, *catalog.Table) {
+	g.nOrders = g.cfg.scaled(1500000)
+	oSch := types.NewSchema(
+		col("orders", "o_orderkey", types.KindInt),
+		col("orders", "o_custkey", types.KindInt),
+		col("orders", "o_orderdate", types.KindDate),
+		col("orders", "o_totalprice", types.KindFloat),
+	)
+	lSch := types.NewSchema(
+		col("lineitem", "l_orderkey", types.KindInt),
+		col("lineitem", "l_partkey", types.KindInt),
+		col("lineitem", "l_suppkey", types.KindInt),
+		col("lineitem", "l_quantity", types.KindFloat),
+		col("lineitem", "l_extendedprice", types.KindFloat),
+		col("lineitem", "l_discount", types.KindFloat),
+		col("lineitem", "l_receiptdate", types.KindDate),
+	)
+
+	var zpPart, zpSupp, zpCust *zipf
+	if g.cfg.Skew {
+		zpPart = newZipf(g.nPart, g.cfg.Z)
+		zpSupp = newZipf(g.nSupplier, g.cfg.Z)
+		zpCust = newZipf(g.nCustomer, g.cfg.Z)
+	}
+	pickPart := func() int64 {
+		if zpPart != nil {
+			return permutedKey(zpPart.draw(g.r), g.nPart)
+		}
+		return g.r.rangeInclusive(1, g.nPart)
+	}
+	pickSupp := func() int64 {
+		if zpSupp != nil {
+			return permutedKey(zpSupp.draw(g.r), g.nSupplier)
+		}
+		return g.r.rangeInclusive(1, g.nSupplier)
+	}
+	pickCust := func() int64 {
+		if zpCust != nil {
+			return permutedKey(zpCust.draw(g.r), g.nCustomer)
+		}
+		return g.r.rangeInclusive(1, g.nCustomer)
+	}
+
+	oRows := make([]types.Tuple, 0, g.nOrders)
+	lRows := make([]types.Tuple, 0, g.nOrders*4)
+	for o := int64(1); o <= g.nOrders; o++ {
+		odate := g.r.rangeInclusive(dateLo, dateHi)
+		nLines := g.r.rangeInclusive(1, 7)
+		var total float64
+		for li := int64(0); li < nLines; li++ {
+			qty := float64(g.r.rangeInclusive(1, 50))
+			price := float64(g.r.rangeInclusive(90000, 200000)) / 100 * qty / 10
+			disc := float64(g.r.rangeInclusive(0, 10)) / 100
+			total += price * (1 - disc)
+			lRows = append(lRows, types.Tuple{
+				types.Int(o),
+				types.Int(pickPart()),
+				types.Int(pickSupp()),
+				types.Float(qty),
+				types.Float(price),
+				types.Float(disc),
+				types.Date(odate + g.r.rangeInclusive(1, 121)),
+			})
+		}
+		oRows = append(oRows, types.Tuple{
+			types.Int(o),
+			types.Int(pickCust()),
+			types.Date(odate),
+			types.Float(total),
+		})
+	}
+
+	oT := &catalog.Table{
+		Name: "orders", Schema: oSch, Rows: oRows,
+		PrimaryKey: []string{"o_orderkey"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"o_custkey"}, RefTable: "customer", RefCols: []string{"c_custkey"}},
+		},
+	}
+	oT.SetDistinct("o_custkey", g.nCustomer)
+	oT.SetDistinct("o_orderdate", dateHi-dateLo+1)
+
+	lT := &catalog.Table{
+		Name: "lineitem", Schema: lSch, Rows: lRows,
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []string{"l_orderkey"}, RefTable: "orders", RefCols: []string{"o_orderkey"}},
+			{Cols: []string{"l_partkey"}, RefTable: "part", RefCols: []string{"p_partkey"}},
+			{Cols: []string{"l_suppkey"}, RefTable: "supplier", RefCols: []string{"s_suppkey"}},
+		},
+	}
+	lT.SetDistinct("l_orderkey", g.nOrders)
+	lT.SetDistinct("l_partkey", g.nPart)
+	lT.SetDistinct("l_suppkey", g.nSupplier)
+	lT.SetDistinct("l_quantity", 50)
+	return oT, lT
+}

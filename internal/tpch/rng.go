@@ -1,0 +1,111 @@
+// Package tpch generates deterministic TPC-H-shaped data at a configurable
+// scale factor, in uniform mode (standard TPC-H) and in a Zipf-skewed mode
+// that stands in for the Microsoft skewed TPC-D generator the paper used
+// (z = 0.5). See DESIGN.md §2 for the substitution rationale.
+package tpch
+
+import "math"
+
+// rng is a splitmix64 generator: tiny, fast, and fully deterministic across
+// platforms (math/rand's stream is also stable, but owning the generator
+// keeps the data bit-identical regardless of Go version).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// rangeInclusive returns a uniform integer in [lo, hi].
+func (r *rng) rangeInclusive(lo, hi int64) int64 {
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// zipf draws ranks in [0, n) with probability proportional to 1/(rank+1)^z,
+// via inverse transform over a precomputed CDF. z = 0.5 matches the paper's
+// skew factor; z = 0 degenerates to uniform.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int64, z float64) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := int64(0); i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), z)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &zipf{cdf: cdf}
+}
+
+// draw returns a rank in [0, n) using r as the randomness source.
+func (zp *zipf) draw(r *rng) int64 {
+	u := r.float()
+	// Binary search the CDF.
+	lo, hi := 0, len(zp.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zp.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// permutedKey maps a Zipf rank onto a key in [1, n] with a fixed affine
+// permutation so the popular keys are scattered across the key domain
+// rather than clustered at the low end, mirroring how the Microsoft
+// generator skews values independently of key order.
+func permutedKey(rank, n int64) int64 {
+	if n <= 1 {
+		return 1
+	}
+	// Multiplier coprime with n: use the largest odd number below n that is
+	// coprime; 2654435761 mod n works for the table sizes we generate as
+	// long as we retry until coprime.
+	mult := int64(2654435761 % uint64(n))
+	for mult <= 1 || gcd(mult, n) != 1 {
+		mult++
+		if mult >= n {
+			mult = 3
+			if gcd(mult, n) != 1 {
+				// n divisible by 3: fall back to identity scatter.
+				return rank%n + 1
+			}
+		}
+	}
+	return (rank*mult)%n + 1
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

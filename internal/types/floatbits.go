@@ -1,0 +1,17 @@
+package types
+
+import "math"
+
+// floatBits returns an order-irrelevant but equality-preserving bit pattern
+// for a float64. NaNs are canonicalized so all NaNs hash identically;
+// negative zero is canonicalized to positive zero so 0.0 and -0.0 (which
+// compare equal) hash identically.
+func floatBits(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	if f == 0 {
+		return 0
+	}
+	return math.Float64bits(f)
+}

@@ -1,0 +1,109 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Table: "t", Name: "a", Kind: KindInt},
+		Column{Table: "t", Name: "b", Kind: KindString},
+		Column{Table: "u", Name: "a", Kind: KindInt},
+	)
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{Int(1), Str("x")}
+	cp := orig.Clone()
+	cp[0] = Int(2)
+	if orig[0].I != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestTupleKeyAndConcat(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Int(2)}
+	c := Concat(a, b)
+	if len(c) != 3 || c[2].I != 2 {
+		t.Fatalf("concat wrong: %v", c)
+	}
+	if a.Key([]int{0}) != (Tuple{Int(1), Str("y")}).Key([]int{0}) {
+		t.Fatal("single-column keys must match across tuples")
+	}
+	if a.Key([]int{0, 1}) == a.Key([]int{1, 0}) {
+		t.Fatal("column order must matter in keys")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := Tuple{Int(1), Str("x")}.String()
+	if s != "(1, x)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := testSchema()
+	idx, err := s.Resolve("t", "b")
+	if err != nil || idx != 1 {
+		t.Fatalf("Resolve(t.b) = %d, %v", idx, err)
+	}
+	// Unqualified unique name resolves.
+	if idx, err := s.Resolve("", "b"); err != nil || idx != 1 {
+		t.Fatalf("Resolve(b) = %d, %v", idx, err)
+	}
+	// Ambiguous unqualified name errors.
+	if _, err := s.Resolve("", "a"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+	// Qualified ambiguous name disambiguates.
+	if idx, err := s.Resolve("u", "a"); err != nil || idx != 2 {
+		t.Fatalf("Resolve(u.a) = %d, %v", idx, err)
+	}
+	// Missing column errors.
+	if _, err := s.Resolve("", "zzz"); err == nil {
+		t.Fatal("expected unknown-column error")
+	}
+	// Case-insensitive.
+	if idx, err := s.Resolve("T", "B"); err != nil || idx != 1 {
+		t.Fatalf("Resolve(T.B) = %d, %v", idx, err)
+	}
+}
+
+func TestSchemaConcatProjectIndexOf(t *testing.T) {
+	s := testSchema()
+	s2 := NewSchema(Column{Table: "v", Name: "c", Kind: KindFloat})
+	cat := s.Concat(s2)
+	if cat.Len() != 4 || cat.Cols[3].Name != "c" {
+		t.Fatalf("concat wrong: %v", cat)
+	}
+	proj := cat.Project([]int{3, 0})
+	if proj.Len() != 2 || proj.Cols[0].Name != "c" || proj.Cols[1].Name != "a" {
+		t.Fatalf("project wrong: %v", proj)
+	}
+	if cat.IndexOf("v", "c") != 3 {
+		t.Fatal("IndexOf failed")
+	}
+	if cat.IndexOf("v", "nope") != -1 {
+		t.Fatal("IndexOf should return -1 when missing")
+	}
+}
+
+func TestColumnQualifiedName(t *testing.T) {
+	if (Column{Table: "t", Name: "x"}).QualifiedName() != "t.x" {
+		t.Fatal("qualified name wrong")
+	}
+	if (Column{Name: "x"}).QualifiedName() != "x" {
+		t.Fatal("unqualified name wrong")
+	}
+}
+
+func TestTupleMemSize(t *testing.T) {
+	small := Tuple{Int(1)}
+	big := Tuple{Int(1), Str(strings.Repeat("x", 100))}
+	if big.MemSize() <= small.MemSize() {
+		t.Fatal("memory accounting must grow with contents")
+	}
+}

@@ -1,0 +1,256 @@
+// Package types defines the value, tuple, and schema representations shared
+// by every layer of the engine: the data generator, expression evaluator,
+// push-style executor, and the AIP runtime.
+//
+// Values are a compact tagged union rather than interface{} so that tuples
+// can be hashed, compared, and copied without allocation. Dates are stored
+// as days since the Unix epoch in the integer field.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the value types the engine supports. It is deliberately
+// small: the TPC-H workload of the paper needs integers, decimals, strings,
+// and dates only.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer (also used for keys and booleans).
+	KindInt
+	// KindFloat is a 64-bit IEEE float standing in for SQL DECIMAL.
+	KindFloat
+	// KindString is a variable-length character string.
+	KindString
+	// KindDate is a calendar date stored as days since 1970-01-01.
+	KindDate
+	// KindBool is a boolean produced by predicate evaluation.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DECIMAL"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union holding one SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // KindInt, KindDate (days since epoch), KindBool (0/1)
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{K: KindInt, I: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str wraps a string.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Bool wraps a boolean.
+func Bool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// Date wraps a day count since 1970-01-01.
+func Date(days int64) Value { return Value{K: KindDate, I: days} }
+
+// DateFromString parses a 'YYYY-MM-DD' literal into a date value.
+func DateFromString(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null(), fmt.Errorf("types: bad date literal %q: %w", s, err)
+	}
+	return Date(t.Unix() / 86400), nil
+}
+
+// MustDate is DateFromString for literals known to be valid; it panics on
+// malformed input and is intended for tests and static workload definitions.
+func MustDate(s string) Value {
+	v, err := DateFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truth reports whether the value is a true boolean. NULL and false are both
+// not-true, matching SQL WHERE semantics.
+func (v Value) Truth() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat converts numeric values to float64 for arithmetic; NULL converts
+// to 0 with ok=false.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts integer-backed values to int64; NULL converts to 0 with
+// ok=false. Floats are truncated toward zero.
+func (v Value) AsInt() (i int64, ok bool) {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// numericKind reports whether the kind participates in numeric comparison.
+func numericKind(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
+}
+
+// Compare orders two values. NULLs sort before everything and compare equal
+// to each other (this is used for grouping, not predicate evaluation —
+// predicate NULL semantics live in the expression evaluator). Mixed numeric
+// kinds compare by float value. Comparing a string to a number panics:
+// the binder rejects such predicates before execution.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKind(a.K) && numericKind(b.K) {
+		if a.K == KindInt && b.K == KindInt || a.K == KindDate && b.K == KindDate {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.K == KindString && b.K == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	panic(fmt.Sprintf("types: incomparable kinds %v and %v", a.K, b.K))
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// String renders the value for display and debugging.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindDate:
+		return time.Unix(v.I*86400, 0).UTC().Format("2006-01-02")
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.K))
+	}
+}
+
+// AppendKey appends a canonical, injective byte encoding of the value to
+// dst. It is used to build hash keys for joins, grouping, and AIP sets:
+// values that compare Equal produce identical encodings, and values that
+// differ produce different encodings. Numeric kinds are normalized to a
+// common representation so an INTEGER 3 and a DECIMAL 3.0 hash identically.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.K {
+	case KindNull:
+		return append(dst, 0x00)
+	case KindInt, KindDate, KindBool:
+		// Normalize integer-backed kinds through float when the value is
+		// exactly representable, so cross-kind equijoins hash consistently.
+		dst = append(dst, 0x01)
+		u := uint64(v.I)
+		return append(dst,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	case KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return Int(int64(v.F)).AppendKey(dst)
+		}
+		dst = append(dst, 0x02)
+		bits := floatBits(v.F)
+		return append(dst,
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+	case KindString:
+		dst = append(dst, 0x03)
+		dst = append(dst, v.S...)
+		return append(dst, 0x00)
+	default:
+		panic(fmt.Sprintf("types: AppendKey on kind %v", v.K))
+	}
+}
+
+// MemSize returns the approximate in-memory footprint of the value in
+// bytes, used for intermediate-state accounting (Figures 7, 8, 11, 12, 14).
+func (v Value) MemSize() int {
+	// struct header: kind + int64 + float64 + string header.
+	const base = 1 + 8 + 8 + 16
+	return base + len(v.S)
+}

@@ -1,0 +1,259 @@
+package types
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "DECIMAL",
+		KindString: "VARCHAR", KindDate: "DATE", KindBool: "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind should include code, got %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() should be null")
+	}
+	if Int(7).IsNull() || Int(7).I != 7 {
+		t.Error("Int(7) malformed")
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("Float AsFloat failed")
+	}
+	if i, ok := Int(9).AsInt(); !ok || i != 9 {
+		t.Error("Int AsInt failed")
+	}
+	if i, ok := Float(9.9).AsInt(); !ok || i != 9 {
+		t.Error("Float AsInt should truncate toward zero")
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Error("string should not convert to float")
+	}
+	if _, ok := Null().AsInt(); ok {
+		t.Error("null should not convert to int")
+	}
+	if !Bool(true).Truth() || Bool(false).Truth() || Null().Truth() {
+		t.Error("Truth() must be true only for boolean true")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	v, err := DateFromString("1995-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.K != KindDate {
+		t.Fatalf("kind = %v", v.K)
+	}
+	if got := v.String(); got != "1995-01-01" {
+		t.Fatalf("round trip = %q", got)
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Fatal("expected error for malformed date")
+	}
+	epoch := MustDate("1970-01-01")
+	if epoch.I != 0 {
+		t.Fatalf("epoch day = %d, want 0", epoch.I)
+	}
+	if MustDate("1970-01-02").I != 1 {
+		t.Fatal("1970-01-02 should be day 1")
+	}
+}
+
+func TestMustDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDate should panic on bad input")
+		}
+	}()
+	MustDate("bogus")
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(2.0), Int(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Date(10), Date(20), -1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncomparablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing string with int should panic")
+		}
+	}()
+	Compare(Str("x"), Int(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Float(5)) {
+		t.Error("int 5 and float 5.0 should be equal")
+	}
+	if Equal(Str("a"), Str("b")) {
+		t.Error("distinct strings equal")
+	}
+}
+
+// TestAppendKeyInjective: equal values produce equal encodings, different
+// values different encodings — the property joins and AIP sets rely on.
+func TestAppendKeyInjective(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Int(math.MaxInt64),
+		Float(0.5), Float(-0.5), Float(3), Int(3),
+		Str(""), Str("a"), Str("ab"), Str("a\x00b"),
+		Date(0), Date(9000), Bool(true), Bool(false),
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			ka := string(a.AppendKey(nil))
+			kb := string(b.AppendKey(nil))
+			eq := func() bool {
+				defer func() { recover() }()
+				return Equal(a, b)
+			}()
+			if eq && ka != kb {
+				t.Errorf("equal values %v(%d) %v(%d) encode differently", a, i, b, j)
+			}
+			if !eq && ka == kb && comparableKinds(a, b) {
+				t.Errorf("distinct values %v %v encode identically", a, b)
+			}
+		}
+	}
+}
+
+func comparableKinds(a, b Value) bool {
+	num := func(k Kind) bool {
+		return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
+	}
+	if a.K == KindNull || b.K == KindNull {
+		return true
+	}
+	return num(a.K) && num(b.K) || a.K == KindString && b.K == KindString
+}
+
+// Cross-kind numeric equality must hash identically (equijoins between an
+// INTEGER column and a DECIMAL column).
+func TestAppendKeyCrossKindNumeric(t *testing.T) {
+	a := Int(42).AppendKey(nil)
+	b := Float(42).AppendKey(nil)
+	if string(a) != string(b) {
+		t.Fatal("Int(42) and Float(42) must share a key encoding")
+	}
+	c := Float(42.5).AppendKey(nil)
+	if string(a) == string(c) {
+		t.Fatal("42 and 42.5 must not collide")
+	}
+}
+
+func TestAppendKeyStringBoundary(t *testing.T) {
+	// The 0x00 terminator plus tag must keep ("a", "b") distinguishable
+	// from ("ab", "") in multi-column keys.
+	t1 := Tuple{Str("a"), Str("b")}
+	t2 := Tuple{Str("ab"), Str("")}
+	if t1.Key([]int{0, 1}) == t2.Key([]int{0, 1}) {
+		t.Fatal("multi-column string keys collide")
+	}
+}
+
+func TestFloatBitsCanonicalization(t *testing.T) {
+	if floatBits(0.0) != floatBits(math.Copysign(0, -1)) {
+		t.Error("0.0 and -0.0 must share bits")
+	}
+	if floatBits(math.NaN()) != floatBits(math.Float64frombits(0x7ff8000000000001)) {
+		t.Error("all NaNs must share bits")
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyEncodingMatchesEquality(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := string(Int(a).AppendKey(nil))
+		kb := string(Int(b).AppendKey(nil))
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloatKeyEncoding(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := string(Float(a).AppendKey(nil))
+		kb := string(Float(b).AppendKey(nil))
+		return (Compare(Float(a), Float(b)) == 0) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "hi"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{MustDate("2007-01-01"), "2007-01-01"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	if Str("hello").MemSize() <= Str("").MemSize() {
+		t.Error("longer strings must report more memory")
+	}
+	if Int(1).MemSize() <= 0 {
+		t.Error("values must have positive size")
+	}
+}

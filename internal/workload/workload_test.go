@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+func TestQueriesComplete(t *testing.T) {
+	want := []string{
+		"Q1A", "Q1B", "Q1C", "Q1D", "Q1E",
+		"Q2A", "Q2B", "Q2C", "Q2D", "Q2E",
+		"Q3A", "Q3B", "Q3C", "Q3D", "Q3E",
+		"Q4A", "Q4B", "Q5A", "Q5B",
+	}
+	got := Queries()
+	if len(got) != len(want) {
+		t.Fatalf("query count = %d, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("query %d = %s, want %s", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	s, err := ByID("Q2C")
+	if err != nil || s.ID != "Q2C" {
+		t.Fatalf("ByID: %v", err)
+	}
+	if _, err := ByID("Q9Z"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestVariantFlags(t *testing.T) {
+	for _, id := range []string{"Q1B", "Q2B", "Q3B"} {
+		s, _ := ByID(id)
+		if !s.Skewed {
+			t.Errorf("%s must use skewed data", id)
+		}
+	}
+	for _, id := range []string{"Q1C", "Q3C"} {
+		s, _ := ByID(id)
+		if s.Remote["partsupp"] != 1 {
+			t.Errorf("%s must place partsupp remotely", id)
+		}
+	}
+	s, _ := ByID("Q1A")
+	if s.Skewed || len(s.Remote) != 0 {
+		t.Error("Q1A must be plain")
+	}
+}
+
+func TestAllQueriesBind(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002})
+	for _, s := range Queries() {
+		if _, err := plan.BindSQL(cat, s.SQL(cat)); err != nil {
+			t.Errorf("%s does not bind: %v", s.ID, err)
+		}
+	}
+}
+
+func TestScaleAwareConstants(t *testing.T) {
+	small := tpch.Generate(tpch.Config{ScaleFactor: 0.002})
+	big := tpch.Generate(tpch.Config{ScaleFactor: 0.01})
+	q4b, _ := ByID("Q4B")
+	if q4b.SQL(small) == q4b.SQL(big) {
+		t.Fatal("Q4B's supplier constant must scale with the data")
+	}
+	// 10% of suppliers: 0.01 SF → 100 suppliers → l_suppkey < 10.
+	if !strings.Contains(q4b.SQL(big), "l_suppkey < 10") {
+		t.Fatalf("Q4B constant wrong:\n%s", q4b.SQL(big))
+	}
+}
+
+func TestVariantPredicatesDiffer(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{ScaleFactor: 0.002})
+	pairs := [][2]string{
+		{"Q1A", "Q1D"}, {"Q1A", "Q1E"},
+		{"Q2A", "Q2C"}, {"Q2A", "Q2D"}, {"Q2A", "Q2E"},
+		{"Q3A", "Q3D"}, {"Q3A", "Q3E"},
+		{"Q4A", "Q4B"}, {"Q5A", "Q5B"},
+	}
+	for _, p := range pairs {
+		a, _ := ByID(p[0])
+		b, _ := ByID(p[1])
+		if a.SQL(cat) == b.SQL(cat) {
+			t.Errorf("%s and %s have identical SQL", p[0], p[1])
+		}
+	}
+	// Skew variants share SQL with their base query (only the data set
+	// changes).
+	a, _ := ByID("Q1A")
+	b, _ := ByID("Q1B")
+	if a.SQL(cat) != b.SQL(cat) {
+		t.Error("Q1A and Q1B must share query text")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 10 {
+		t.Fatalf("figures = %d, want 10 (5..14)", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Queries) == 0 || len(f.Strategies) == 0 {
+			t.Errorf("figure %d is empty", f.Number)
+		}
+		for _, q := range f.Queries {
+			if _, err := ByID(q); err != nil {
+				t.Errorf("figure %d references unknown query %s", f.Number, q)
+			}
+		}
+		switch f.Metric {
+		case "time", "state":
+		default:
+			t.Errorf("figure %d has bad metric %q", f.Number, f.Metric)
+		}
+	}
+	// Figures 13/14 omit Magic, matching the paper.
+	f13, _ := FigureByNumber(13)
+	for _, s := range f13.Strategies {
+		if s == "Magic" {
+			t.Fatal("figure 13 must not include Magic")
+		}
+	}
+	// Delay figures carry delay assignments.
+	f9, _ := FigureByNumber(9)
+	if f9.Delayed["Q1A"] == nil {
+		t.Fatal("figure 9 must delay PARTSUPP for Q1A")
+	}
+	f10, _ := FigureByNumber(10)
+	if len(f10.Delayed["Q2A"]) == 0 {
+		t.Fatal("figure 10 must delay an input for Q2A")
+	}
+	if _, err := FigureByNumber(4); err == nil {
+		t.Fatal("figure 4 does not exist")
+	}
+}
+
+func TestFracHelper(t *testing.T) {
+	if frac(100, 0.1) != 10 {
+		t.Fatal("frac wrong")
+	}
+	if frac(1, 0.001) != 1 {
+		t.Fatal("frac must floor at 1")
+	}
+}

@@ -1,0 +1,138 @@
+package sip
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testEngine builds a small engine shared by the API tests.
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	cat := GenerateTPCH(DataConfig{ScaleFactor: 0.005})
+	return NewEngine(cat)
+}
+
+// canon renders rows order-independently for comparison.
+func canon(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = canonValue(v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustRows(t *testing.T, e *Engine, sql string, opts Options) []Row {
+	t.Helper()
+	res, err := e.Query(sql, opts)
+	if err != nil {
+		t.Fatalf("query failed: %v\nsql: %s", err, sql)
+	}
+	return res.Rows
+}
+
+func TestSimpleSelect(t *testing.T) {
+	e := testEngine(t)
+	rows := mustRows(t, e, `SELECT n_name FROM nation WHERE n_regionkey = 3`, Options{})
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 European nations, got %d", len(rows))
+	}
+}
+
+func TestJoinAndAggregate(t *testing.T) {
+	e := testEngine(t)
+	sql := `SELECT n_name, count(*) FROM supplier, nation
+	        WHERE s_nationkey = n_nationkey GROUP BY n_name`
+	rows := mustRows(t, e, sql, Options{})
+	total := int64(0)
+	for _, r := range rows {
+		c, _ := r[1].AsInt()
+		total += c
+	}
+	if total != 50 { // SF 0.005 → 50 suppliers
+		t.Fatalf("expected counts summing to 50 suppliers, got %d", total)
+	}
+}
+
+// strategiesAgree asserts every strategy returns the same multiset of rows.
+func strategiesAgree(t *testing.T, e *Engine, sql string) {
+	t.Helper()
+	base := canon(mustRows(t, e, sql, Options{Strategy: Baseline}))
+	for _, s := range []Strategy{Magic, FeedForward, CostBased} {
+		got := canon(mustRows(t, e, sql, Options{Strategy: s}))
+		if len(got) != len(base) {
+			t.Fatalf("%v returned %d rows, baseline %d\nsql: %s", s, len(got), len(base), sql)
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("%v row %d = %q, baseline %q\nsql: %s", s, i, got[i], base[i], sql)
+			}
+		}
+	}
+}
+
+func TestStrategiesAgreeOnJoin(t *testing.T) {
+	e := testEngine(t)
+	strategiesAgree(t, e, `
+		SELECT s_name, p_name
+		FROM part, supplier, partsupp
+		WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+		  AND p_size = 15 AND s_nation = 'FRANCE'`)
+}
+
+func TestStrategiesAgreeOnCorrelatedSubquery(t *testing.T) {
+	e := testEngine(t)
+	strategiesAgree(t, e, `
+		SELECT s_name, s_acctbal
+		FROM part, supplier, partsupp
+		WHERE p_size = 15
+		  AND p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+		  AND ps_supplycost = (SELECT min(ps_supplycost) FROM partsupp, supplier
+		       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+		         AND s_nation = 'FRANCE')`)
+}
+
+func TestStrategiesAgreeOnDerivedTables(t *testing.T) {
+	e := testEngine(t)
+	strategiesAgree(t, e, `
+		SELECT DISTINCT p_partkey
+		FROM part, partsupp ps1,
+		  (SELECT ps_partkey AS partkey, sum(ps_availqty) AS avail
+		   FROM partsupp GROUP BY ps_partkey) avail
+		WHERE p_partkey = ps_partkey
+		  AND p_partkey = avail.partkey
+		  AND 2 * ps_supplycost < p_retailprice
+		  AND avail < 15000`)
+}
+
+func TestAggregateValuesMatchAcrossStrategies(t *testing.T) {
+	e := testEngine(t)
+	strategiesAgree(t, e, `
+		SELECT n_name, sum(l_extendedprice * (1 - l_discount))
+		FROM orders, lineitem, supplier, nation
+		WHERE l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+		  AND s_nationkey = n_nationkey
+		  AND o_orderdate >= '1995-01-01' AND o_orderdate < '1996-01-01'
+		GROUP BY n_name`)
+}
+
+func TestExplain(t *testing.T) {
+	e := testEngine(t)
+	out, err := e.Explain(`SELECT p_name FROM part WHERE p_size = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "part") {
+		t.Fatalf("explain output missing table: %s", out)
+	}
+}
+
+// canonValue rounds floats for comparison: parallel execution accumulates
+// SUM/AVG in nondeterministic order, so exact bit equality is not expected
+// (or required) across strategies.
+func canonValue(v Value) string { return FormatValueRounded(v, 9) }
