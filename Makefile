@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet bench-smoke bench joinbench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench-smoke: one iteration of the join/agg hot-path benchmarks, enough to
+# catch "it no longer runs" and gross allocation regressions.
+bench-smoke:
+	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 1x
+
+# bench: the recorded numbers (median-of-count comparisons belong in
+# BENCH_joins.json; see cmd/sipbench -joinbench).
+bench:
+	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
+
+# joinbench: regenerate the per-strategy section of BENCH_joins.json
+# (the recorded microbench section is preserved).
+joinbench:
+	$(GO) run ./cmd/sipbench -joinbench
+
+# verify: the tier-1 gate plus a bench smoke run.
+verify: vet build test bench-smoke

@@ -1,4 +1,5 @@
-// Command sipbench regenerates the paper's experiment figures (5–14).
+// Command sipbench regenerates the paper's experiment figures (5–14) and
+// the repo's recorded performance trajectory.
 //
 // Usage:
 //
@@ -6,18 +7,28 @@
 //	sipbench -all                      # every figure
 //	sipbench -figure 13 -sf 0.1 -reps 5
 //	sipbench -query Q2A -strategy Feed-forward -v
+//	sipbench -joinbench                # write BENCH_joins.json
 //
 // Output is the same series the paper's figures plot: per query, one
 // running-time (or intermediate-state) value per execution strategy, with
 // 95% confidence intervals across repetitions.
+//
+// -joinbench runs the join-heavy benchmark query once per strategy at the
+// pinned SF 0.01 and writes ns/op, allocs/op, and tuples/sec to
+// BENCH_joins.json (see -benchout); a pre-existing "microbench" section in
+// that file — the recorded seed-vs-current numbers from
+// `go test -bench BenchmarkJoin ./internal/exec` — is preserved.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	sip "repro"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
@@ -34,8 +45,18 @@ func main() {
 		strategy = flag.String("strategy", "Feed-forward", "strategy for -query")
 		verbose  = flag.Bool("v", false, "per-operator statistics")
 		summary  = flag.Bool("summary", true, "print shape summary after each figure")
+
+		joinbench = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
+		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench")
 	)
 	flag.Parse()
+
+	if *joinbench {
+		if err := runJoinBench(*benchout, *reps); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	runner := harness.New(harness.Config{
 		ScaleFactor: *sf,
@@ -103,4 +124,96 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sipbench:", err)
 	os.Exit(1)
+}
+
+// joinBenchSF pins the scale factor of the recorded join benchmark so the
+// BENCH_joins.json trajectory stays comparable across PRs.
+const joinBenchSF = 0.01
+
+// joinBenchQuery is the join-heavy workload query the per-strategy numbers
+// are recorded on (same query BenchmarkStrategies uses).
+const joinBenchQuery = "Q2A"
+
+// strategyBench is one strategy's measured cell in BENCH_joins.json.
+type strategyBench struct {
+	Strategy     string  `json:"strategy"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	Rows         int     `json:"rows"`
+}
+
+// runJoinBench measures every strategy on the join-heavy query and writes
+// the JSON trajectory file, preserving any recorded "microbench" section.
+func runJoinBench(outPath string, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	runner := harness.New(harness.Config{ScaleFactor: joinBenchSF, Repetitions: reps, SourceMBps: -1})
+	eng := runner.Engine(false)
+	spec, err := workload.ByID(joinBenchQuery)
+	if err != nil {
+		return err
+	}
+	sql := spec.SQL(eng.Catalog())
+
+	var cells []strategyBench
+	for _, s := range sip.AllStrategies() {
+		// Warm-up run excluded from measurement (catalog caches, pools).
+		if _, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
+			return err
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		var tuples, rows int64
+		for i := 0; i < reps; i++ {
+			res, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
+			if err != nil {
+				return err
+			}
+			tuples += res.TuplesProcessed
+			rows = int64(len(res.Rows))
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		cells = append(cells, strategyBench{
+			Strategy:     s.String(),
+			NsPerOp:      elapsed.Nanoseconds() / int64(reps),
+			AllocsPerOp:  int64(ms1.Mallocs-ms0.Mallocs) / int64(reps),
+			TuplesPerSec: float64(tuples) / elapsed.Seconds(),
+			Rows:         int(rows),
+		})
+		fmt.Printf("%-14s %12v/op %10d allocs/op %14.0f tuples/sec\n",
+			s.String(), time.Duration(cells[len(cells)-1].NsPerOp).Round(time.Microsecond),
+			cells[len(cells)-1].AllocsPerOp, cells[len(cells)-1].TuplesPerSec)
+	}
+
+	// Preserve the recorded microbench section across regenerations.
+	doc := map[string]any{}
+	if old, err := os.ReadFile(outPath); err == nil {
+		var prev map[string]any
+		if json.Unmarshal(old, &prev) == nil {
+			if mb, ok := prev["microbench"]; ok {
+				doc["microbench"] = mb
+			}
+		}
+	}
+	doc["generated"] = time.Now().UTC().Format(time.RFC3339)
+	doc["scale_factor"] = joinBenchSF
+	doc["query"] = joinBenchQuery
+	doc["reps"] = reps
+	doc["strategies"] = cells
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

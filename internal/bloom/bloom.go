@@ -11,6 +11,8 @@ package bloom
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/types"
 )
 
 // DefaultFPR is the paper's target false-positive rate.
@@ -66,36 +68,39 @@ func NewWithBits(nbits, seed uint64) *Filter {
 	}
 }
 
-// fnv1a64 hashes b with an FNV-1a variant seeded by seed.
-func fnv1a64(b []byte, seed uint64) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset) ^ (seed * prime)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime
-	}
-	return h
+// pos derives the filter's bit position from a precomputed key hash. The
+// base hash (types.Hash64 of the canonical key encoding, seed 0) is computed
+// once per tuple by the executor; filters with different seeds remix it
+// rather than rehashing the key bytes.
+func (f *Filter) pos(h uint64) uint64 {
+	return types.Mix64(h, f.seed) % f.nbits
 }
 
-// Add inserts a key encoding into the filter.
-func (f *Filter) Add(key []byte) {
-	pos := fnv1a64(key, f.seed) % f.nbits
+// AddHash inserts a key by its precomputed hash (types.Hash64 of the
+// canonical key encoding with seed 0): the hash-once fast path used by the
+// AIP-set builders.
+func (f *Filter) AddHash(h uint64) {
+	pos := f.pos(h)
 	f.bits[pos>>6] |= 1 << (pos & 63)
 	f.n++
 }
 
+// Add inserts a key encoding into the filter.
+func (f *Filter) Add(key []byte) { f.AddHash(types.Hash64(key, 0)) }
+
 // AddString inserts a string key.
 func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
 
-// Contains reports whether the key may be in the filter. False positives
-// occur at roughly the configured rate; false negatives never occur.
-func (f *Filter) Contains(key []byte) bool {
-	pos := fnv1a64(key, f.seed) % f.nbits
+// ProbeHash reports whether a key with the given precomputed hash may be in
+// the filter: the hash-once fast path probed per tuple by the executor.
+func (f *Filter) ProbeHash(h uint64) bool {
+	pos := f.pos(h)
 	return f.bits[pos>>6]&(1<<(pos&63)) != 0
 }
+
+// Contains reports whether the key may be in the filter. False positives
+// occur at roughly the configured rate; false negatives never occur.
+func (f *Filter) Contains(key []byte) bool { return f.ProbeHash(types.Hash64(key, 0)) }
 
 // ContainsString reports membership for a string key.
 func (f *Filter) ContainsString(key string) bool { return f.Contains([]byte(key)) }

@@ -268,7 +268,7 @@ func (c *CostBased) buildSummary(src *exec.Point, stateCol int, ci *classInfo) f
 		src.IterState(func(t types.Tuple) bool {
 			buf = buf[:0]
 			buf = t[stateCol].AppendKey(buf)
-			hs.Add(buf)
+			hs.AddHash(types.Hash64(buf, 0), buf)
 			return true
 		})
 		return hs
@@ -277,7 +277,7 @@ func (c *CostBased) buildSummary(src *exec.Point, stateCol int, ci *classInfo) f
 	src.IterState(func(t types.Tuple) bool {
 		buf = buf[:0]
 		buf = t[stateCol].AppendKey(buf)
-		bf.Add(buf)
+		bf.AddHash(types.Hash64(buf, 0))
 		return true
 	})
 	return filter.Bloom{F: bf}

@@ -106,15 +106,19 @@ func (f *FeedForward) Begin() {
 
 	for p, sets := range producedBy {
 		sets := sets
+		// buf is reused across calls: OnStore is invoked only by the
+		// operator goroutine owning the point, and the key is encoded and
+		// hashed once, then fed to the summary by hash.
+		var buf []byte
 		p.OnStore = func(t types.Tuple) {
-			var buf []byte
 			for _, ws := range sets {
 				buf = buf[:0]
 				buf = t[ws.col].AppendKey(buf)
+				h := types.Hash64(buf, 0)
 				if bf := ws.bf.Load(); bf != nil {
-					bf.Add(buf)
+					bf.AddHash(h)
 				} else if hs := ws.hs.Load(); hs != nil {
-					hs.Add(buf)
+					hs.AddHash(h, buf)
 				}
 			}
 		}

@@ -88,6 +88,10 @@ type groupState struct {
 // update groups, and once the input completes the set of group keys is
 // available as AIP-set state (the paper's Example 3.2 builds a Bloom filter
 // of PARTKEY "from the state in the aggregation operator").
+//
+// Groups live in an open-addressing KeyTable (hash-once group keys, no
+// string allocation) with a dense groupState array; the state mutex is
+// taken once per input batch and stats counters are flushed per batch.
 type HashAgg struct {
 	Name    string
 	Child   Op
@@ -106,6 +110,25 @@ func NewHashAgg(name string, child Op, groupBy []expr.Expr, aggs []plan.AggSpec,
 // Schema returns the post-aggregation schema.
 func (h *HashAgg) Schema() *types.Schema { return h.sch }
 
+// accAllocator hands out aggAcc slices carved from chunked backing arrays,
+// one allocation per ~256 groups instead of one per group.
+type accAllocator struct {
+	width int
+	free  []aggAcc
+}
+
+func (a *accAllocator) alloc() []aggAcc {
+	if a.width == 0 {
+		return nil
+	}
+	if len(a.free) < a.width {
+		a.free = make([]aggAcc, 256*a.width)
+	}
+	out := a.free[:a.width:a.width]
+	a.free = a.free[a.width:]
+	return out
+}
+
 // Start launches the aggregation goroutine.
 func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	in := h.Child.Start(ctx)
@@ -114,44 +137,43 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 
 	go func() {
 		defer close(out)
-		var mu sync.Mutex
-		groups := make(map[string]*groupState)
-		var scratch []byte
+		var (
+			mu         sync.Mutex
+			idx        types.KeyTable
+			groups     []groupState
+			keyHasher  types.Hasher
+			bankHasher types.Hasher
+			accs       = accAllocator{width: len(h.Aggs)}
+		)
+		gvals := make(types.Tuple, len(h.GroupBy))
+		gcols := make([]int, len(h.GroupBy))
+		for i := range gcols {
+			gcols[i] = i
+		}
 
 		for b := range in {
+			nIn := int64(len(b))
+			var pruned, newGroups, newBytes int64
+			mu.Lock()
 			for _, t := range b {
-				op.In.Inc()
-				if h.Point != nil {
-					h.Point.received.Add(1)
-					var keep bool
-					keep, scratch = h.Point.Bank.Probe(t, scratch)
-					if !keep {
-						op.Pruned.Inc()
-						continue
-					}
+				if h.Point != nil && !h.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
+					pruned++
+					continue
 				}
-				gvals := make(types.Tuple, len(h.GroupBy))
-				scratch = scratch[:0]
 				for i, g := range h.GroupBy {
 					gvals[i] = g.Eval(t)
-					scratch = gvals[i].AppendKey(scratch)
 				}
-				key := string(scratch)
-
-				mu.Lock()
-				gs, ok := groups[key]
-				if !ok {
-					gs = &groupState{groupVals: gvals, accs: make([]aggAcc, len(h.Aggs))}
-					groups[key] = gs
-					op.StateRows.Inc()
-					op.StateBytes.Add(int64(gvals.MemSize()) + int64(48*len(h.Aggs)))
-					if h.Point != nil {
-						h.Point.stored.Add(1)
-						if h.Point.OnStore != nil {
-							h.Point.OnStore(gvals)
-						}
+				kh, key := keyHasher.KeyCols(gvals, gcols)
+				id, added := idx.Insert(kh, key)
+				if added {
+					groups = append(groups, groupState{groupVals: gvals.Clone(), accs: accs.alloc()})
+					newGroups++
+					newBytes += int64(gvals.MemSize()) + int64(48*len(h.Aggs))
+					if h.Point != nil && h.Point.OnStore != nil {
+						h.Point.OnStore(groups[id].groupVals)
 					}
 				}
+				gs := &groups[id]
 				for i := range h.Aggs {
 					var v types.Value
 					if h.Aggs[i].Arg != nil {
@@ -159,16 +181,33 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 					}
 					gs.accs[i].add(h.Aggs[i].Func, v)
 				}
-				mu.Unlock()
 			}
+			mu.Unlock()
+			op.In.Add(nIn)
+			op.Pruned.Add(pruned)
+			op.StateRows.Add(newGroups)
+			op.StateBytes.Add(newBytes)
+			if h.Point != nil {
+				h.Point.received.Add(nIn)
+				h.Point.stored.Add(newGroups)
+			}
+			PutBatch(b)
+		}
+
+		// SQL semantics: a global aggregate (no GROUP BY) over empty input
+		// yields exactly one row (count 0, sum/min/max/avg NULL). Appended
+		// before the state iterator is published: once the point is Done
+		// the groups slice must be immutable.
+		if len(groups) == 0 && len(h.GroupBy) == 0 {
+			groups = append(groups, groupState{accs: make([]aggAcc, len(h.Aggs))})
 		}
 
 		if h.Point != nil {
 			h.Point.setStateIter(func(emit func(types.Tuple) bool) {
 				mu.Lock()
 				defer mu.Unlock()
-				for _, gs := range groups {
-					if !emit(gs.groupVals) {
+				for i := range groups {
+					if !emit(groups[i].groupVals) {
 						return
 					}
 				}
@@ -177,33 +216,35 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			ctx.pointDone(h.Point)
 		}
 
-		// SQL semantics: a global aggregate (no GROUP BY) over empty input
-		// yields exactly one row (count 0, sum/min/max/avg NULL).
-		if len(groups) == 0 && len(h.GroupBy) == 0 {
-			groups[""] = &groupState{accs: make([]aggAcc, len(h.Aggs))}
-		}
-
-		batch := make(Batch, 0, BatchSize)
-		for _, gs := range groups {
-			row := make(types.Tuple, 0, len(gs.groupVals)+len(h.Aggs))
-			row = append(row, gs.groupVals...)
+		var arena rowArena
+		var emitted int64
+		batch := GetBatch()
+		for gi := range groups {
+			gs := &groups[gi]
+			row := arena.alloc(len(gs.groupVals) + len(h.Aggs))
+			copy(row, gs.groupVals)
 			for i := range h.Aggs {
 				argKind := types.KindFloat
 				if h.Aggs[i].Arg != nil {
 					argKind = h.Aggs[i].Arg.Kind()
 				}
-				row = append(row, gs.accs[i].result(h.Aggs[i].Func, argKind))
+				row[len(gs.groupVals)+i] = gs.accs[i].result(h.Aggs[i].Func, argKind)
 			}
-			op.Out.Inc()
+			emitted++
 			batch = append(batch, row)
 			if len(batch) == BatchSize {
 				if !send(ctx, out, batch) {
 					return
 				}
-				batch = make(Batch, 0, BatchSize)
+				batch = GetBatch()
 			}
 		}
-		send(ctx, out, batch)
+		op.Out.Add(emitted)
+		if len(batch) == 0 {
+			PutBatch(batch)
+		} else {
+			send(ctx, out, batch)
+		}
 	}()
 	return out
 }
@@ -233,47 +274,53 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 
 	go func() {
 		defer close(out)
-		var mu sync.Mutex
-		seen := make(map[string]types.Tuple)
-		var scratch []byte
+		var (
+			mu         sync.Mutex
+			idx        types.KeyTable
+			seen       []types.Tuple
+			keyHasher  types.Hasher
+			bankHasher types.Hasher
+		)
 		for b := range in {
-			fresh := make(Batch, 0, len(b))
+			nIn := int64(len(b))
+			var pruned, stored, storedBytes int64
+			fresh := GetBatch()
+			mu.Lock()
 			for _, t := range b {
-				op.In.Inc()
-				if d.Point != nil {
-					d.Point.received.Add(1)
-					var keep bool
-					keep, scratch = d.Point.Bank.Probe(t, scratch)
-					if !keep {
-						op.Pruned.Inc()
-						continue
-					}
+				kh, key := keyHasher.KeyCols(t, allCols)
+				if d.Point != nil && !d.Point.Bank.ProbeHashed(t, allCols, kh, key, &bankHasher) {
+					pruned++
+					continue
 				}
-				scratch = scratch[:0]
-				scratch = t.AppendKeyCols(scratch, allCols)
-				key := string(scratch)
-				mu.Lock()
-				_, dup := seen[key]
-				if !dup {
-					seen[key] = t
-					op.StateRows.Inc()
-					op.StateBytes.Add(int64(t.MemSize()))
-					if d.Point != nil {
-						d.Point.stored.Add(1)
-						if d.Point.OnStore != nil {
-							d.Point.OnStore(t)
-						}
+				if _, added := idx.Insert(kh, key); added {
+					// Clone the retained tuple: distinct keeps a sparse
+					// subset of its input forever, and retaining arena-backed
+					// rows directly would pin their whole blocks.
+					seen = append(seen, t.Clone())
+					stored++
+					storedBytes += int64(t.MemSize())
+					if d.Point != nil && d.Point.OnStore != nil {
+						d.Point.OnStore(t)
 					}
-				}
-				mu.Unlock()
-				if !dup {
-					op.Out.Inc()
 					fresh = append(fresh, t)
 				}
 			}
-			if !send(ctx, out, fresh) {
+			mu.Unlock()
+			op.In.Add(nIn)
+			op.Pruned.Add(pruned)
+			op.Out.Add(int64(len(fresh)))
+			op.StateRows.Add(stored)
+			op.StateBytes.Add(storedBytes)
+			if d.Point != nil {
+				d.Point.received.Add(nIn)
+				d.Point.stored.Add(stored)
+			}
+			if len(fresh) == 0 {
+				PutBatch(fresh)
+			} else if !send(ctx, out, fresh) {
 				return
 			}
+			PutBatch(b)
 		}
 		if d.Point != nil {
 			d.Point.setStateIter(func(emit func(types.Tuple) bool) {

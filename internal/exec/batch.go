@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Batches flow through single-consumer channels, so each batch has exactly
+// one owner at a time: the producer owns it until send, the consumer owns it
+// after receive. Consumers return exhausted batches with PutBatch once they
+// no longer reference the slice (the Tuples inside may be retained — they
+// are independent of the Batch backing array).
+//
+// Slices can't go into a sync.Pool without boxing; to keep the Get/Put
+// cycle allocation-free the empty boxes are recycled through a second pool
+// instead of being reallocated on every Put.
+type batchBox struct{ b Batch }
+
+var batchPool = sync.Pool{
+	New: func() any {
+		return &batchBox{b: make(Batch, 0, BatchSize)}
+	},
+}
+
+var boxPool = sync.Pool{New: func() any { return new(batchBox) }}
+
+// GetBatch returns an empty batch with BatchSize capacity from the pool.
+func GetBatch() Batch {
+	bb := batchPool.Get().(*batchBox)
+	b := bb.b[:0]
+	bb.b = nil
+	boxPool.Put(bb)
+	return b
+}
+
+// PutBatch recycles a batch. The caller must not use the slice afterwards.
+// Tuple references are cleared so recycled batches do not pin row memory.
+func PutBatch(b Batch) {
+	if cap(b) < BatchSize {
+		return // undersized one-off, let the GC have it
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	bb := boxPool.Get().(*batchBox)
+	bb.b = b[:0]
+	batchPool.Put(bb)
+}
+
+// rowArena allocates output tuples in batch-sized blocks: one []types.Value
+// allocation amortized over ~BatchSize rows instead of one per row. Rows are
+// handed out as capacity-capped subslices, so they can escape downstream
+// (and be retained indefinitely) while the arena keeps filling; when a block
+// fills up the arena simply starts a new one and the GC tracks old blocks
+// through the escaped rows. Not safe for concurrent use.
+//
+// Retention caveat: a retained row pins its whole block. That is fine for
+// dense retention (a join buffering most of an input) but operators that
+// keep a sparse subset of arriving rows indefinitely must clone what they
+// keep (Distinct clones; HashAgg clones its group keys), or real memory can
+// exceed accounted state by up to the rows-per-block factor.
+type rowArena struct {
+	buf []types.Value
+}
+
+// alloc returns a zeroed row of width w.
+func (a *rowArena) alloc(w int) types.Tuple {
+	if cap(a.buf)-len(a.buf) < w {
+		n := BatchSize * w
+		if n < w {
+			n = w
+		}
+		a.buf = make([]types.Value, 0, n)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+w]
+	return a.buf[start : start+w : start+w]
+}
+
+// concat builds the concatenation of l and r in the arena, the join's
+// replacement for types.Concat on the hot path.
+func (a *rowArena) concat(l, r types.Tuple) types.Tuple {
+	row := a.alloc(len(l) + len(r))
+	copy(row, l)
+	copy(row[len(l):], r)
+	return row
+}
+
+// release returns the most recently allocated row to the arena; only valid
+// immediately after alloc/concat, before the next allocation. The join uses
+// it to reclaim rows rejected by the residual predicate.
+func (a *rowArena) release(row types.Tuple) {
+	a.buf = a.buf[:len(a.buf)-len(row)]
+}

@@ -431,6 +431,9 @@ func TestPointStateIter(t *testing.T) {
 	l := intRows([]int64{1, 0}, []int64{2, 0})
 	r := intRows([]int64{9, 0})
 	j := buildJoin(l, r)
+	// Delay the right input so the left side is fully buffered before the
+	// right side's completion can trigger the short-circuit optimization.
+	j.Right.(*Scan).Delay = &DelayConfig{Initial: 30 * time.Millisecond}
 	runOp(t, j, nil)
 	var seen []int64
 	j.LPoint.IterState(func(tp types.Tuple) bool {

@@ -17,14 +17,17 @@ import (
 //
 // Concurrency: the two sides use independent locks so that a fast input
 // never serializes against a slow one (Tukwila's per-input threads are
-// likewise independent). Exactly-once match emission is guaranteed by
-// insertion sequence numbers: every stored tuple takes a ticket from a
-// shared counter inside its side's critical section, and a probing tuple
-// emits only the matches whose ticket is smaller than its own. For any
-// result pair, the later-inserted tuple is guaranteed to see the earlier
-// one in its probe (the earlier insert completed before the later probe
-// can acquire that side's lock), and the earlier tuple — whether or not it
-// observes the later one — never emits it.
+// likewise independent), and each lock is taken once per batch, not once
+// per tuple. Exactly-once match emission is guaranteed by insertion
+// sequence numbers: every stored tuple takes a ticket from a shared counter
+// inside its side's critical section, and a probing tuple emits only the
+// matches whose ticket is smaller than its own. For any result pair, the
+// later-ticketed tuple is guaranteed to see the earlier one in its probe
+// (the earlier insert's critical section completed before the later probe
+// could acquire that side's lock — otherwise the ticket order would be
+// reversed), and the earlier tuple — whether or not it observes the later
+// one — never emits it. This argument is per tuple pair, so batching the
+// critical sections does not change it.
 //
 // It also implements the "short-circuit" optimization the paper describes
 // in §VI-A: once one input completes, the other side stops buffering,
@@ -54,17 +57,72 @@ func NewHashJoin(name string, left, right Op, lkeys, rkeys []int, residual expr.
 // Schema returns the concatenated output schema.
 func (j *HashJoin) Schema() *types.Schema { return j.sch }
 
-// seqTuple is one stored tuple with its insertion ticket.
-type seqTuple struct {
-	t   types.Tuple
-	seq uint64
+// joinEntry is one stored tuple with its insertion ticket, chained to the
+// next-older tuple of the same key.
+type joinEntry struct {
+	t    types.Tuple
+	seq  uint64
+	next int32 // 1-based index of the next entry in the chain, 0 = end
+}
+
+// joinTable is the open-addressing hash table of one join side: a KeyTable
+// maps the key hash + bytes to a dense id, heads[id] starts the per-key
+// chain through entries. Inserting a tuple costs no allocation beyond
+// amortized slice growth — in particular no string key and no per-key
+// bucket slice.
+type joinTable struct {
+	idx     types.KeyTable
+	heads   []int32 // per key id: 1-based index of the newest entry
+	entries []joinEntry
+}
+
+// reserve pre-sizes the table for about n stored tuples (the optimizer's
+// cardinality estimate), avoiding most doubling-growth garbage on the
+// insert path. n = 0 leaves the lazy defaults.
+func (jt *joinTable) reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	const maxHint = 1 << 20 // cap mis-estimates: 1M entries ≈ 40MB
+	if n > maxHint {
+		n = maxHint
+	}
+	jt.idx = *types.NewKeyTable(n)
+	jt.heads = make([]int32, 0, n)
+	jt.entries = make([]joinEntry, 0, n)
+}
+
+func (jt *joinTable) insert(h uint64, key []byte, t types.Tuple, seq uint64) {
+	id, added := jt.idx.Insert(h, key)
+	if added {
+		jt.heads = append(jt.heads, 0)
+	}
+	jt.entries = append(jt.entries, joinEntry{t: t, seq: seq, next: jt.heads[id]})
+	jt.heads[id] = int32(len(jt.entries))
+}
+
+// probe appends to dst every stored tuple matching (h, key) whose ticket is
+// smaller than maxSeq, and returns dst.
+func (jt *joinTable) probe(h uint64, key []byte, maxSeq uint64, dst []types.Tuple) []types.Tuple {
+	id := jt.idx.Lookup(h, key)
+	if id < 0 {
+		return dst
+	}
+	for e := jt.heads[id]; e != 0; {
+		ent := &jt.entries[e-1]
+		if ent.seq < maxSeq {
+			dst = append(dst, ent.t)
+		}
+		e = ent.next
+	}
+	return dst
 }
 
 // joinSide is the per-input state of the symmetric join.
 type joinSide struct {
 	mu    sync.Mutex
 	keys  []int
-	table map[string][]seqTuple
+	table joinTable
 	done  atomic.Bool
 	point *Point
 }
@@ -81,92 +139,148 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	rop := ctx.Stats.NewOp("join:" + j.Name + ".right")
 
 	var ticket atomic.Uint64
-	left := &joinSide{keys: j.LKeys, table: make(map[string][]seqTuple), point: j.LPoint}
-	right := &joinSide{keys: j.RKeys, table: make(map[string][]seqTuple), point: j.RPoint}
+	left := &joinSide{keys: j.LKeys, point: j.LPoint}
+	right := &joinSide{keys: j.RKeys, point: j.RPoint}
+	if j.LPoint != nil {
+		left.table.reserve(int(j.LPoint.EstRows))
+	}
+	if j.RPoint != nil {
+		right.table.reserve(int(j.RPoint.EstRows))
+	}
 
 	var wg sync.WaitGroup
 	wg.Add(2)
 
+	// consume processes one input batch-at-a-time in four phases:
+	//  1. lock-free: probe AIP filters, hash each surviving tuple's key once
+	//  2. one critical section on the own side: ticket + insert the batch
+	//  3. one critical section on the other side: probe the batch
+	//  4. lock-free: materialize result rows (arena-backed) and emit
+	// Stats are accumulated in locals and flushed once per batch.
 	consume := func(in <-chan Batch, own, other *joinSide, ownIsLeft bool, op *stats.OpStats) {
 		defer wg.Done()
-		var scratch []byte
-		var matchBuf []seqTuple
+		var (
+			keyHasher  types.Hasher // own-key encoding, hashed once per tuple
+			bankHasher types.Hasher // scratch for filters over other columns
+			kept       []types.Tuple
+			hashes     []uint64
+			keyOffs    []int32 // per kept tuple: start of its key in keyBuf
+			keyBuf     []byte
+			seqs       []uint64
+			matches    []types.Tuple
+			matchEnds  []int32 // per kept tuple: end of its range in matches
+			arena      rowArena
+		)
 		for b := range in {
-			outBatch := make(Batch, 0, BatchSize)
-			for _, t := range b {
-				op.In.Inc()
-				if own.point != nil {
-					own.point.received.Add(1)
-					var keep bool
-					keep, scratch = own.point.Bank.Probe(t, scratch)
-					if !keep {
-						op.Pruned.Inc()
-						continue
-					}
-				}
-				scratch = scratch[:0]
-				scratch = t.AppendKeyCols(scratch, own.keys)
-				key := string(scratch)
+			nIn := int64(len(b))
+			var pruned int64
+			kept = kept[:0]
+			hashes = hashes[:0]
+			keyOffs = keyOffs[:0]
+			keyBuf = keyBuf[:0]
+			seqs = seqs[:0]
 
-				// Insert into own table (unless the other side already
-				// finished: short-circuit) and take a ticket.
-				own.mu.Lock()
-				mySeq := ticket.Add(1)
+			// Phase 1: AIP filter probes and hash-once key encoding.
+			for _, t := range b {
+				h, key := keyHasher.KeyCols(t, own.keys)
+				if own.point != nil && !own.point.Bank.ProbeHashed(t, own.keys, h, key, &bankHasher) {
+					pruned++
+					continue
+				}
+				kept = append(kept, t)
+				hashes = append(hashes, h)
+				keyOffs = append(keyOffs, int32(len(keyBuf)))
+				keyBuf = append(keyBuf, key...)
+			}
+			keyOffs = append(keyOffs, int32(len(keyBuf)))
+			keyAt := func(i int) []byte { return keyBuf[keyOffs[i]:keyOffs[i+1]] }
+
+			// Phase 2: insert the batch into the own table (unless the other
+			// side already finished: short-circuit) and take tickets.
+			var stored, storedBytes int64
+			own.mu.Lock()
+			// One ticket-range reservation per batch: the whole contiguous
+			// block is fetched inside this critical section, so the
+			// exactly-once ordering argument applies to each ticket in it.
+			base := ticket.Add(uint64(len(kept))) - uint64(len(kept))
+			for i, t := range kept {
+				seqs = append(seqs, base+uint64(i)+1)
 				if !other.done.Load() {
-					own.table[key] = append(own.table[key], seqTuple{t: t, seq: mySeq})
-					if own.point != nil {
-						own.point.stored.Add(1)
-					}
-					op.StateRows.Inc()
-					op.StateBytes.Add(int64(t.MemSize()))
+					own.table.insert(hashes[i], keyAt(i), t, seqs[i])
+					stored++
+					storedBytes += int64(t.MemSize())
 				} else if own.point != nil {
-					// The buffered state no longer reflects the full
-					// input; Cost-Based AIP must not build a set from it.
+					// The buffered state no longer reflects the full input;
+					// Cost-Based AIP must not build a set from it.
 					own.point.stateIncomplete.Store(true)
 				}
-				own.mu.Unlock()
+			}
+			own.mu.Unlock()
 
-				// The working AIP set covers every tuple that passed the
-				// filters, whether or not it was buffered (Feed-Forward
-				// publishes it as a complete summary of this input).
-				if own.point != nil && own.point.OnStore != nil {
-					own.point.OnStore(t)
-				}
-
-				// Probe the other side; emit only earlier-ticket matches.
-				other.mu.Lock()
-				bucket := other.table[key]
-				matchBuf = matchBuf[:0]
-				for _, m := range bucket {
-					if m.seq < mySeq {
-						matchBuf = append(matchBuf, m)
+			// The working AIP set covers every tuple that passed the
+			// filters, whether or not it was buffered (Feed-Forward
+			// publishes it as a complete summary of this input).
+			if own.point != nil {
+				own.point.received.Add(nIn)
+				own.point.stored.Add(stored)
+				if own.point.OnStore != nil {
+					for _, t := range kept {
+						own.point.OnStore(t)
 					}
 				}
-				other.mu.Unlock()
+			}
 
-				for _, m := range matchBuf {
+			// Phase 3: probe the other side for the whole batch.
+			matches = matches[:0]
+			matchEnds = matchEnds[:0]
+			other.mu.Lock()
+			for i := range kept {
+				matches = other.table.probe(hashes[i], keyAt(i), seqs[i], matches)
+				matchEnds = append(matchEnds, int32(len(matches)))
+			}
+			other.mu.Unlock()
+
+			// Phase 4: materialize and emit earlier-ticket matches.
+			var emitted int64
+			outBatch := GetBatch()
+			start := int32(0)
+			for i, t := range kept {
+				for _, m := range matches[start:matchEnds[i]] {
 					var row types.Tuple
 					if ownIsLeft {
-						row = types.Concat(t, m.t)
+						row = arena.concat(t, m)
 					} else {
-						row = types.Concat(m.t, t)
+						row = arena.concat(m, t)
 					}
 					if j.Residual != nil && !j.Residual.Eval(row).Truth() {
+						arena.release(row)
 						continue
 					}
-					op.Out.Inc()
+					emitted++
 					outBatch = append(outBatch, row)
 					if len(outBatch) == BatchSize {
 						if !send(ctx, out, outBatch) {
 							return
 						}
-						outBatch = make(Batch, 0, BatchSize)
+						outBatch = GetBatch()
 					}
 				}
+				start = matchEnds[i]
 			}
-			if !send(ctx, out, outBatch) {
+
+			// Batch-grained stats flush.
+			op.In.Add(nIn)
+			op.Pruned.Add(pruned)
+			op.Out.Add(emitted)
+			op.StateRows.Add(stored)
+			op.StateBytes.Add(storedBytes)
+
+			if len(outBatch) == 0 {
+				PutBatch(outBatch)
+			} else if !send(ctx, out, outBatch) {
 				return
 			}
+			PutBatch(b)
 		}
 		// Input exhausted: let the other side short-circuit, then expose
 		// this side's state to the AIP runtime.
@@ -177,11 +291,9 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			own.point.setStateIter(func(emit func(types.Tuple) bool) {
 				own.mu.Lock()
 				defer own.mu.Unlock()
-				for _, bucket := range own.table {
-					for _, m := range bucket {
-						if !emit(m.t) {
-							return
-						}
+				for i := range own.table.entries {
+					if !emit(own.table.entries[i].t) {
+						return
 					}
 				}
 			})

@@ -75,16 +75,31 @@ func (b *FilterBank) Replace(cols []int, oldSum, newSum filter.Summary) {
 func (b *FilterBank) Len() int { return len(*b.cur.Load()) }
 
 // Probe runs the tuple through every attached filter; false means prune.
+// It is the cold-path form of ProbeHashed (one implementation, so the two
+// cannot diverge); hot paths keep a Hasher per goroutine instead.
 func (b *FilterBank) Probe(t types.Tuple, scratch []byte) (keep bool, buf []byte) {
+	return b.ProbeHashed(t, nil, 0, nil, new(types.Hasher)), scratch
+}
+
+// ProbeHashed is the hash-once fast path of Probe. keyCols, keyHash, and key
+// are the probing operator's own key columns with their canonical encoding
+// and Hash64 — AIP filters are usually attached over exactly those columns,
+// in which case the precomputed hash is reused and the summary is probed
+// without touching the key bytes again. Filters over other column sets fall
+// back to one encoding pass through scratch. Callers without a precomputed
+// key pass keyCols = nil. False means prune.
+func (b *FilterBank) ProbeHashed(t types.Tuple, keyCols []int, keyHash uint64, key []byte, scratch *types.Hasher) bool {
 	filters := *b.cur.Load()
 	for i := range filters {
-		scratch = scratch[:0]
-		scratch = t.AppendKeyCols(scratch, filters[i].cols)
-		if !filters[i].sum.MayContain(scratch) {
-			return false, scratch
+		h, kb := keyHash, key
+		if keyCols == nil || !equalInts(filters[i].cols, keyCols) {
+			h, kb = scratch.KeyCols(t, filters[i].cols)
+		}
+		if !filters[i].sum.MayContainHash(h, kb) {
+			return false
 		}
 	}
-	return true, scratch
+	return true
 }
 
 func equalInts(a, b []int) bool {

@@ -50,14 +50,28 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				return
 			}
 		}
-		batch := make(Batch, 0, BatchSize)
+		batch := GetBatch()
 		count := 0
 		var cumBytes int64
 		start := time.Now()
-		flush := func() bool {
+		// flush sends the current batch (counting output per flushed batch,
+		// so cancelled or short-circuited scans still report what they
+		// emitted) and pays any accumulated pacing debt. The final flush
+		// passes last=true to recycle instead of refilling the batch.
+		flush := func(last bool) bool {
+			if len(batch) == 0 {
+				// Pacing debt was settled by the preceding non-empty flush
+				// (cumBytes is unchanged since), so just recycle.
+				if last {
+					PutBatch(batch)
+				}
+				return true
+			}
+			n := int64(len(batch))
 			if !send(ctx, out, batch) {
 				return false
 			}
+			s.op.Out.Add(n)
 			if s.BytesPerSec > 0 {
 				// Pace against a cumulative deadline; sleeping only when
 				// the debt exceeds a couple of milliseconds keeps the rate
@@ -71,17 +85,21 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 					}
 				}
 			}
-			batch = make(Batch, 0, BatchSize)
+			if last {
+				batch = nil
+			} else {
+				batch = GetBatch()
+			}
 			return true
 		}
 		for _, t := range s.Rows {
 			batch = append(batch, t)
+			count++
 			if s.BytesPerSec > 0 {
 				cumBytes += int64(t.MemSize())
 			}
-			count++
 			if s.Delay != nil && s.Delay.EveryN > 0 && count%s.Delay.EveryN == 0 {
-				if !flush() {
+				if !flush(false) {
 					return
 				}
 				select {
@@ -92,18 +110,17 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				continue
 			}
 			if len(batch) == BatchSize {
-				if !flush() {
+				if !flush(false) {
 					return
 				}
 			}
 		}
-		flush()
-		s.op.Out.Add(int64(count))
+		flush(true)
 	}()
 	return out
 }
 
-// Filter applies a predicate.
+// Filter applies a predicate. Stats are flushed once per batch.
 type Filter struct {
 	Child Op
 	Pred  expr.Expr
@@ -121,23 +138,27 @@ func (f *Filter) Start(ctx *Context) <-chan Batch {
 	go func() {
 		defer close(out)
 		for b := range in {
-			kept := make(Batch, 0, len(b))
+			kept := GetBatch()
 			for _, t := range b {
-				op.In.Inc()
 				if f.Pred.Eval(t).Truth() {
 					kept = append(kept, t)
-					op.Out.Inc()
 				}
 			}
-			if !send(ctx, out, kept) {
+			op.In.Add(int64(len(b)))
+			op.Out.Add(int64(len(kept)))
+			if len(kept) == 0 {
+				PutBatch(kept)
+			} else if !send(ctx, out, kept) {
 				return
 			}
+			PutBatch(b)
 		}
 	}()
 	return out
 }
 
-// Project computes output expressions.
+// Project computes output expressions. Output rows are carved from a
+// batch-sized arena: one allocation per batch rather than one per row.
 type Project struct {
 	Child Op
 	Exprs []expr.Expr
@@ -155,20 +176,24 @@ func (p *Project) Start(ctx *Context) <-chan Batch {
 	op := ctx.Stats.NewOp("project:" + p.Name)
 	go func() {
 		defer close(out)
+		var arena rowArena
 		for b := range in {
-			res := make(Batch, len(b))
-			for i, t := range b {
-				row := make(types.Tuple, len(p.Exprs))
+			res := GetBatch()
+			for _, t := range b {
+				row := arena.alloc(len(p.Exprs))
 				for j, e := range p.Exprs {
 					row[j] = e.Eval(t)
 				}
-				res[i] = row
+				res = append(res, row)
 			}
 			op.In.Add(int64(len(b)))
-			op.Out.Add(int64(len(b)))
-			if !send(ctx, out, res) {
+			op.Out.Add(int64(len(res)))
+			if len(res) == 0 {
+				PutBatch(res)
+			} else if !send(ctx, out, res) {
 				return
 			}
+			PutBatch(b)
 		}
 	}()
 	return out

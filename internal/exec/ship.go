@@ -28,23 +28,23 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 	op := ctx.Stats.NewOp("ship:" + s.Name)
 	go func() {
 		defer close(out)
-		var scratch []byte
+		var bankHasher types.Hasher
 		for b := range in {
-			kept := make(Batch, 0, len(b))
+			kept := GetBatch()
+			var pruned int64
 			nbytes := 0
 			for _, t := range b {
-				op.In.Inc()
-				if s.Point != nil {
-					s.Point.received.Add(1)
-					var keep bool
-					keep, scratch = s.Point.Bank.Probe(t, scratch)
-					if !keep {
-						op.Pruned.Inc()
-						continue
-					}
+				if s.Point != nil && !s.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
+					pruned++
+					continue
 				}
 				kept = append(kept, t)
 				nbytes += t.MemSize()
+			}
+			op.In.Add(int64(len(b)))
+			op.Pruned.Add(pruned)
+			if s.Point != nil {
+				s.Point.received.Add(int64(len(b)))
 			}
 			if len(kept) > 0 && s.Link != nil {
 				if !s.Link.Transfer(nbytes, ctx.Cancelled()) {
@@ -53,9 +53,12 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 				ctx.Stats.NetworkBytes.Add(int64(nbytes))
 			}
 			op.Out.Add(int64(len(kept)))
-			if !send(ctx, out, kept) {
+			if len(kept) == 0 {
+				PutBatch(kept)
+			} else if !send(ctx, out, kept) {
 				return
 			}
+			PutBatch(b)
 		}
 		if s.Point != nil {
 			s.Point.done.Store(true)

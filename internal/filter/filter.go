@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/bloom"
+	"repro/internal/types"
 )
 
 // Summary is a one-sided membership summary of a completed subexpression's
@@ -18,6 +19,11 @@ import (
 type Summary interface {
 	// MayContain reports whether the canonical key encoding may be present.
 	MayContain(key []byte) bool
+	// MayContainHash is the hash-once fast path: hash must be
+	// types.Hash64(key, 0), computed once by the caller and reused across
+	// every summary probed for the same key. Implementations must answer
+	// identically to MayContain(key).
+	MayContainHash(hash uint64, key []byte) bool
 	// SizeBytes is the summary's memory footprint (and shipping cost).
 	SizeBytes() int
 	// Len is the (approximate) number of distinct keys summarized.
@@ -29,6 +35,9 @@ type Bloom struct{ F *bloom.Filter }
 
 // MayContain probes the underlying Bloom filter.
 func (b Bloom) MayContain(key []byte) bool { return b.F.Contains(key) }
+
+// MayContainHash probes by precomputed key hash without touching the bytes.
+func (b Bloom) MayContainHash(hash uint64, _ []byte) bool { return b.F.ProbeHash(hash) }
 
 // SizeBytes returns the bit-array footprint.
 func (b Bloom) SizeBytes() int { return b.F.SizeBytes() }
@@ -70,20 +79,11 @@ func NewHashSet(nbuckets int) *HashSet {
 	return h
 }
 
-func (h *HashSet) bucketOf(key []byte) uint64 {
-	const prime = 1099511628211
-	var x uint64 = 14695981039346656037
-	for _, c := range key {
-		x ^= uint64(c)
-		x *= prime
-	}
-	return x % h.nbuckets
-}
-
-// Add inserts a key encoding. Adding to a discarded bucket is a no-op (the
-// bucket already passes everything).
-func (h *HashSet) Add(key []byte) {
-	b := h.bucketOf(key)
+// AddHash inserts a key encoding by its precomputed hash (types.Hash64 of
+// key with seed 0). Adding to a discarded bucket is a no-op (the bucket
+// already passes everything).
+func (h *HashSet) AddHash(hash uint64, key []byte) {
+	b := hash % h.nbuckets
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.discarded[b] {
@@ -97,9 +97,13 @@ func (h *HashSet) Add(key []byte) {
 	}
 }
 
-// MayContain reports membership; keys in discarded buckets always pass.
-func (h *HashSet) MayContain(key []byte) bool {
-	b := h.bucketOf(key)
+// Add inserts a key encoding.
+func (h *HashSet) Add(key []byte) { h.AddHash(types.Hash64(key, 0), key) }
+
+// MayContainHash reports membership by precomputed hash; bucket selection
+// reuses the hash, so only the final exact comparison reads the key bytes.
+func (h *HashSet) MayContainHash(hash uint64, key []byte) bool {
+	b := hash % h.nbuckets
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	if h.discarded[b] {
@@ -107,6 +111,11 @@ func (h *HashSet) MayContain(key []byte) bool {
 	}
 	_, ok := h.buckets[b][string(key)]
 	return ok
+}
+
+// MayContain reports membership; keys in discarded buckets always pass.
+func (h *HashSet) MayContain(key []byte) bool {
+	return h.MayContainHash(types.Hash64(key, 0), key)
 }
 
 // DiscardBucket drops one bucket's contents to relieve memory pressure;

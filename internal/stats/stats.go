@@ -101,6 +101,16 @@ func (r *Registry) PeakStateBytes() int64 {
 	return total + r.FilterBytes.Load()
 }
 
+// TotalIn sums tuples received across all operators: the engine's total
+// tuple-processing volume, the numerator of benchmark tuples/sec.
+func (r *Registry) TotalIn() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.In.Load()
+	}
+	return total
+}
+
 // TotalPruned sums tuples dropped by AIP filters across operators.
 func (r *Registry) TotalPruned() int64 {
 	var total int64

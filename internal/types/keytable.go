@@ -1,0 +1,114 @@
+package types
+
+import "bytes"
+
+// KeyTable is the open-addressing hash table behind the executor's join,
+// aggregation, and distinct state. It maps (hash, canonical key bytes)
+// pairs to dense int32 ids — 0, 1, 2, … in insertion order — which callers
+// use to index their own parallel state arrays (tuple chains, group
+// accumulators). Compared to a map[string]T it avoids the per-tuple
+// string(key) allocation entirely: key bytes are copied once into a shared
+// arena, probes verify candidates by comparing hashes first and key bytes
+// inline second (hash collisions are tolerated, not trusted), and lookups
+// never allocate.
+//
+// The zero value is an empty, ready-to-use table. KeyTable is not
+// concurrency-safe; the executor serializes access per operator side.
+type KeyTable struct {
+	slots []int32 // 1-based id per slot, 0 = empty; len is a power of two
+	mask  uint64
+
+	hashes []uint64 // per id: the key's Hash64
+	offs   []uint32 // per id: start of the key bytes in keys
+	ends   []uint32 // per id: end of the key bytes in keys
+	keys   []byte   // arena of all key bytes, appended on insert
+}
+
+// NewKeyTable returns a table pre-sized for about hint distinct keys.
+func NewKeyTable(hint int) *KeyTable {
+	kt := &KeyTable{}
+	n := 16
+	for n < hint*2 {
+		n <<= 1
+	}
+	kt.slots = make([]int32, n)
+	kt.mask = uint64(n - 1)
+	return kt
+}
+
+// Len returns the number of distinct keys inserted.
+func (kt *KeyTable) Len() int { return len(kt.hashes) }
+
+// Key returns the canonical key bytes of an id. The slice aliases the
+// table's arena and must not be modified.
+func (kt *KeyTable) Key(id int32) []byte {
+	return kt.keys[kt.offs[id]:kt.ends[id]]
+}
+
+// MemSize approximates the table's footprint in bytes for state accounting.
+func (kt *KeyTable) MemSize() int {
+	return len(kt.slots)*4 + len(kt.hashes)*16 + len(kt.keys)
+}
+
+// Lookup returns the id of the key, or -1 when absent. It never allocates.
+func (kt *KeyTable) Lookup(h uint64, key []byte) int32 {
+	if len(kt.slots) == 0 {
+		return -1
+	}
+	i := h & kt.mask
+	for {
+		s := kt.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if id := s - 1; kt.hashes[id] == h && bytes.Equal(kt.Key(id), key) {
+			return id
+		}
+		i = (i + 1) & kt.mask
+	}
+}
+
+// Insert returns the id of the key, adding it if absent; added reports
+// whether a new id was created. The key bytes are copied into the arena, so
+// callers may reuse their buffer immediately.
+func (kt *KeyTable) Insert(h uint64, key []byte) (id int32, added bool) {
+	if len(kt.hashes)*4 >= len(kt.slots)*3 { // load factor 3/4, also 0-cap init
+		kt.grow()
+	}
+	i := h & kt.mask
+	for {
+		s := kt.slots[i]
+		if s == 0 {
+			id = int32(len(kt.hashes))
+			kt.hashes = append(kt.hashes, h)
+			kt.offs = append(kt.offs, uint32(len(kt.keys)))
+			kt.keys = append(kt.keys, key...)
+			kt.ends = append(kt.ends, uint32(len(kt.keys)))
+			kt.slots[i] = id + 1
+			return id, true
+		}
+		if cand := s - 1; kt.hashes[cand] == h && bytes.Equal(kt.Key(cand), key) {
+			return cand, false
+		}
+		i = (i + 1) & kt.mask
+	}
+}
+
+// grow doubles the slot array and re-places every id by its stored hash; key
+// bytes are never touched.
+func (kt *KeyTable) grow() {
+	n := len(kt.slots) * 2
+	if n == 0 {
+		n = 16
+	}
+	slots := make([]int32, n)
+	mask := uint64(n - 1)
+	for id, h := range kt.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(id) + 1
+	}
+	kt.slots, kt.mask = slots, mask
+}

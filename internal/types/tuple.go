@@ -28,13 +28,11 @@ func (t Tuple) MemSize() int {
 	return n
 }
 
-// Key encodes the listed column positions into a canonical hash key.
+// Key encodes the listed column positions into a canonical hash key. It is
+// the convenience form of AppendKeyCols for cold paths; the executor's hot
+// paths use AppendKeyCols (via Hasher) to avoid the string allocation.
 func (t Tuple) Key(cols []int) string {
-	var buf []byte
-	for _, c := range cols {
-		buf = t[c].AppendKey(buf)
-	}
-	return string(buf)
+	return string(t.AppendKeyCols(nil, cols))
 }
 
 // AppendKeyCols appends the canonical encoding of the listed columns to dst

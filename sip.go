@@ -175,6 +175,9 @@ type Result struct {
 	FiltersInjected int64
 	// TuplesPruned counts tuples dropped by injected filters.
 	TuplesPruned int64
+	// TuplesProcessed sums tuples received across all operators: the
+	// engine's processing volume, the numerator of benchmark tuples/sec.
+	TuplesProcessed int64
 	// NetworkBytes counts simulated network traffic.
 	NetworkBytes int64
 
@@ -273,6 +276,7 @@ func (e *Engine) run(blk *plan.Block, opts Options) (*Result, error) {
 		FiltersCreated:  reg.FiltersMade.Load(),
 		FiltersInjected: reg.FiltersUsed.Load(),
 		TuplesPruned:    reg.TotalPruned(),
+		TuplesProcessed: reg.TotalIn(),
 		NetworkBytes:    reg.NetworkBytes.Load(),
 		Stats:           reg,
 	}, nil
