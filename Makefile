@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench-smoke bench joinbench verify
+.PHONY: all build test vet test-race bench-smoke bench joinbench benchdiff verify
 
 all: build
 
@@ -23,10 +23,21 @@ bench-smoke:
 bench:
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
 
-# joinbench: regenerate the per-strategy section of BENCH_joins.json
-# (the recorded microbench section is preserved).
+# test-race: the executor's concurrency tests (partitioned join/agg
+# determinism, cancellation) under the race detector.
+test-race:
+	$(GO) test -race ./internal/exec ./internal/core .
+
+# joinbench: append this revision's per-strategy + parallel-scaling entry
+# to the BENCH_joins.json trajectory (the recorded microbench section and
+# all previous entries are preserved).
 joinbench:
 	$(GO) run ./cmd/sipbench -joinbench
+
+# benchdiff: fail when the last BENCH_joins.json entry regressed >10%
+# against the previous one. Run after joinbench.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # verify: the tier-1 gate plus a bench smoke run.
 verify: vet build test bench-smoke

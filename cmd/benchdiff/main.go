@@ -1,0 +1,128 @@
+// Command benchdiff compares the last two entries of the BENCH_joins.json
+// trajectory and fails (exit 1) when any strategy's throughput regressed by
+// more than the tolerance against the previous entry. It is the CI gate
+// behind `make benchdiff`: because sipbench -joinbench appends an entry per
+// PR instead of overwriting, the diff is always PR-over-PR.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.10] [BENCH_joins.json]
+//
+// Both recorded rates are checked per strategy: input_tuples_per_sec (the
+// plan-shape-independent volume) and operator_tuples_per_sec. Entries with
+// fewer than two data points pass trivially, as do strategy names present
+// in only one entry. Entries measured on machines with different core
+// counts are compared anyway but flagged, since parallel-join throughput
+// scales with the machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type strategyCell struct {
+	Strategy             string  `json:"strategy"`
+	InputTuplesPerSec    float64 `json:"input_tuples_per_sec"`
+	OperatorTuplesPerSec float64 `json:"operator_tuples_per_sec"`
+}
+
+type scalingCell struct {
+	Parallelism       int     `json:"parallelism"`
+	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
+}
+
+type entry struct {
+	Generated       string         `json:"generated"`
+	Machine         string         `json:"machine"`
+	Strategies      []strategyCell `json:"strategies"`
+	ParallelScaling []scalingCell  `json:"parallel_scaling"`
+}
+
+type trajectory struct {
+	Entries []entry `json:"entries"`
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional throughput drop vs the previous entry")
+	flag.Parse()
+	path := "BENCH_joins.json"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(tr.Entries) < 2 {
+		fmt.Printf("benchdiff: %s has %d entries, nothing to compare\n", path, len(tr.Entries))
+		return
+	}
+	prev, cur := tr.Entries[len(tr.Entries)-2], tr.Entries[len(tr.Entries)-1]
+	if prev.Machine != "" && cur.Machine != "" && prev.Machine != cur.Machine {
+		fmt.Printf("benchdiff: note: machines differ (%q vs %q), throughput comparison is approximate\n",
+			prev.Machine, cur.Machine)
+	}
+
+	prevBy := map[string]strategyCell{}
+	for _, c := range prev.Strategies {
+		prevBy[c.Strategy] = c
+	}
+
+	failed := false
+	check := func(strategy, metric string, old, new float64) {
+		if old <= 0 || new <= 0 {
+			return // metric absent in one of the entries (pre-split layout)
+		}
+		change := new/old - 1
+		status := "ok"
+		if change < -*tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s %-24s %14.0f -> %14.0f  %+6.1f%%  %s\n",
+			strategy, metric, old, new, change*100, status)
+	}
+	for _, c := range cur.Strategies {
+		p, ok := prevBy[c.Strategy]
+		if !ok {
+			continue
+		}
+		check(c.Strategy, "input_tuples_per_sec", p.InputTuplesPerSec, c.InputTuplesPerSec)
+		check(c.Strategy, "operator_tuples_per_sec", p.OperatorTuplesPerSec, c.OperatorTuplesPerSec)
+	}
+	// The P-scaling curve is machine-bound (it measures cross-core
+	// speedup), so diff it only between entries from the same machine.
+	if prev.Machine == cur.Machine {
+		prevScale := map[int]scalingCell{}
+		for _, c := range prev.ParallelScaling {
+			prevScale[c.Parallelism] = c
+		}
+		for _, c := range cur.ParallelScaling {
+			if p, ok := prevScale[c.Parallelism]; ok {
+				check(fmt.Sprintf("join P=%d", c.Parallelism), "input_tuples_per_sec",
+					p.InputTuplesPerSec, c.InputTuplesPerSec)
+			}
+		}
+	} else if len(cur.ParallelScaling) > 0 {
+		fmt.Println("benchdiff: note: parallel_scaling not compared across different machines")
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs entry %s\n",
+			*tolerance*100, prev.Generated)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: entry %s vs %s within %.0f%% tolerance\n", cur.Generated, prev.Generated, *tolerance*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -14,10 +14,24 @@
 // 95% confidence intervals across repetitions.
 //
 // -joinbench runs the join-heavy benchmark query once per strategy at the
-// pinned SF 0.01 and writes ns/op, allocs/op, and tuples/sec to
-// BENCH_joins.json (see -benchout); a pre-existing "microbench" section in
-// that file — the recorded seed-vs-current numbers from
-// `go test -bench BenchmarkJoin ./internal/exec` — is preserved.
+// pinned SF 0.01, measures the partitioned join's scaling curve at
+// P ∈ {1,2,4,8}, and appends one entry to the BENCH_joins.json trajectory
+// (see -benchout): the file keeps one entry per PR instead of being
+// overwritten, so `make benchdiff` can flag regressions against the
+// previous entry. A pre-existing "microbench" section — the recorded
+// seed-vs-current numbers from `go test -bench BenchmarkJoin
+// ./internal/exec` — is preserved.
+//
+// Each strategy cell records two deliberately distinct rates:
+//
+//   - input_tuples_per_sec: base-table rows scanned per second
+//     (Registry.TotalScanned), comparable across plan shapes and with the
+//     microbench's input-tuples/sec.
+//   - operator_tuples_per_sec: rows received across all operators per
+//     second (Registry.TotalIn), the engine's processing volume; it shifts
+//     with plan shape, so it is only comparable within one strategy's
+//     history. Earlier revisions published this number as
+//     "tuples_per_sec", which invited cross-metric comparisons.
 package main
 
 import (
@@ -26,10 +40,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	sip "repro"
+	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -134,17 +152,44 @@ const joinBenchSF = 0.01
 // are recorded on (same query BenchmarkStrategies uses).
 const joinBenchQuery = "Q2A"
 
-// strategyBench is one strategy's measured cell in BENCH_joins.json.
+// strategyBench is one strategy's measured cell in a BENCH_joins.json entry.
 type strategyBench struct {
-	Strategy     string  `json:"strategy"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	TuplesPerSec float64 `json:"tuples_per_sec"`
-	Rows         int     `json:"rows"`
+	Strategy             string  `json:"strategy"`
+	NsPerOp              int64   `json:"ns_per_op"`
+	AllocsPerOp          int64   `json:"allocs_per_op"`
+	InputTuplesPerSec    float64 `json:"input_tuples_per_sec"`
+	OperatorTuplesPerSec float64 `json:"operator_tuples_per_sec"`
+	Rows                 int     `json:"rows"`
 }
 
-// runJoinBench measures every strategy on the join-heavy query and writes
-// the JSON trajectory file, preserving any recorded "microbench" section.
+// scalingBench is one parallelism level of the partitioned-join scaling
+// curve (the exec microbench's Unique shape, measured in-process).
+type scalingBench struct {
+	Parallelism       int     `json:"parallelism"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
+	SpeedupVsP1       float64 `json:"speedup_vs_p1"`
+}
+
+// benchEntry is one PR's appended measurement in the trajectory.
+type benchEntry struct {
+	Generated       string          `json:"generated"`
+	Machine         string          `json:"machine"`
+	ScaleFactor     float64         `json:"scale_factor"`
+	Query           string          `json:"query"`
+	Reps            int             `json:"reps"`
+	Strategies      []strategyBench `json:"strategies"`
+	ParallelScaling []scalingBench  `json:"parallel_scaling,omitempty"`
+}
+
+func machineString() string {
+	return fmt.Sprintf("%d-core %s/%s %s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH, runtime.Version())
+}
+
+// runJoinBench measures every strategy on the join-heavy query plus the
+// partitioned join's P-scaling curve, and appends one entry to the JSON
+// trajectory file, preserving the recorded "microbench" section and every
+// previous entry.
 func runJoinBench(outPath string, reps int) error {
 	if reps < 1 {
 		reps = 1
@@ -163,48 +208,98 @@ func runJoinBench(outPath string, reps int) error {
 		if _, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
 			return err
 		}
-		var ms0, ms1 runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		var tuples, rows int64
+		// Per-rep measurement, reported as the median rep on every axis
+		// (time, tuple rates, allocations): single-run noise on a loaded
+		// machine easily exceeds the benchdiff tolerance, and the
+		// trajectory gate is only as trustworthy as these numbers.
+		type rep struct {
+			d                  time.Duration
+			opTuples, inTuples int64
+			allocs             int64
+		}
+		repsRun := make([]rep, reps)
+		var rows int64
 		for i := 0; i < reps; i++ {
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
 			res, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
 			if err != nil {
 				return err
 			}
-			tuples += res.TuplesProcessed
+			d := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			repsRun[i] = rep{d: d, opTuples: res.TuplesProcessed, inTuples: res.TuplesScanned,
+				allocs: int64(ms1.Mallocs - ms0.Mallocs)}
 			rows = int64(len(res.Rows))
 		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&ms1)
+		sort.Slice(repsRun, func(i, k int) bool { return repsRun[i].d < repsRun[k].d })
+		med := repsRun[len(repsRun)/2]
 		cells = append(cells, strategyBench{
-			Strategy:     s.String(),
-			NsPerOp:      elapsed.Nanoseconds() / int64(reps),
-			AllocsPerOp:  int64(ms1.Mallocs-ms0.Mallocs) / int64(reps),
-			TuplesPerSec: float64(tuples) / elapsed.Seconds(),
-			Rows:         int(rows),
+			Strategy:             s.String(),
+			NsPerOp:              med.d.Nanoseconds(),
+			AllocsPerOp:          med.allocs,
+			InputTuplesPerSec:    float64(med.inTuples) / med.d.Seconds(),
+			OperatorTuplesPerSec: float64(med.opTuples) / med.d.Seconds(),
+			Rows:                 int(rows),
 		})
-		fmt.Printf("%-14s %12v/op %10d allocs/op %14.0f tuples/sec\n",
-			s.String(), time.Duration(cells[len(cells)-1].NsPerOp).Round(time.Microsecond),
-			cells[len(cells)-1].AllocsPerOp, cells[len(cells)-1].TuplesPerSec)
+		c := cells[len(cells)-1]
+		fmt.Printf("%-14s %12v/op %10d allocs/op %12.0f input-tuples/sec %12.0f op-tuples/sec\n",
+			s.String(), time.Duration(c.NsPerOp).Round(time.Microsecond),
+			c.AllocsPerOp, c.InputTuplesPerSec, c.OperatorTuplesPerSec)
 	}
 
-	// Preserve the recorded microbench section across regenerations.
+	scaling, err := runParallelScaling(reps)
+	if err != nil {
+		return err
+	}
+
+	entry := benchEntry{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Machine:         machineString(),
+		ScaleFactor:     joinBenchSF,
+		Query:           joinBenchQuery,
+		Reps:            reps,
+		Strategies:      cells,
+		ParallelScaling: scaling,
+	}
+
+	// Load the existing trajectory: preserve the microbench section and all
+	// previous entries, migrating the pre-trajectory layout (a single
+	// top-level strategies list whose tuples_per_sec was operator volume)
+	// into entry form.
 	doc := map[string]any{}
+	var entries []any
 	if old, err := os.ReadFile(outPath); err == nil {
 		var prev map[string]any
 		if json.Unmarshal(old, &prev) == nil {
 			if mb, ok := prev["microbench"]; ok {
 				doc["microbench"] = mb
 			}
+			if es, ok := prev["entries"].([]any); ok {
+				entries = es
+			} else if legacy, ok := prev["strategies"].([]any); ok {
+				for _, c := range legacy {
+					if cell, ok := c.(map[string]any); ok {
+						if tps, ok := cell["tuples_per_sec"]; ok {
+							cell["operator_tuples_per_sec"] = tps
+							delete(cell, "tuples_per_sec")
+						}
+					}
+				}
+				entries = append(entries, map[string]any{
+					"generated":    prev["generated"],
+					"scale_factor": prev["scale_factor"],
+					"query":        prev["query"],
+					"reps":         prev["reps"],
+					"strategies":   legacy,
+				})
+			}
 		}
 	}
-	doc["generated"] = time.Now().UTC().Format(time.RFC3339)
-	doc["scale_factor"] = joinBenchSF
-	doc["query"] = joinBenchQuery
-	doc["reps"] = reps
-	doc["strategies"] = cells
+	entries = append(entries, entry)
+	doc["entries"] = entries
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -214,6 +309,66 @@ func runJoinBench(outPath string, reps int) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", outPath)
+	fmt.Printf("appended entry %d to %s\n", len(entries), outPath)
 	return nil
+}
+
+// scalingN sizes the scaling measurement to the exec microbench's Unique
+// shape: scalingN tuples per side over as many distinct keys, one match
+// per tuple.
+const scalingN = 1 << 15
+
+// runParallelScaling measures the symmetric join end to end at P ∈
+// {1,2,4,8} partitions on the Unique shape and reports input-tuples/sec
+// per level plus the speedup over P=1. On machines with fewer cores than
+// P the curve flattens; Machine records the core count for that reason.
+func runParallelScaling(reps int) ([]scalingBench, error) {
+	lrows := make([]types.Tuple, scalingN)
+	rrows := make([]types.Tuple, scalingN)
+	for i := 0; i < scalingN; i++ {
+		lrows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i))}
+		rrows[i] = types.Tuple{types.Int(int64(scalingN - 1 - i)), types.Int(int64(i))}
+	}
+	sch := func(b string) *types.Schema {
+		return types.NewSchema(
+			types.Column{Table: b, Name: "a", Kind: types.KindInt},
+			types.Column{Table: b, Name: b, Kind: types.KindInt},
+		)
+	}
+	var out []scalingBench
+	for _, p := range []int{1, 2, 4, 8} {
+		run := func() int {
+			l := &exec.Scan{Name: "l", Rows: lrows, Sch: sch("x")}
+			r := &exec.Scan{Name: "r", Rows: rrows, Sch: sch("y")}
+			j := exec.NewHashJoin("scale", l, r, []int{0}, []int{0}, nil)
+			ctx := exec.NewContext(stats.NewRegistry(), nil)
+			ctx.Parallelism = p
+			return len(exec.Run(ctx, j))
+		}
+		run() // warm-up
+		times := make([]time.Duration, reps)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if rows := run(); rows != scalingN {
+				return nil, fmt.Errorf("parallel scaling P=%d produced %d rows, want %d", p, rows, scalingN)
+			}
+			times[i] = time.Since(start)
+		}
+		sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+		med := times[len(times)/2]
+		cell := scalingBench{
+			Parallelism:       p,
+			NsPerOp:           med.Nanoseconds(),
+			InputTuplesPerSec: float64(2*scalingN) / med.Seconds(),
+		}
+		if len(out) > 0 {
+			cell.SpeedupVsP1 = cell.InputTuplesPerSec / out[0].InputTuplesPerSec
+		} else {
+			cell.SpeedupVsP1 = 1
+		}
+		out = append(out, cell)
+		fmt.Printf("parallel join  P=%d %12v/op %12.0f input-tuples/sec %5.2fx\n",
+			p, time.Duration(cell.NsPerOp).Round(time.Microsecond), cell.InputTuplesPerSec, cell.SpeedupVsP1)
+	}
+	return out, nil
 }

@@ -88,9 +88,6 @@ func (f *Filter) AddHash(h uint64) {
 // Add inserts a key encoding into the filter.
 func (f *Filter) Add(key []byte) { f.AddHash(types.Hash64(key, 0)) }
 
-// AddString inserts a string key.
-func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
-
 // ProbeHash reports whether a key with the given precomputed hash may be in
 // the filter: the hash-once fast path probed per tuple by the executor.
 func (f *Filter) ProbeHash(h uint64) bool {
@@ -101,9 +98,6 @@ func (f *Filter) ProbeHash(h uint64) bool {
 // Contains reports whether the key may be in the filter. False positives
 // occur at roughly the configured rate; false negatives never occur.
 func (f *Filter) Contains(key []byte) bool { return f.ProbeHash(types.Hash64(key, 0)) }
-
-// ContainsString reports membership for a string key.
-func (f *Filter) ContainsString(key string) bool { return f.Contains([]byte(key)) }
 
 // Len returns the number of insertions performed (after IntersectWith the
 // count is the minimum of the operands', an upper bound on the true size).

@@ -106,11 +106,16 @@ func (f *FeedForward) Begin() {
 
 	for p, sets := range producedBy {
 		sets := sets
-		// buf is reused across calls: OnStore is invoked only by the
-		// operator goroutine owning the point, and the key is encoded and
-		// hashed once, then fed to the summary by hash.
+		// buf is reused across calls under mu. The partitioned executor may
+		// invoke OnStore from several partition workers of the same point
+		// concurrently (HashAgg calls it for new groups), and Bloom AddHash
+		// is not atomic, so the hook serializes itself; the key is still
+		// encoded and hashed once, then fed to the summary by hash.
+		var mu sync.Mutex
 		var buf []byte
 		p.OnStore = func(t types.Tuple) {
+			mu.Lock()
+			defer mu.Unlock()
 			for _, ws := range sets {
 				buf = buf[:0]
 				buf = t[ws.col].AppendKey(buf)

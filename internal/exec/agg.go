@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -89,9 +90,12 @@ type groupState struct {
 // available as AIP-set state (the paper's Example 3.2 builds a Bloom filter
 // of PARTKEY "from the state in the aggregation operator").
 //
-// Groups live in an open-addressing KeyTable (hash-once group keys, no
-// string allocation) with a dense groupState array; the state mutex is
-// taken once per input batch and stats counters are flushed per batch.
+// Like the join, the operator is radix partitioned: a router evaluates the
+// group-by keys, hashes them once, and scatters tuples to P partitions by
+// the top hash bits; every partition's KeyTable and group array is owned by
+// a single worker goroutine, so group maintenance for different partitions
+// runs fully in parallel without locks (a group's key always routes to the
+// same partition, so each group lives in exactly one).
 type HashAgg struct {
 	Name    string
 	Child   Op
@@ -111,7 +115,8 @@ func NewHashAgg(name string, child Op, groupBy []expr.Expr, aggs []plan.AggSpec,
 func (h *HashAgg) Schema() *types.Schema { return h.sch }
 
 // accAllocator hands out aggAcc slices carved from chunked backing arrays,
-// one allocation per ~256 groups instead of one per group.
+// one allocation per ~256 groups instead of one per group. Each partition
+// worker owns its own allocator.
 type accAllocator struct {
 	width int
 	free  []aggAcc
@@ -129,32 +134,55 @@ func (a *accAllocator) alloc() []aggAcc {
 	return out
 }
 
-// Start launches the aggregation goroutine.
+// aggPart is one radix partition of the aggregation state, owned by its
+// worker goroutine.
+type aggPart struct {
+	in     chan *scatter
+	idx    types.KeyTable
+	groups []groupState
+	accs   accAllocator
+}
+
+// Start launches the router and the per-partition fold workers.
 func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	in := h.Child.Start(ctx)
 	out := make(chan Batch, 4)
 	op := ctx.Stats.NewOp("agg:" + h.Name)
 
+	P := ctx.partitions()
+	P = clampPartitions(P, pointEstRows(h.Point))
+	op.SetPartitions(P)
+
+	parts := make([]*aggPart, P)
+	partIns := make([]chan *scatter, P)
+	for p := range parts {
+		parts[p] = &aggPart{in: make(chan *scatter, 4), accs: accAllocator{width: len(h.Aggs)}}
+		partIns[p] = parts[p].in
+	}
+
+	gcols := make([]int, len(h.GroupBy))
+	for i := range gcols {
+		gcols[i] = i
+	}
+
+	// Router: probe AIP filters, evaluate and hash the group key once, and
+	// scatter. Stats are accumulated in locals and flushed once per batch.
+	// routed records a complete, uncancelled pass over the input; the
+	// finisher publishes the AIP state only then (partial state must not be
+	// presented as a completed input's summary).
+	routerDone := make(chan struct{})
+	routed := false
 	go func() {
-		defer close(out)
+		defer close(routerDone)
 		var (
-			mu         sync.Mutex
-			idx        types.KeyTable
-			groups     []groupState
 			keyHasher  types.Hasher
 			bankHasher types.Hasher
-			accs       = accAllocator{width: len(h.Aggs)}
+			pr         = newPartitionRouter(0, P, partIns)
 		)
 		gvals := make(types.Tuple, len(h.GroupBy))
-		gcols := make([]int, len(h.GroupBy))
-		for i := range gcols {
-			gcols[i] = i
-		}
-
 		for b := range in {
 			nIn := int64(len(b))
-			var pruned, newGroups, newBytes int64
-			mu.Lock()
+			var pruned int64
 			for _, t := range b {
 				if h.Point != nil && !h.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
 					pruned++
@@ -164,51 +192,107 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 					gvals[i] = g.Eval(t)
 				}
 				kh, key := keyHasher.KeyCols(gvals, gcols)
-				id, added := idx.Insert(kh, key)
-				if added {
-					groups = append(groups, groupState{groupVals: gvals.Clone(), accs: accs.alloc()})
-					newGroups++
-					newBytes += int64(gvals.MemSize()) + int64(48*len(h.Aggs))
-					if h.Point != nil && h.Point.OnStore != nil {
-						h.Point.OnStore(groups[id].groupVals)
-					}
-				}
-				gs := &groups[id]
-				for i := range h.Aggs {
-					var v types.Value
-					if h.Aggs[i].Arg != nil {
-						v = h.Aggs[i].Arg.Eval(t)
-					}
-					gs.accs[i].add(h.Aggs[i].Func, v)
-				}
+				pr.route(t, kh, key)
 			}
-			mu.Unlock()
 			op.In.Add(nIn)
 			op.Pruned.Add(pruned)
-			op.StateRows.Add(newGroups)
-			op.StateBytes.Add(newBytes)
 			if h.Point != nil {
 				h.Point.received.Add(nIn)
-				h.Point.stored.Add(newGroups)
 			}
 			PutBatch(b)
+			if !pr.flush(ctx, nil, nil) {
+				return
+			}
+		}
+		// A closed input channel under cancellation means the stream was
+		// truncated upstream, not that the input completed.
+		select {
+		case <-ctx.Cancelled():
+		default:
+			routed = true
+		}
+	}()
+
+	// Workers: fold scattered tuples into the owned partition state.
+	var workerWg sync.WaitGroup
+	workerWg.Add(P)
+	for p := 0; p < P; p++ {
+		go func(pidx int) {
+			defer workerWg.Done()
+			pt := parts[pidx]
+			gvals := make(types.Tuple, len(h.GroupBy))
+			for sb := range pt.in {
+				var newGroups, newBytes int64
+				for i, t := range sb.tuples {
+					id, added := pt.idx.Insert(sb.hashes[i], sb.key(i))
+					if added {
+						// Re-evaluate the group key to store it: cheaper
+						// than shipping evaluated keys through the scatter,
+						// since it runs once per group, not once per tuple.
+						for k, g := range h.GroupBy {
+							gvals[k] = g.Eval(t)
+						}
+						pt.groups = append(pt.groups, groupState{groupVals: gvals.Clone(), accs: pt.accs.alloc()})
+						newGroups++
+						newBytes += int64(gvals.MemSize()) + int64(48*len(h.Aggs))
+						if h.Point != nil && h.Point.OnStore != nil {
+							h.Point.OnStore(pt.groups[id].groupVals)
+						}
+					}
+					gs := &pt.groups[id]
+					for k := range h.Aggs {
+						var v types.Value
+						if h.Aggs[k].Arg != nil {
+							v = h.Aggs[k].Arg.Eval(t)
+						}
+						gs.accs[k].add(h.Aggs[k].Func, v)
+					}
+				}
+				op.StateRows.Add(newGroups)
+				op.StateBytes.Add(newBytes)
+				pp := op.Part(pidx)
+				pp.Rows.Add(newGroups)
+				pp.Bytes.Add(newBytes)
+				if h.Point != nil {
+					h.Point.stored.Add(newGroups)
+				}
+				putScatter(sb)
+			}
+		}(p)
+	}
+
+	// Finisher: close the partition channels once routing ends, wait for the
+	// folds, publish the AIP state, and emit the result rows.
+	go func() {
+		defer close(out)
+		<-routerDone
+		for _, pt := range parts {
+			close(pt.in)
+		}
+		workerWg.Wait()
+		if !routed { // cancelled mid-routing: state is partial, don't publish
+			return
 		}
 
+		total := 0
+		for _, pt := range parts {
+			total += len(pt.groups)
+		}
 		// SQL semantics: a global aggregate (no GROUP BY) over empty input
 		// yields exactly one row (count 0, sum/min/max/avg NULL). Appended
 		// before the state iterator is published: once the point is Done
-		// the groups slice must be immutable.
-		if len(groups) == 0 && len(h.GroupBy) == 0 {
-			groups = append(groups, groupState{accs: make([]aggAcc, len(h.Aggs))})
+		// the group state must be immutable.
+		if total == 0 && len(h.GroupBy) == 0 {
+			parts[0].groups = append(parts[0].groups, groupState{accs: make([]aggAcc, len(h.Aggs))})
 		}
 
 		if h.Point != nil {
 			h.Point.setStateIter(func(emit func(types.Tuple) bool) {
-				mu.Lock()
-				defer mu.Unlock()
-				for i := range groups {
-					if !emit(groups[i].groupVals) {
-						return
+				for _, pt := range parts {
+					for i := range pt.groups {
+						if !emit(pt.groups[i].groupVals) {
+							return
+						}
 					}
 				}
 			})
@@ -216,35 +300,44 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			ctx.pointDone(h.Point)
 		}
 
+		// Out is counted per flushed batch at the send site (mirroring the
+		// scan fix), so cancelled queries report exactly what was delivered.
 		var arena rowArena
-		var emitted int64
 		batch := GetBatch()
-		for gi := range groups {
-			gs := &groups[gi]
-			row := arena.alloc(len(gs.groupVals) + len(h.Aggs))
-			copy(row, gs.groupVals)
-			for i := range h.Aggs {
-				argKind := types.KindFloat
-				if h.Aggs[i].Arg != nil {
-					argKind = h.Aggs[i].Arg.Kind()
-				}
-				row[len(gs.groupVals)+i] = gs.accs[i].result(h.Aggs[i].Func, argKind)
+		flush := func() bool {
+			if len(batch) == 0 {
+				PutBatch(batch)
+				return true
 			}
-			emitted++
-			batch = append(batch, row)
-			if len(batch) == BatchSize {
-				if !send(ctx, out, batch) {
-					return
+			n := int64(len(batch))
+			if !send(ctx, out, batch) {
+				return false
+			}
+			op.Out.Add(n)
+			return true
+		}
+		for _, pt := range parts {
+			for gi := range pt.groups {
+				gs := &pt.groups[gi]
+				row := arena.alloc(len(gs.groupVals) + len(h.Aggs))
+				copy(row, gs.groupVals)
+				for i := range h.Aggs {
+					argKind := types.KindFloat
+					if h.Aggs[i].Arg != nil {
+						argKind = h.Aggs[i].Arg.Kind()
+					}
+					row[len(gs.groupVals)+i] = gs.accs[i].result(h.Aggs[i].Func, argKind)
 				}
-				batch = GetBatch()
+				batch = append(batch, row)
+				if len(batch) == BatchSize {
+					if !flush() {
+						return
+					}
+					batch = GetBatch()
+				}
 			}
 		}
-		op.Out.Add(emitted)
-		if len(batch) == 0 {
-			PutBatch(batch)
-		} else {
-			send(ctx, out, batch)
-		}
+		flush()
 	}()
 	return out
 }
@@ -252,7 +345,9 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 // Distinct is the pipelined duplicate eliminator: the first occurrence of a
 // tuple is forwarded immediately; its state (the set of tuples seen) is AIP
 // state like any other (the paper's Example 3.1 builds a hash set "from the
-// state in the distinct operator").
+// state in the distinct operator"). It shares the join's radix partitioner:
+// equal tuples always route to the same partition, so per-partition seen
+// sets eliminate duplicates globally while running in parallel.
 type Distinct struct {
 	Name  string
 	Child Op
@@ -262,73 +357,141 @@ type Distinct struct {
 // Schema returns the child schema.
 func (d *Distinct) Schema() *types.Schema { return d.Child.Schema() }
 
-// Start launches the distinct goroutine.
+// distinctPart is one partition of the seen-set, owned by its worker.
+type distinctPart struct {
+	in   chan *scatter
+	idx  types.KeyTable
+	seen []types.Tuple
+}
+
+// Start launches the router and the per-partition dedup workers.
 func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	in := d.Child.Start(ctx)
 	out := make(chan Batch, 4)
 	op := ctx.Stats.NewOp("distinct:" + d.Name)
+
+	P := ctx.partitions()
+	P = clampPartitions(P, pointEstRows(d.Point))
+	op.SetPartitions(P)
+
 	allCols := make([]int, d.Child.Schema().Len())
 	for i := range allCols {
 		allCols[i] = i
 	}
 
+	parts := make([]*distinctPart, P)
+	partIns := make([]chan *scatter, P)
+	for p := range parts {
+		parts[p] = &distinctPart{in: make(chan *scatter, 4)}
+		partIns[p] = parts[p].in
+	}
+
+	// routed mirrors HashAgg: set only after a complete, uncancelled pass
+	// over the input, gating the AIP state publication.
+	routerDone := make(chan struct{})
+	routed := false
 	go func() {
-		defer close(out)
+		defer close(routerDone)
 		var (
-			mu         sync.Mutex
-			idx        types.KeyTable
-			seen       []types.Tuple
 			keyHasher  types.Hasher
 			bankHasher types.Hasher
+			pr         = newPartitionRouter(0, P, partIns)
 		)
 		for b := range in {
 			nIn := int64(len(b))
-			var pruned, stored, storedBytes int64
-			fresh := GetBatch()
-			mu.Lock()
+			var pruned int64
 			for _, t := range b {
 				kh, key := keyHasher.KeyCols(t, allCols)
 				if d.Point != nil && !d.Point.Bank.ProbeHashed(t, allCols, kh, key, &bankHasher) {
 					pruned++
 					continue
 				}
-				if _, added := idx.Insert(kh, key); added {
-					// Clone the retained tuple: distinct keeps a sparse
-					// subset of its input forever, and retaining arena-backed
-					// rows directly would pin their whole blocks.
-					seen = append(seen, t.Clone())
-					stored++
-					storedBytes += int64(t.MemSize())
-					if d.Point != nil && d.Point.OnStore != nil {
-						d.Point.OnStore(t)
-					}
-					fresh = append(fresh, t)
-				}
+				pr.route(t, kh, key)
 			}
-			mu.Unlock()
 			op.In.Add(nIn)
 			op.Pruned.Add(pruned)
-			op.Out.Add(int64(len(fresh)))
-			op.StateRows.Add(stored)
-			op.StateBytes.Add(storedBytes)
 			if d.Point != nil {
 				d.Point.received.Add(nIn)
-				d.Point.stored.Add(stored)
-			}
-			if len(fresh) == 0 {
-				PutBatch(fresh)
-			} else if !send(ctx, out, fresh) {
-				return
 			}
 			PutBatch(b)
+			if !pr.flush(ctx, nil, nil) {
+				return
+			}
+		}
+		select {
+		case <-ctx.Cancelled(): // truncated upstream, input not complete
+		default:
+			routed = true
+		}
+	}()
+
+	// failed is set when a worker could not deliver its output (cancel):
+	// the seen-state is then incomplete and must not be published.
+	var failed atomic.Bool
+	var workerWg sync.WaitGroup
+	workerWg.Add(P)
+	for p := 0; p < P; p++ {
+		go func(pidx int) {
+			defer workerWg.Done()
+			pt := parts[pidx]
+			for sb := range pt.in {
+				var stored, storedBytes int64
+				fresh := GetBatch()
+				for i, t := range sb.tuples {
+					if _, added := pt.idx.Insert(sb.hashes[i], sb.key(i)); added {
+						// Clone the retained tuple: distinct keeps a sparse
+						// subset of its input forever, and retaining
+						// arena-backed rows directly would pin their blocks.
+						pt.seen = append(pt.seen, t.Clone())
+						stored++
+						storedBytes += int64(t.MemSize())
+						if d.Point != nil && d.Point.OnStore != nil {
+							d.Point.OnStore(t)
+						}
+						fresh = append(fresh, t)
+					}
+				}
+				op.StateRows.Add(stored)
+				op.StateBytes.Add(storedBytes)
+				pp := op.Part(pidx)
+				pp.Rows.Add(stored)
+				pp.Bytes.Add(storedBytes)
+				if d.Point != nil {
+					d.Point.stored.Add(stored)
+				}
+				// Out per flushed batch at the send site.
+				if len(fresh) == 0 {
+					PutBatch(fresh)
+				} else {
+					n := int64(len(fresh))
+					if !send(ctx, out, fresh) {
+						failed.Store(true)
+						return
+					}
+					op.Out.Add(n)
+				}
+				putScatter(sb)
+			}
+		}(p)
+	}
+
+	go func() {
+		defer close(out)
+		<-routerDone
+		for _, pt := range parts {
+			close(pt.in)
+		}
+		workerWg.Wait()
+		if !routed || failed.Load() { // cancelled: seen-state is partial
+			return
 		}
 		if d.Point != nil {
 			d.Point.setStateIter(func(emit func(types.Tuple) bool) {
-				mu.Lock()
-				defer mu.Unlock()
-				for _, t := range seen {
-					if !emit(t) {
-						return
+				for _, pt := range parts {
+					for _, t := range pt.seen {
+						if !emit(t) {
+							return
+						}
 					}
 				}
 			})

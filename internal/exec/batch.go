@@ -49,6 +49,106 @@ func PutBatch(b Batch) {
 	batchPool.Put(bb)
 }
 
+// scatter is a pooled buffer carrying the tuples of one input batch that
+// route to one partition of a partitioned operator, together with their
+// hash-once keys so the receiving worker never re-encodes or re-hashes.
+// Like batches, a scatter has exactly one owner: the router owns it until
+// the channel send, the partition worker owns it after receive and recycles
+// it with putScatter.
+type scatter struct {
+	side   int           // producing input (join: 0 = left, 1 = right)
+	tuples []types.Tuple // routed tuples, in arrival order
+	hashes []uint64      // per tuple: Hash64 of its canonical key
+	offs   []int32       // offs[i]:offs[i+1] bound key i in keys; len = len(tuples)+1
+	keys   []byte        // concatenated canonical key encodings
+}
+
+var scatterPool = sync.Pool{New: func() any {
+	return &scatter{offs: make([]int32, 1, BatchSize+1)}
+}}
+
+// getScatter returns an empty scatter buffer from the pool.
+func getScatter(side int) *scatter {
+	s := scatterPool.Get().(*scatter)
+	s.side = side
+	return s
+}
+
+// putScatter recycles a scatter buffer; tuple references are cleared so
+// recycled buffers do not pin row memory.
+func putScatter(s *scatter) {
+	for i := range s.tuples {
+		s.tuples[i] = nil
+	}
+	s.tuples = s.tuples[:0]
+	s.hashes = s.hashes[:0]
+	s.offs = s.offs[:1]
+	s.keys = s.keys[:0]
+	scatterPool.Put(s)
+}
+
+// add appends one routed tuple with its precomputed hash and key bytes
+// (copied, so the caller's hasher scratch can be reused immediately).
+func (s *scatter) add(t types.Tuple, h uint64, key []byte) {
+	s.tuples = append(s.tuples, t)
+	s.hashes = append(s.hashes, h)
+	s.keys = append(s.keys, key...)
+	s.offs = append(s.offs, int32(len(s.keys)))
+}
+
+// key returns the canonical key bytes of tuple i.
+func (s *scatter) key(i int) []byte { return s.keys[s.offs[i]:s.offs[i+1]] }
+
+// partitionRouter is the scatter side of a partitioned operator: it buffers
+// hashed tuples per partition and flushes the buffers to the partition
+// workers once per input batch. One router per producer goroutine.
+type partitionRouter struct {
+	side  int
+	shift uint
+	outs  []chan *scatter
+	bufs  []*scatter
+}
+
+func newPartitionRouter(side, parallelism int, outs []chan *scatter) partitionRouter {
+	return partitionRouter{side: side, shift: partShift(parallelism), outs: outs, bufs: make([]*scatter, len(outs))}
+}
+
+// route buffers one tuple for the partition selected by the top bits of its
+// key hash, so equal keys always land in the same partition.
+func (r *partitionRouter) route(t types.Tuple, h uint64, key []byte) {
+	p := int(h >> r.shift)
+	if r.bufs[p] == nil {
+		r.bufs[p] = getScatter(r.side)
+	}
+	r.bufs[p].add(t, h, key)
+}
+
+// flush delivers the buffered scatters to their partition workers.
+// beforeSend/onCancel (either may be nil) bracket each delivery attempt:
+// the join counts in-flight messages there. flush reports false when the
+// query was cancelled mid-delivery; the undelivered buffer is recycled.
+func (r *partitionRouter) flush(ctx *Context, beforeSend, onCancel func()) bool {
+	for p, sb := range r.bufs {
+		if sb == nil {
+			continue
+		}
+		r.bufs[p] = nil
+		if beforeSend != nil {
+			beforeSend()
+		}
+		select {
+		case r.outs[p] <- sb:
+		case <-ctx.Cancelled():
+			if onCancel != nil {
+				onCancel()
+			}
+			putScatter(sb)
+			return false
+		}
+	}
+	return true
+}
+
 // rowArena allocates output tuples in batch-sized blocks: one []types.Value
 // allocation amortized over ~BatchSize rows instead of one per row. Rows are
 // handed out as capacity-capped subslices, so they can escape downstream

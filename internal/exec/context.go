@@ -28,9 +28,36 @@
 //
 // Steady state, the join hot path performs zero allocations per probed
 // tuple (asserted by testing.AllocsPerRun regression tests).
+//
+// # Partitioned parallelism
+//
+// The stateful operators (HashJoin, HashAgg, Distinct) are radix
+// partitioned so a single operator saturates all cores, not one core per
+// input. A router goroutine per input performs the lock-free phase —
+// AIP-filter probe and hash-once key encoding — and routes each surviving
+// tuple to one of P partitions by the top bits of its 64-bit key hash
+// (P = Context.Parallelism rounded down to a power of two). Tuples with
+// equal keys therefore always land in the same partition, so partitions
+// are independent sub-problems.
+//
+// Each partition's state (a pair of joinTables for the join, a
+// KeyTable+groups array for agg/distinct) is owned by exactly one worker
+// goroutine, which serializes all inserts and probes for that partition;
+// ownership replaces the per-side lock of the pre-partitioned engine, and
+// insert/probe for different partitions never contend. The symmetric
+// join's exactly-once argument holds per partition: every buffered tuple
+// takes a ticket from the partition's counter, a probing tuple emits only
+// matches with smaller tickets, and because one worker serializes the
+// partition, for any result pair the later-ticketed tuple observes the
+// earlier one and the earlier never emits the later. Side-level completion
+// (the paper's §VI-A short-circuit, Point.Done, state iterators) is
+// detected with a per-input pending-message counter: the input is done
+// only after its router has finished AND every scattered message has been
+// drained by the workers, i.e. after the input's last probe.
 package exec
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/stats"
@@ -58,10 +85,21 @@ type Controller interface {
 	End()
 }
 
+// MaxPartitions caps the partition fan-out of parallel operators; beyond
+// this, scatter/channel overhead dominates any added concurrency.
+const MaxPartitions = 64
+
 // Context carries per-query runtime state shared by all operators.
 type Context struct {
 	Stats *stats.Registry
 	Ctl   Controller
+
+	// Parallelism is the partition fan-out of the parallel stateful
+	// operators (hash join, aggregation, distinct). Zero or negative means
+	// runtime.GOMAXPROCS(0); the effective value is rounded down to a power
+	// of two and capped at MaxPartitions. One partition reproduces the
+	// pre-partitioned single-owner data path exactly.
+	Parallelism int
 
 	cancel    chan struct{}
 	cancelOne sync.Once
@@ -75,6 +113,61 @@ type Context struct {
 // nil for baseline execution.
 func NewContext(reg *stats.Registry, ctl Controller) *Context {
 	return &Context{Stats: reg, Ctl: ctl, cancel: make(chan struct{})}
+}
+
+// partitions resolves the effective partition count: Parallelism (or
+// GOMAXPROCS when unset) rounded down to a power of two, in [1, MaxPartitions].
+func (c *Context) partitions() int {
+	p := c.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > MaxPartitions {
+		p = MaxPartitions
+	}
+	for p&(p-1) != 0 { // clear low one-bits down to a power of two
+		p &= p - 1
+	}
+	return p
+}
+
+// minPartitionRows is the estimated row count below which an extra
+// partition is not worth its worker goroutine and scatter channel.
+const minPartitionRows = 1024
+
+// clampPartitions halves p until the optimizer's cardinality estimate
+// keeps every partition meaningfully loaded, so tiny inputs run on the
+// cheap single-owner path even on wide machines. An absent estimate
+// (est <= 0) leaves p untouched — explicit Parallelism settings and
+// estimate-free plans keep their fan-out.
+func clampPartitions(p int, est float64) int {
+	if est <= 0 {
+		return p
+	}
+	for p > 1 && est < float64(p)*minPartitionRows {
+		p >>= 1
+	}
+	return p
+}
+
+// pointEstRows reads a possibly-absent injection point's cardinality
+// estimate, so operators can clamp on whatever estimates the plan carries.
+func pointEstRows(p *Point) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.EstRows
+}
+
+// partShift converts a partition count to the right-shift that maps a
+// 64-bit key hash to its partition index (top-bits radix).
+func partShift(p int) uint {
+	s := uint(64)
+	for p > 1 {
+		p >>= 1
+		s--
+	}
+	return s
 }
 
 // Cancel aborts the query; operators drain and stop promptly.

@@ -228,11 +228,14 @@ func TestJoinShortCircuit(t *testing.T) {
 		big[i] = types.Tuple{types.Int(int64(i)), types.Int(0)}
 	}
 	l := &Scan{Name: "l", Rows: small, Sch: intSchema("a", "x")}
-	// Delay the big side so the small side definitely finishes first.
-	r := &Scan{Name: "r", Rows: big, Sch: intSchema("a", "y"),
-		Delay: &DelayConfig{Initial: 30 * time.Millisecond}}
+	// Gate the big side on the small side's completion so it definitely
+	// finishes first, regardless of scheduler load.
+	var lp *Point
+	r := &gated{child: &Scan{Name: "r", Rows: big, Sch: intSchema("a", "y")},
+		cond: func() bool { return lp.Done() }}
 	j := NewHashJoin("j", l, r, []int{0}, []int{0}, nil)
 	j.LPoint = &Point{Name: "l", Bank: NewFilterBank(), Stateful: true, KeyCols: []int{0}, EqIDs: []int{0, -1}, StateEqIDs: []int{0, -1}, DomainDistinct: []float64{0, 0}}
+	lp = j.LPoint
 	j.RPoint = &Point{Name: "r", Bank: NewFilterBank(), Stateful: true, KeyCols: []int{0}, EqIDs: []int{0, -1}, StateEqIDs: []int{0, -1}, DomainDistinct: []float64{0, 0}}
 	got := runOp(t, j, nil)
 	if len(got) != 1 {
@@ -403,11 +406,11 @@ func TestFilterBankAttachReplace(t *testing.T) {
 	if b.Len() != 1 {
 		t.Fatalf("bank len = %d", b.Len())
 	}
-	keep, _ := b.Probe(types.Tuple{types.Int(1)}, nil)
+	keep := b.Probe(types.Tuple{types.Int(1)})
 	if !keep {
 		t.Fatal("member pruned")
 	}
-	keep, _ = b.Probe(types.Tuple{types.Int(2)}, nil)
+	keep = b.Probe(types.Tuple{types.Int(2)})
 	if keep {
 		t.Fatal("non-member passed")
 	}
@@ -415,7 +418,7 @@ func TestFilterBankAttachReplace(t *testing.T) {
 	if b.Len() != 1 {
 		t.Fatalf("replace changed count: %d", b.Len())
 	}
-	keep, _ = b.Probe(types.Tuple{types.Int(2)}, nil)
+	keep = b.Probe(types.Tuple{types.Int(2)})
 	if !keep {
 		t.Fatal("replacement not effective")
 	}
@@ -431,9 +434,10 @@ func TestPointStateIter(t *testing.T) {
 	l := intRows([]int64{1, 0}, []int64{2, 0})
 	r := intRows([]int64{9, 0})
 	j := buildJoin(l, r)
-	// Delay the right input so the left side is fully buffered before the
-	// right side's completion can trigger the short-circuit optimization.
-	j.Right.(*Scan).Delay = &DelayConfig{Initial: 30 * time.Millisecond}
+	// Gate the right input on the left side's completion so the left side
+	// is fully buffered before the right side's completion can trigger the
+	// short-circuit optimization.
+	j.Right = &gated{child: j.Right, cond: func() bool { return j.LPoint.Done() }}
 	runOp(t, j, nil)
 	var seen []int64
 	j.LPoint.IterState(func(tp types.Tuple) bool {
@@ -557,11 +561,13 @@ func TestJoinOnStoreCoversShortCircuitedTuples(t *testing.T) {
 	for i := range big {
 		big[i] = types.Tuple{types.Int(int64(i)), types.Int(0)}
 	}
+	var lp *Point
 	l := &Scan{Name: "l", Rows: small, Sch: intSchema("a", "x")}
-	r := &Scan{Name: "r", Rows: big, Sch: intSchema("a", "y"),
-		Delay: &DelayConfig{Initial: 20 * time.Millisecond}}
+	r := &gated{child: &Scan{Name: "r", Rows: big, Sch: intSchema("a", "y")},
+		cond: func() bool { return lp.Done() }}
 	j := NewHashJoin("j", l, r, []int{0}, []int{0}, nil)
 	j.LPoint = &Point{Name: "l", Bank: NewFilterBank(), Stateful: true, KeyCols: []int{0}, EqIDs: []int{0, -1}, StateEqIDs: []int{0, -1}, DomainDistinct: []float64{0, 0}}
+	lp = j.LPoint
 	var rSeen int64
 	j.RPoint = &Point{Name: "r", Bank: NewFilterBank(), Stateful: true, KeyCols: []int{0}, EqIDs: []int{0, -1}, StateEqIDs: []int{0, -1}, DomainDistinct: []float64{0, 0}}
 	j.RPoint.OnStore = func(types.Tuple) { rSeen++ }

@@ -9,29 +9,32 @@ import (
 	"repro/internal/types"
 )
 
-// HashJoin is the pipelined (symmetric) hash join of the paper: each input
-// is consumed by its own goroutine; an arriving tuple is inserted into its
-// side's hash table and immediately probed against the other side's table,
-// so results stream as soon as both matching tuples have arrived,
-// independent of input order or delays.
+// HashJoin is the pipelined (symmetric) hash join of the paper: an arriving
+// tuple is inserted into its side's hash table and immediately probed
+// against the other side's table, so results stream as soon as both
+// matching tuples have arrived, independent of input order or delays.
 //
-// Concurrency: the two sides use independent locks so that a fast input
-// never serializes against a slow one (Tukwila's per-input threads are
-// likewise independent), and each lock is taken once per batch, not once
-// per tuple. Exactly-once match emission is guaranteed by insertion
-// sequence numbers: every stored tuple takes a ticket from a shared counter
-// inside its side's critical section, and a probing tuple emits only the
-// matches whose ticket is smaller than its own. For any result pair, the
-// later-ticketed tuple is guaranteed to see the earlier one in its probe
-// (the earlier insert's critical section completed before the later probe
-// could acquire that side's lock — otherwise the ticket order would be
-// reversed), and the earlier tuple — whether or not it observes the later
-// one — never emits it. This argument is per tuple pair, so batching the
-// critical sections does not change it.
+// Concurrency: the operator is radix partitioned (see the package comment).
+// One router goroutine per input performs the lock-free phase — AIP filter
+// probe and hash-once key encoding — and scatters surviving tuples to P
+// partitions by the top bits of their key hash; tuples with equal keys land
+// in the same partition. Each partition owns an independent pair of tables
+// and a ticket counter, and is driven by exactly one worker goroutine, so
+// inserts and probes for different partitions never contend and a single
+// join saturates all cores rather than two.
+//
+// Exactly-once match emission holds per partition: every buffered tuple
+// takes a ticket from its partition's counter, and a probing tuple emits
+// only the matches whose ticket is smaller than its own. Because one worker
+// serializes each partition, for any result pair the later-ticketed tuple
+// is guaranteed to see the earlier one in its probe, and the earlier tuple
+// never emits the later one. Tuples of different partitions never match
+// (different key hashes), so the argument composes across partitions.
 //
 // It also implements the "short-circuit" optimization the paper describes
-// in §VI-A: once one input completes, the other side stops buffering,
-// since nothing will ever probe its table.
+// in §VI-A: once one input completes — its router has finished and every
+// scattered message has been drained, i.e. its last probe has happened —
+// the other side stops buffering, since nothing will ever probe its table.
 type HashJoin struct {
 	Name        string
 	Left, Right Op
@@ -65,11 +68,11 @@ type joinEntry struct {
 	next int32 // 1-based index of the next entry in the chain, 0 = end
 }
 
-// joinTable is the open-addressing hash table of one join side: a KeyTable
-// maps the key hash + bytes to a dense id, heads[id] starts the per-key
-// chain through entries. Inserting a tuple costs no allocation beyond
-// amortized slice growth — in particular no string key and no per-key
-// bucket slice.
+// joinTable is the open-addressing hash table of one join side within one
+// partition: a KeyTable maps the key hash + bytes to a dense id, heads[id]
+// starts the per-key chain through entries. Inserting a tuple costs no
+// allocation beyond amortized slice growth — in particular no string key
+// and no per-key bucket slice.
 type joinTable struct {
 	idx     types.KeyTable
 	heads   []int32 // per key id: 1-based index of the newest entry
@@ -77,8 +80,9 @@ type joinTable struct {
 }
 
 // reserve pre-sizes the table for about n stored tuples (the optimizer's
-// cardinality estimate), avoiding most doubling-growth garbage on the
-// insert path. n = 0 leaves the lazy defaults.
+// cardinality estimate divided by the partition count), avoiding most
+// doubling-growth garbage on the insert path. n <= 0 leaves the lazy
+// defaults.
 func (jt *joinTable) reserve(n int) {
 	if n <= 0 {
 		return
@@ -87,7 +91,7 @@ func (jt *joinTable) reserve(n int) {
 	if n > maxHint {
 		n = maxHint
 	}
-	jt.idx = *types.NewKeyTable(n)
+	jt.idx.Reserve(n)
 	jt.heads = make([]int32, 0, n)
 	jt.entries = make([]joinEntry, 0, n)
 }
@@ -118,134 +122,204 @@ func (jt *joinTable) probe(h uint64, key []byte, maxSeq uint64, dst []types.Tupl
 	return dst
 }
 
-// joinSide is the per-input state of the symmetric join.
-type joinSide struct {
-	mu    sync.Mutex
+// joinInput is the side-level shared state of one join input.
+type joinInput struct {
+	side  int // 0 = left, 1 = right
 	keys  []int
-	table joinTable
-	done  atomic.Bool
 	point *Point
+	op    *stats.OpStats
+
+	// pending is 1 (the router's hold, released when the input channel
+	// closes) plus the number of scattered messages not yet fully processed
+	// by a worker. It reaches 0 exactly once, after the input's last probe.
+	pending atomic.Int64
+	// routed is set when the router consumed its whole input without being
+	// cancelled; completion runs only for fully routed inputs.
+	routed atomic.Bool
+	// done is set by the completion step: nothing of this side will ever
+	// probe again, so the other side may stop buffering (§VI-A).
+	done atomic.Bool
 }
 
-// Start launches one goroutine per input; each emits its own matches, so
-// with Go's scheduler the operator behaves like Tukwila's three-thread
-// join with the output thread folded into the producers.
+// joinPart is one radix partition. Its tables and ticket counter are owned
+// exclusively by the worker goroutine draining in; single-owner processing
+// replaces the per-side lock of the pre-partitioned engine.
+type joinPart struct {
+	in     chan *scatter
+	tables [2]joinTable // indexed by side
+	ticket uint64
+}
+
+// Start launches one router goroutine per input and one worker per
+// partition; workers emit their own matches, so the operator behaves like
+// Tukwila's multithreaded join with the output thread folded in.
 func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	lin := j.Left.Start(ctx)
 	rin := j.Right.Start(ctx)
 	out := make(chan Batch, 4)
 
+	P := ctx.partitions()
+	P = clampPartitions(P, pointEstRows(j.LPoint)+pointEstRows(j.RPoint))
+
 	lop := ctx.Stats.NewOp("join:" + j.Name + ".left")
 	rop := ctx.Stats.NewOp("join:" + j.Name + ".right")
+	lop.SetPartitions(P)
+	rop.SetPartitions(P)
 
-	var ticket atomic.Uint64
-	left := &joinSide{keys: j.LKeys, point: j.LPoint}
-	right := &joinSide{keys: j.RKeys, point: j.RPoint}
-	if j.LPoint != nil {
-		left.table.reserve(int(j.LPoint.EstRows))
+	inputs := [2]*joinInput{
+		{side: 0, keys: j.LKeys, point: j.LPoint, op: lop},
+		{side: 1, keys: j.RKeys, point: j.RPoint, op: rop},
 	}
-	if j.RPoint != nil {
-		right.table.reserve(int(j.RPoint.EstRows))
+	inputs[0].pending.Store(1)
+	inputs[1].pending.Store(1)
+
+	parts := make([]*joinPart, P)
+	partIns := make([]chan *scatter, P)
+	for p := range parts {
+		parts[p] = &joinPart{in: make(chan *scatter, 4)}
+		partIns[p] = parts[p].in
+		for s, in := range inputs {
+			if in.point != nil {
+				parts[p].tables[s].reserve(int(in.point.EstRows) / P)
+			}
+		}
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(2)
+	// finish marks one input complete: its state is immutable from here on
+	// (all inserts happened before the pending counter reached zero), so the
+	// AIP state iterator walks the partitions without locks.
+	finish := func(own *joinInput) {
+		own.done.Store(true)
+		if own.point != nil {
+			side := own.side
+			own.point.setStateIter(func(emit func(types.Tuple) bool) {
+				for _, pt := range parts {
+					for i := range pt.tables[side].entries {
+						if !emit(pt.tables[side].entries[i].t) {
+							return
+						}
+					}
+				}
+			})
+			own.point.done.Store(true)
+			ctx.pointDone(own.point)
+		}
+	}
 
-	// consume processes one input batch-at-a-time in four phases:
-	//  1. lock-free: probe AIP filters, hash each surviving tuple's key once
-	//  2. one critical section on the own side: ticket + insert the batch
-	//  3. one critical section on the other side: probe the batch
-	//  4. lock-free: materialize result rows (arena-backed) and emit
-	// Stats are accumulated in locals and flushed once per batch.
-	consume := func(in <-chan Batch, own, other *joinSide, ownIsLeft bool, op *stats.OpStats) {
-		defer wg.Done()
+	// release drops one pending reference and runs completion when the
+	// input's routing finished and its last scattered message is drained.
+	release := func(own *joinInput) {
+		if own.pending.Add(-1) == 0 && own.routed.Load() {
+			finish(own)
+		}
+	}
+
+	var routers atomic.Int32
+	routers.Store(2)
+
+	// router consumes one input batch-at-a-time: probes the AIP filters,
+	// hashes each surviving tuple's key once, and scatters it to its
+	// partition. Stats are accumulated in locals and flushed once per batch.
+	router := func(in <-chan Batch, own *joinInput) {
+		defer func() {
+			if routers.Add(-1) == 0 {
+				for _, pt := range parts {
+					close(pt.in)
+				}
+			}
+		}()
 		var (
 			keyHasher  types.Hasher // own-key encoding, hashed once per tuple
 			bankHasher types.Hasher // scratch for filters over other columns
-			kept       []types.Tuple
-			hashes     []uint64
-			keyOffs    []int32 // per kept tuple: start of its key in keyBuf
-			keyBuf     []byte
-			seqs       []uint64
-			matches    []types.Tuple
-			matchEnds  []int32 // per kept tuple: end of its range in matches
-			arena      rowArena
+			pr         = newPartitionRouter(own.side, P, partIns)
 		)
 		for b := range in {
 			nIn := int64(len(b))
 			var pruned int64
-			kept = kept[:0]
-			hashes = hashes[:0]
-			keyOffs = keyOffs[:0]
-			keyBuf = keyBuf[:0]
-			seqs = seqs[:0]
-
-			// Phase 1: AIP filter probes and hash-once key encoding.
 			for _, t := range b {
 				h, key := keyHasher.KeyCols(t, own.keys)
 				if own.point != nil && !own.point.Bank.ProbeHashed(t, own.keys, h, key, &bankHasher) {
 					pruned++
 					continue
 				}
-				kept = append(kept, t)
-				hashes = append(hashes, h)
-				keyOffs = append(keyOffs, int32(len(keyBuf)))
-				keyBuf = append(keyBuf, key...)
-			}
-			keyOffs = append(keyOffs, int32(len(keyBuf)))
-			keyAt := func(i int) []byte { return keyBuf[keyOffs[i]:keyOffs[i+1]] }
-
-			// Phase 2: insert the batch into the own table (unless the other
-			// side already finished: short-circuit) and take tickets.
-			var stored, storedBytes int64
-			own.mu.Lock()
-			// One ticket-range reservation per batch: the whole contiguous
-			// block is fetched inside this critical section, so the
-			// exactly-once ordering argument applies to each ticket in it.
-			base := ticket.Add(uint64(len(kept))) - uint64(len(kept))
-			for i, t := range kept {
-				seqs = append(seqs, base+uint64(i)+1)
-				if !other.done.Load() {
-					own.table.insert(hashes[i], keyAt(i), t, seqs[i])
-					stored++
-					storedBytes += int64(t.MemSize())
-				} else if own.point != nil {
-					// The buffered state no longer reflects the full input;
-					// Cost-Based AIP must not build a set from it.
-					own.point.stateIncomplete.Store(true)
+				pr.route(t, h, key)
+				// The working AIP set covers every tuple that passed the
+				// filters, whether or not a worker buffers it (Feed-Forward
+				// publishes it as a complete summary of this input).
+				if own.point != nil && own.point.OnStore != nil {
+					own.point.OnStore(t)
 				}
 			}
-			own.mu.Unlock()
-
-			// The working AIP set covers every tuple that passed the
-			// filters, whether or not it was buffered (Feed-Forward
-			// publishes it as a complete summary of this input).
+			own.op.In.Add(nIn)
+			own.op.Pruned.Add(pruned)
 			if own.point != nil {
 				own.point.received.Add(nIn)
-				own.point.stored.Add(stored)
-				if own.point.OnStore != nil {
-					for _, t := range kept {
-						own.point.OnStore(t)
-					}
+			}
+			PutBatch(b)
+			// Flush this batch's routed tuples to their partition workers,
+			// counting each message in-flight for the completion protocol.
+			if !pr.flush(ctx,
+				func() { own.pending.Add(1) },
+				func() { own.pending.Add(-1) }) {
+				return
+			}
+		}
+		// The input channel closing means either a fully consumed input or
+		// an upstream cancellation truncating the stream; only the former
+		// is a completed input whose state may be published.
+		select {
+		case <-ctx.Cancelled():
+			return
+		default:
+		}
+		// Input exhausted: release the router's hold; completion runs here
+		// or on whichever worker drains the last message.
+		own.routed.Store(true)
+		release(own)
+	}
+
+	var workerWg sync.WaitGroup
+	workerWg.Add(P)
+
+	// worker owns one partition. For each scattered message it inserts the
+	// batch into the sending side's table (unless the other input already
+	// completed: short-circuit) with fresh tickets, probes the other side's
+	// table, and materializes earlier-ticket matches into arena-backed rows.
+	worker := func(pidx int) {
+		defer workerWg.Done()
+		pt := parts[pidx]
+		var (
+			matches []types.Tuple
+			arena   rowArena
+		)
+		for sb := range pt.in {
+			own, other := inputs[sb.side], inputs[1-sb.side]
+			ownT, otherT := &pt.tables[sb.side], &pt.tables[1-sb.side]
+			n := len(sb.tuples)
+			base := pt.ticket
+			pt.ticket += uint64(n)
+
+			var stored, storedBytes int64
+			if !other.done.Load() {
+				for i, t := range sb.tuples {
+					ownT.insert(sb.hashes[i], sb.key(i), t, base+uint64(i)+1)
+					stored++
+					storedBytes += int64(t.MemSize())
 				}
+			} else if own.point != nil {
+				// The buffered state no longer reflects the full input;
+				// Cost-Based AIP must not build a set from it.
+				own.point.stateIncomplete.Store(true)
 			}
 
-			// Phase 3: probe the other side for the whole batch.
-			matches = matches[:0]
-			matchEnds = matchEnds[:0]
-			other.mu.Lock()
-			for i := range kept {
-				matches = other.table.probe(hashes[i], keyAt(i), seqs[i], matches)
-				matchEnds = append(matchEnds, int32(len(matches)))
-			}
-			other.mu.Unlock()
-
-			// Phase 4: materialize and emit earlier-ticket matches.
-			var emitted int64
+			// Probe the other side's partition table and emit. Out is
+			// counted per flushed batch at the send site, so cancelled
+			// queries report exactly the tuples that were delivered.
 			outBatch := GetBatch()
-			start := int32(0)
-			for i, t := range kept {
-				for _, m := range matches[start:matchEnds[i]] {
+			ownIsLeft := sb.side == 0
+			for i, t := range sb.tuples {
+				matches = otherT.probe(sb.hashes[i], sb.key(i), base+uint64(i)+1, matches[:0])
+				for _, m := range matches {
 					var row types.Tuple
 					if ownIsLeft {
 						row = arena.concat(t, m)
@@ -256,56 +330,48 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 						arena.release(row)
 						continue
 					}
-					emitted++
 					outBatch = append(outBatch, row)
 					if len(outBatch) == BatchSize {
 						if !send(ctx, out, outBatch) {
 							return
 						}
+						own.op.Out.Add(BatchSize)
 						outBatch = GetBatch()
 					}
 				}
-				start = matchEnds[i]
 			}
-
-			// Batch-grained stats flush.
-			op.In.Add(nIn)
-			op.Pruned.Add(pruned)
-			op.Out.Add(emitted)
-			op.StateRows.Add(stored)
-			op.StateBytes.Add(storedBytes)
-
 			if len(outBatch) == 0 {
 				PutBatch(outBatch)
-			} else if !send(ctx, out, outBatch) {
-				return
-			}
-			PutBatch(b)
-		}
-		// Input exhausted: let the other side short-circuit, then expose
-		// this side's state to the AIP runtime.
-		own.mu.Lock()
-		own.done.Store(true)
-		own.mu.Unlock()
-		if own.point != nil {
-			own.point.setStateIter(func(emit func(types.Tuple) bool) {
-				own.mu.Lock()
-				defer own.mu.Unlock()
-				for i := range own.table.entries {
-					if !emit(own.table.entries[i].t) {
-						return
-					}
+			} else {
+				emitted := int64(len(outBatch))
+				if !send(ctx, out, outBatch) {
+					return
 				}
-			})
-			own.point.done.Store(true)
-			ctx.pointDone(own.point)
+				own.op.Out.Add(emitted)
+			}
+
+			// Batch-grained stats flush, folded into the side totals and the
+			// per-partition skew counters.
+			own.op.StateRows.Add(stored)
+			own.op.StateBytes.Add(storedBytes)
+			pp := own.op.Part(pidx)
+			pp.Rows.Add(stored)
+			pp.Bytes.Add(storedBytes)
+			if own.point != nil {
+				own.point.stored.Add(stored)
+			}
+			putScatter(sb)
+			release(own)
 		}
 	}
 
-	go consume(lin, left, right, true, lop)
-	go consume(rin, right, left, false, rop)
+	go router(lin, inputs[0])
+	go router(rin, inputs[1])
+	for p := 0; p < P; p++ {
+		go worker(p)
+	}
 	go func() {
-		wg.Wait()
+		workerWg.Wait()
 		close(out)
 	}()
 	return out

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/stats"
@@ -20,7 +21,7 @@ func benchJoinRows(n, nkeys int) (lrows, rrows []types.Tuple) {
 	return lrows, rrows
 }
 
-func benchmarkJoin(b *testing.B, n, nkeys int) {
+func benchmarkJoin(b *testing.B, n, nkeys, parallelism int) {
 	lrows, rrows := benchJoinRows(n, nkeys)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -36,6 +37,7 @@ func benchmarkJoin(b *testing.B, n, nkeys int) {
 			EqIDs: []int{0, -1}, StateEqIDs: []int{0, -1}, KeyCols: []int{0},
 			Schema: r.Sch, DomainDistinct: []float64{float64(nkeys), 0}, EstRows: float64(n)}
 		ctx := NewContext(stats.NewRegistry(), nil)
+		ctx.Parallelism = parallelism
 		rows = len(Run(ctx, j))
 	}
 	b.StopTimer()
@@ -52,7 +54,17 @@ func benchmarkJoin(b *testing.B, n, nkeys int) {
 // Dup8x8 joins 8 duplicates per key on each side (64 output rows per key),
 // where output materialization dominates.
 func BenchmarkJoin(b *testing.B) {
-	b.Run("Unique", func(b *testing.B) { benchmarkJoin(b, 1<<15, 1<<15) })
-	b.Run("Dup8x8", func(b *testing.B) { benchmarkJoin(b, 1<<15, 1<<12) })
+	b.Run("Unique", func(b *testing.B) { benchmarkJoin(b, 1<<15, 1<<15, 1) })
+	b.Run("Dup8x8", func(b *testing.B) { benchmarkJoin(b, 1<<15, 1<<12, 1) })
 }
 
+// BenchmarkJoinParallel is the scaling curve of the radix-partitioned
+// join on the Unique shape: tuples/sec at P partitions. On a machine with
+// fewer cores than P the curve flattens (partitioning still pays for the
+// smaller, cache-resident per-partition tables but adds scatter overhead);
+// BENCH_joins.json records the measuring machine's core count alongside.
+func BenchmarkJoinParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Unique/P%d", p), func(b *testing.B) { benchmarkJoin(b, 1<<15, 1<<15, p) })
+	}
+}

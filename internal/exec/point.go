@@ -77,8 +77,8 @@ func (b *FilterBank) Len() int { return len(*b.cur.Load()) }
 // Probe runs the tuple through every attached filter; false means prune.
 // It is the cold-path form of ProbeHashed (one implementation, so the two
 // cannot diverge); hot paths keep a Hasher per goroutine instead.
-func (b *FilterBank) Probe(t types.Tuple, scratch []byte) (keep bool, buf []byte) {
-	return b.ProbeHashed(t, nil, 0, nil, new(types.Hasher)), scratch
+func (b *FilterBank) Probe(t types.Tuple) bool {
+	return b.ProbeHashed(t, nil, 0, nil, new(types.Hasher))
 }
 
 // ProbeHashed is the hash-once fast path of Probe. keyCols, keyHash, and key
@@ -181,7 +181,9 @@ type Point struct {
 
 	// OnStore, when set by a controller, is invoked for every tuple the
 	// operator buffers into its state (Feed-Forward builds its working
-	// AIP sets here). It must be set before execution begins.
+	// AIP sets here). It must be set before execution begins. Partitioned
+	// operators may invoke it from several worker goroutines concurrently,
+	// so implementations must be safe for concurrent calls.
 	OnStore func(t types.Tuple)
 
 	// state gives controllers access to the operator's buffered tuples

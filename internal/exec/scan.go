@@ -145,11 +145,14 @@ func (f *Filter) Start(ctx *Context) <-chan Batch {
 				}
 			}
 			op.In.Add(int64(len(b)))
-			op.Out.Add(int64(len(kept)))
 			if len(kept) == 0 {
 				PutBatch(kept)
-			} else if !send(ctx, out, kept) {
-				return
+			} else {
+				n := int64(len(kept))
+				if !send(ctx, out, kept) {
+					return
+				}
+				op.Out.Add(n)
 			}
 			PutBatch(b)
 		}
@@ -187,11 +190,14 @@ func (p *Project) Start(ctx *Context) <-chan Batch {
 				res = append(res, row)
 			}
 			op.In.Add(int64(len(b)))
-			op.Out.Add(int64(len(res)))
 			if len(res) == 0 {
 				PutBatch(res)
-			} else if !send(ctx, out, res) {
-				return
+			} else {
+				n := int64(len(res))
+				if !send(ctx, out, res) {
+					return
+				}
+				op.Out.Add(n)
 			}
 			PutBatch(b)
 		}

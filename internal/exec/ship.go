@@ -52,11 +52,14 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 				}
 				ctx.Stats.NetworkBytes.Add(int64(nbytes))
 			}
-			op.Out.Add(int64(len(kept)))
 			if len(kept) == 0 {
 				PutBatch(kept)
-			} else if !send(ctx, out, kept) {
-				return
+			} else {
+				n := int64(len(kept))
+				if !send(ctx, out, kept) {
+					return
+				}
+				op.Out.Add(n)
 			}
 			PutBatch(b)
 		}

@@ -13,16 +13,17 @@ import (
 )
 
 // Summary is a one-sided membership summary of a completed subexpression's
-// key values: MayContain never returns a false negative, so probing it as a
-// semijoin preserves query answers (paper §III-B). Implementations must be
-// safe for concurrent probes.
+// key values: MayContainHash never returns a false negative, so probing it
+// as a semijoin preserves query answers (paper §III-B). Implementations
+// must be safe for concurrent probes.
+//
+// Probing is hash-once only: the executor computes types.Hash64 of the
+// canonical key encoding exactly once per (tuple, column set) and reuses it
+// across every summary probed for that key; there is deliberately no
+// re-encoding probe entry point.
 type Summary interface {
-	// MayContain reports whether the canonical key encoding may be present.
-	MayContain(key []byte) bool
-	// MayContainHash is the hash-once fast path: hash must be
-	// types.Hash64(key, 0), computed once by the caller and reused across
-	// every summary probed for the same key. Implementations must answer
-	// identically to MayContain(key).
+	// MayContainHash reports whether the key may be present. hash must be
+	// types.Hash64(key, 0), computed once by the caller.
 	MayContainHash(hash uint64, key []byte) bool
 	// SizeBytes is the summary's memory footprint (and shipping cost).
 	SizeBytes() int
@@ -32,9 +33,6 @@ type Summary interface {
 
 // Bloom adapts a bloom.Filter to the Summary interface.
 type Bloom struct{ F *bloom.Filter }
-
-// MayContain probes the underlying Bloom filter.
-func (b Bloom) MayContain(key []byte) bool { return b.F.Contains(key) }
 
 // MayContainHash probes by precomputed key hash without touching the bytes.
 func (b Bloom) MayContainHash(hash uint64, _ []byte) bool { return b.F.ProbeHash(hash) }
@@ -111,11 +109,6 @@ func (h *HashSet) MayContainHash(hash uint64, key []byte) bool {
 	}
 	_, ok := h.buckets[b][string(key)]
 	return ok
-}
-
-// MayContain reports membership; keys in discarded buckets always pass.
-func (h *HashSet) MayContain(key []byte) bool {
-	return h.MayContainHash(types.Hash64(key, 0), key)
 }
 
 // DiscardBucket drops one bucket's contents to relieve memory pressure;

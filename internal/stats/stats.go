@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -46,16 +47,59 @@ func (g *Gauge) Current() int64 { return g.cur.Load() }
 // Peak returns the high-water mark.
 func (g *Gauge) Peak() int64 { return g.peak.Load() }
 
+// PartStats is one partition's contribution to a partitioned operator's
+// buffered state. The totals are still folded into the owning OpStats
+// (StateRows/StateBytes); the per-partition breakdown exposes radix skew.
+type PartStats struct {
+	Rows  Counter // tuples buffered by this partition
+	Bytes Counter // bytes buffered by this partition
+}
+
 // OpStats is the per-operator instrumentation block. Operators update it as
 // they run; the AIP Manager and the figure harness read it.
 type OpStats struct {
-	Name string
+	Name  string
+	Class string // operator kind, the Name prefix before ':' (scan, join, agg, …)
 
 	In         Counter // tuples received
 	Out        Counter // tuples emitted
 	Pruned     Counter // tuples dropped by injected AIP filters
 	StateRows  Counter // tuples buffered into operator state
 	StateBytes Gauge   // bytes of buffered state (current/peak)
+
+	parts []PartStats // per-partition state counters; nil for unpartitioned ops
+}
+
+// SetPartitions sizes the per-partition counter blocks. Partitioned
+// operators call it once at Start, before any worker runs.
+func (o *OpStats) SetPartitions(n int) {
+	if n > 0 {
+		o.parts = make([]PartStats, n)
+	}
+}
+
+// Part returns partition i's counter block; SetPartitions must have covered i.
+func (o *OpStats) Part(i int) *PartStats { return &o.parts[i] }
+
+// Partitions returns the partition fan-out (0 for unpartitioned operators).
+func (o *OpStats) Partitions() int { return len(o.parts) }
+
+// PartitionSkew summarizes radix balance: the largest and the mean
+// per-partition buffered row count. A max far above the mean means the key
+// distribution defeated the radix split. Returns zeros when unpartitioned.
+func (o *OpStats) PartitionSkew() (maxRows, meanRows int64) {
+	if len(o.parts) == 0 {
+		return 0, 0
+	}
+	var total int64
+	for i := range o.parts {
+		r := o.parts[i].Rows.Load()
+		total += r
+		if r > maxRows {
+			maxRows = r
+		}
+	}
+	return maxRows, total / int64(len(o.parts))
 }
 
 // Registry aggregates the OpStats of one query execution.
@@ -73,9 +117,13 @@ type Registry struct {
 // NewRegistry creates an empty stats registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-// NewOp registers and returns a stats block for a named operator.
+// NewOp registers and returns a stats block for a named operator. The
+// operator class is derived from the conventional "kind:name" form.
 func (r *Registry) NewOp(name string) *OpStats {
 	op := &OpStats{Name: name}
+	if i := strings.IndexByte(name, ':'); i > 0 {
+		op.Class = name[:i]
+	}
 	r.mu.Lock()
 	r.ops = append(r.ops, op)
 	r.mu.Unlock()
@@ -111,6 +159,19 @@ func (r *Registry) TotalIn() int64 {
 	return total
 }
 
+// TotalScanned sums tuples emitted by base-table scans: the query's input
+// volume, comparable across plan shapes and with the join microbench's
+// input-tuples/sec (unlike TotalIn, which shifts with operator count).
+func (r *Registry) TotalScanned() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		if op.Class == "scan" {
+			total += op.Out.Load()
+		}
+	}
+	return total
+}
+
 // TotalPruned sums tuples dropped by AIP filters across operators.
 func (r *Registry) TotalPruned() int64 {
 	var total int64
@@ -125,10 +186,15 @@ func (r *Registry) TotalPruned() int64 {
 func (r *Registry) Report() string {
 	ops := r.Ops()
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
-	out := fmt.Sprintf("%-40s %10s %10s %10s %12s\n", "operator", "in", "out", "pruned", "state-peak")
+	out := fmt.Sprintf("%-40s %10s %10s %10s %12s %s\n", "operator", "in", "out", "pruned", "state-peak", "partitions")
 	for _, op := range ops {
-		out += fmt.Sprintf("%-40s %10d %10d %10d %12d\n",
-			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak())
+		parts := ""
+		if n := op.Partitions(); n > 0 {
+			mx, mean := op.PartitionSkew()
+			parts = fmt.Sprintf("P=%d max/mean=%d/%d", n, mx, mean)
+		}
+		out += fmt.Sprintf("%-40s %10d %10d %10d %12d %s\n",
+			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak(), parts)
 	}
 	out += fmt.Sprintf("filters: made=%d used=%d bytes=%d; network bytes=%d (filters %d)\n",
 		r.FiltersMade.Load(), r.FiltersUsed.Load(), r.FilterBytes.Load(),

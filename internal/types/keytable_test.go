@@ -154,3 +154,43 @@ func TestHasherMatchesAppendKeyCols(t *testing.T) {
 		t.Fatal("Hasher must hash the canonical AppendKeyCols encoding with seed 0")
 	}
 }
+
+// TestKeyTableReserve pins the pre-sizing hint: a reserved table holds the
+// hinted key count without re-growing its slot array, the hint is a no-op
+// on populated tables, and reserved tables answer identically to lazy ones.
+func TestKeyTableReserve(t *testing.T) {
+	var kt KeyTable
+	kt.Reserve(1000)
+	slots := len(kt.slots)
+	if slots < 2000 {
+		t.Fatalf("reserve(1000) sized %d slots, want >= 2000 (load factor headroom)", slots)
+	}
+	var h Hasher
+	for i := 0; i < 1000; i++ {
+		hash, key := h.KeyCols(Tuple{Int(int64(i))}, []int{0})
+		if _, added := kt.Insert(hash, key); !added {
+			t.Fatalf("key %d not added", i)
+		}
+	}
+	if len(kt.slots) != slots {
+		t.Fatalf("reserved table grew from %d to %d slots", slots, len(kt.slots))
+	}
+	// Reserve on a populated table must not disturb it.
+	kt.Reserve(1 << 20)
+	if len(kt.slots) != slots || kt.Len() != 1000 {
+		t.Fatal("Reserve on a populated table must be a no-op")
+	}
+	for i := 0; i < 1000; i++ {
+		hash, key := h.KeyCols(Tuple{Int(int64(i))}, []int{0})
+		if kt.Lookup(hash, key) < 0 {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+	// Non-positive hints leave the lazy defaults.
+	var lazy KeyTable
+	lazy.Reserve(0)
+	lazy.Reserve(-5)
+	if len(lazy.slots) != 0 {
+		t.Fatal("non-positive hints must leave the zero value untouched")
+	}
+}

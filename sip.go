@@ -144,6 +144,12 @@ type Options struct {
 	// stream, staggering subexpression completion the way the paper's
 	// disk-streamed experiments did. Zero leaves scans unpaced.
 	SourceBytesPerSec int64
+
+	// Parallelism is the radix-partition fan-out of the stateful operators
+	// (hash join, aggregation, distinct): how many cores a single operator
+	// can saturate. Zero means GOMAXPROCS; the executor rounds it down to a
+	// power of two. One reproduces the single-owner data path exactly.
+	Parallelism int
 }
 
 func (o Options) delay() *exec.DelayConfig {
@@ -176,8 +182,14 @@ type Result struct {
 	// TuplesPruned counts tuples dropped by injected filters.
 	TuplesPruned int64
 	// TuplesProcessed sums tuples received across all operators: the
-	// engine's processing volume, the numerator of benchmark tuples/sec.
+	// engine's total processing volume. It shifts with plan shape (more
+	// operators, more receipts), so it is not comparable across plans —
+	// use TuplesScanned for a volume comparable across strategies.
 	TuplesProcessed int64
+	// TuplesScanned sums tuples emitted by base-table scans: the query's
+	// input volume, comparable across plan shapes and with the join
+	// microbench's input-tuples/sec.
+	TuplesScanned int64
 	// NetworkBytes counts simulated network traffic.
 	NetworkBytes int64
 
@@ -260,6 +272,7 @@ func (e *Engine) run(blk *plan.Block, opts Options) (*Result, error) {
 	}
 
 	ctx := exec.NewContext(reg, ctl)
+	ctx.Parallelism = opts.Parallelism
 	for _, p := range built.Points {
 		ctx.Register(p)
 	}
@@ -277,6 +290,7 @@ func (e *Engine) run(blk *plan.Block, opts Options) (*Result, error) {
 		FiltersInjected: reg.FiltersUsed.Load(),
 		TuplesPruned:    reg.TotalPruned(),
 		TuplesProcessed: reg.TotalIn(),
+		TuplesScanned:   reg.TotalScanned(),
 		NetworkBytes:    reg.NetworkBytes.Load(),
 		Stats:           reg,
 	}, nil
