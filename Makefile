@@ -24,15 +24,22 @@ bench:
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
 
 # test-race: the executor's concurrency tests (partitioned join/agg
-# determinism, cancellation) under the race detector.
+# determinism, cancellation) and the scalar-vs-vectorized expression
+# differential tests under the race detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/core .
+	$(GO) test -race ./internal/exec ./internal/core ./internal/expr .
 
 # joinbench: append this revision's per-strategy + parallel-scaling entry
 # to the BENCH_joins.json trajectory (the recorded microbench section and
 # all previous entries are preserved).
 joinbench:
 	$(GO) run ./cmd/sipbench -joinbench
+
+# exprbench: measure the scalar-vs-vectorized filter/project expression
+# microbench and record it on the latest BENCH_joins.json entry. Run after
+# joinbench so the section lands on this PR's entry.
+exprbench:
+	$(GO) run ./cmd/sipbench -exprbench
 
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.

@@ -9,11 +9,13 @@
 //	benchdiff [-tolerance 0.10] [BENCH_joins.json]
 //
 // Both recorded rates are checked per strategy: input_tuples_per_sec (the
-// plan-shape-independent volume) and operator_tuples_per_sec. Entries with
-// fewer than two data points pass trivially, as do strategy names present
-// in only one entry. Entries measured on machines with different core
-// counts are compared anyway but flagged, since parallel-join throughput
-// scales with the machine.
+// plan-shape-independent volume) and operator_tuples_per_sec. The
+// expression microbench section (sipbench -exprbench) is gated the same
+// way: scalar and vectorized tuples/s per shape. Entries with fewer than
+// two data points pass trivially, as do strategy names present in only one
+// entry. Entries measured on machines with different core counts are
+// compared anyway but flagged, since parallel-join throughput scales with
+// the machine.
 package main
 
 import (
@@ -34,11 +36,18 @@ type scalingCell struct {
 	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
 }
 
+type exprCell struct {
+	Name               string  `json:"name"`
+	ScalarTuplesPerSec float64 `json:"scalar_tuples_per_sec"`
+	VectorTuplesPerSec float64 `json:"vector_tuples_per_sec"`
+}
+
 type entry struct {
 	Generated       string         `json:"generated"`
 	Machine         string         `json:"machine"`
 	Strategies      []strategyCell `json:"strategies"`
 	ParallelScaling []scalingCell  `json:"parallel_scaling"`
+	ExprMicrobench  []exprCell     `json:"expr_microbench"`
 }
 
 type trajectory struct {
@@ -113,6 +122,19 @@ func main() {
 		}
 	} else if len(cur.ParallelScaling) > 0 {
 		fmt.Println("benchdiff: note: parallel_scaling not compared across different machines")
+	}
+	// Expression microbench: gate both evaluation paths per shape at the
+	// same tolerance. Cells absent from either entry pass trivially (the
+	// section first appears with the vectorized-eval PR).
+	prevExpr := map[string]exprCell{}
+	for _, c := range prev.ExprMicrobench {
+		prevExpr[c.Name] = c
+	}
+	for _, c := range cur.ExprMicrobench {
+		if p, ok := prevExpr[c.Name]; ok {
+			check("expr:"+c.Name, "scalar_tuples_per_sec", p.ScalarTuplesPerSec, c.ScalarTuplesPerSec)
+			check("expr:"+c.Name, "vector_tuples_per_sec", p.VectorTuplesPerSec, c.VectorTuplesPerSec)
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs entry %s\n",

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// The expression microbench measures the vectorized evaluation layer
+// (expr.Compile / EvalBatch / EvalBool) against the scalar reference Eval
+// on the two shapes the executor runs hottest: a selective conjunctive
+// filter and a 4-expression projection. Both paths process the same
+// pre-batched tuples, so the comparison isolates expression evaluation
+// from scan, channel, and operator overhead.
+//
+// Results are recorded on the latest BENCH_joins.json entry under
+// "expr_microbench" (creating an entry when the file has none), so the
+// benchdiff gate can flag >10% regressions PR-over-PR like the join
+// numbers.
+
+// exprBenchN is the total tuple count; exprBenchBatch mirrors the
+// executor's BatchSize.
+const (
+	exprBenchN     = 1 << 16
+	exprBenchBatch = 128
+)
+
+// exprBenchCell is one recorded microbench shape.
+type exprBenchCell struct {
+	Name                 string  `json:"name"`
+	ScalarTuplesPerSec   float64 `json:"scalar_tuples_per_sec"`
+	VectorTuplesPerSec   float64 `json:"vector_tuples_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	ScalarAllocsPerBatch float64 `json:"scalar_allocs_per_batch"`
+	VectorAllocsPerBatch float64 `json:"vector_allocs_per_batch"`
+}
+
+// exprBenchData builds the synthetic batches: a,b,d integers, c float.
+func exprBenchData() [][]types.Tuple {
+	var batches [][]types.Tuple
+	for base := 0; base < exprBenchN; base += exprBenchBatch {
+		b := make([]types.Tuple, 0, exprBenchBatch)
+		for i := base; i < base+exprBenchBatch && i < exprBenchN; i++ {
+			b = append(b, types.Tuple{
+				types.Int(int64(i % 100)),
+				types.Int(int64((i * 7) % 100)),
+				types.Float(float64(i%1000) / 8),
+				types.Int(int64(i % 13)),
+			})
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+func colRef(idx int) *expr.ColRef {
+	return &expr.ColRef{Idx: idx, Col: types.Column{Name: fmt.Sprintf("c%d", idx), Kind: types.KindInt}}
+}
+
+// benchPass runs fn over every batch once and returns elapsed time plus
+// mallocs performed, for tuples/s and allocs-per-batch reporting.
+func benchPass(batches [][]types.Tuple, fn func(b []types.Tuple)) (time.Duration, int64) {
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for _, b := range batches {
+		fn(b)
+	}
+	d := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return d, int64(ms1.Mallocs - ms0.Mallocs)
+}
+
+// measure reports the median-of-reps throughput and the allocs/batch of
+// the median rep for one evaluation loop.
+func measure(batches [][]types.Tuple, reps int, fn func(b []types.Tuple)) (tuplesPerSec float64, allocsPerBatch float64) {
+	type rep struct {
+		d      time.Duration
+		allocs int64
+	}
+	fn(batches[0]) // warm scratch outside the measurement
+	runs := make([]rep, reps)
+	for i := range runs {
+		d, a := benchPass(batches, fn)
+		runs[i] = rep{d: d, allocs: a}
+	}
+	sort.Slice(runs, func(i, k int) bool { return runs[i].d < runs[k].d })
+	med := runs[len(runs)/2]
+	return float64(exprBenchN) / med.d.Seconds(), float64(med.allocs) / float64(len(batches))
+}
+
+// runExprBench measures both shapes and records the section.
+func runExprBench(outPath string, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
+	batches := exprBenchData()
+
+	var cells []exprBenchCell
+
+	// Shape 1: selective filter, the Filter operator's exact work loop.
+	// (a < 10 AND b >= 50) keeps ~5% of tuples.
+	pred := &expr.Binary{Op: expr.OpAnd,
+		L: &expr.Binary{Op: expr.OpLt, L: colRef(0), R: &expr.Const{V: types.Int(10)}},
+		R: &expr.Binary{Op: expr.OpGe, L: colRef(1), R: &expr.Const{V: types.Int(50)}},
+	}
+	var kept []types.Tuple
+	scalarTPS, scalarAPB := measure(batches, reps, func(b []types.Tuple) {
+		kept = kept[:0]
+		for _, t := range b {
+			if pred.Eval(t).Truth() {
+				kept = append(kept, t)
+			}
+		}
+	})
+	cpred := expr.Compile(pred)
+	ident := identity(exprBenchBatch)
+	sel := make([]int32, 0, exprBenchBatch)
+	vecTPS, vecAPB := measure(batches, reps, func(b []types.Tuple) {
+		sel = cpred.EvalBool(b, ident[:len(b)], sel)
+	})
+	cells = append(cells, exprBenchCell{
+		Name:               "filter_selective",
+		ScalarTuplesPerSec: scalarTPS, VectorTuplesPerSec: vecTPS,
+		Speedup:              vecTPS / scalarTPS,
+		ScalarAllocsPerBatch: scalarAPB, VectorAllocsPerBatch: vecAPB,
+	})
+
+	// Shape 2: 4-expression projection, the Project operator's work loop
+	// (rows are preallocated in both paths, mirroring the executor's
+	// arena, so only evaluation differs).
+	exprs := []expr.Expr{
+		&expr.Binary{Op: expr.OpAdd, L: colRef(0), R: colRef(1)},
+		&expr.Binary{Op: expr.OpMul, L: colRef(0), R: &expr.Const{V: types.Int(2)}},
+		&expr.Binary{Op: expr.OpDiv, L: &expr.ColRef{Idx: 2, Col: types.Column{Name: "c2", Kind: types.KindFloat}}, R: &expr.Const{V: types.Float(2.5)}},
+		&expr.Binary{Op: expr.OpSub, L: colRef(0), R: colRef(3)},
+	}
+	width := len(exprs)
+	rows := make([]types.Tuple, exprBenchBatch)
+	backing := make([]types.Value, exprBenchBatch*width)
+	for i := range rows {
+		rows[i] = backing[i*width : (i+1)*width : (i+1)*width]
+	}
+	scalarTPS, scalarAPB = measure(batches, reps, func(b []types.Tuple) {
+		for i, t := range b {
+			row := rows[i]
+			for j, e := range exprs {
+				row[j] = e.Eval(t)
+			}
+		}
+	})
+	compiled := make([]*expr.Compiled, width)
+	for i, e := range exprs {
+		compiled[i] = expr.Compile(e)
+	}
+	col := make([]types.Value, exprBenchBatch)
+	vecTPS, vecAPB = measure(batches, reps, func(b []types.Tuple) {
+		s := ident[:len(b)]
+		for j, c := range compiled {
+			c.EvalBatch(b, s, col)
+			for _, lane := range s {
+				rows[lane][j] = col[lane]
+			}
+		}
+	})
+	cells = append(cells, exprBenchCell{
+		Name:               "project_4expr",
+		ScalarTuplesPerSec: scalarTPS, VectorTuplesPerSec: vecTPS,
+		Speedup:              vecTPS / scalarTPS,
+		ScalarAllocsPerBatch: scalarAPB, VectorAllocsPerBatch: vecAPB,
+	})
+
+	for _, c := range cells {
+		fmt.Printf("%-18s scalar %12.0f t/s  vector %12.0f t/s  %5.2fx  allocs/batch %.2f -> %.2f\n",
+			c.Name, c.ScalarTuplesPerSec, c.VectorTuplesPerSec, c.Speedup,
+			c.ScalarAllocsPerBatch, c.VectorAllocsPerBatch)
+	}
+	return recordExprBench(outPath, cells)
+}
+
+func identity(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// recordExprBench attaches the section to the latest trajectory entry
+// (the one -joinbench appended for this PR) if that entry has no section
+// yet; otherwise — or when the file is absent or empty — it appends a
+// fresh entry, so a previous PR's recorded numbers are never overwritten
+// and benchdiff always compares against the baseline that was actually
+// measured.
+func recordExprBench(outPath string, cells []exprBenchCell) error {
+	doc := map[string]any{}
+	if old, err := os.ReadFile(outPath); err == nil {
+		var prev map[string]any
+		if err := json.Unmarshal(old, &prev); err == nil {
+			doc = prev
+		}
+	}
+	entries, _ := doc["entries"].([]any)
+	section := make([]any, 0, len(cells))
+	raw, err := json.Marshal(cells)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		return err
+	}
+	attached := false
+	if len(entries) > 0 {
+		last, ok := entries[len(entries)-1].(map[string]any)
+		if !ok {
+			return fmt.Errorf("exprbench: %s has a malformed last entry", outPath)
+		}
+		if _, taken := last["expr_microbench"]; !taken {
+			last["expr_microbench"] = section
+			attached = true
+		}
+	}
+	if !attached {
+		entries = append(entries, map[string]any{
+			"generated":       time.Now().UTC().Format(time.RFC3339),
+			"machine":         machineString(),
+			"expr_microbench": section,
+		})
+	}
+	doc["entries"] = entries
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded expr_microbench on entry %d of %s\n", len(entries), outPath)
+	return nil
+}

@@ -63,9 +63,11 @@ func main() {
 		strategy = flag.String("strategy", "Feed-forward", "strategy for -query")
 		verbose  = flag.Bool("v", false, "per-operator statistics")
 		summary  = flag.Bool("summary", true, "print shape summary after each figure")
+		pipej    = flag.Int("pipedepth", 0, "per-edge channel buffer in batches (0 = executor default)")
 
 		joinbench = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
-		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench")
+		exprbench = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
+		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench")
 	)
 	flag.Parse()
 
@@ -73,15 +75,24 @@ func main() {
 		if err := runJoinBench(*benchout, *reps); err != nil {
 			fatal(err)
 		}
+		if !*exprbench {
+			return
+		}
+	}
+	if *exprbench {
+		if err := runExprBench(*benchout, *reps); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
 	runner := harness.New(harness.Config{
-		ScaleFactor: *sf,
-		Repetitions: *reps,
-		FPR:         *fpr,
-		SourceMBps:  *mbps,
-		Verbose:     *verbose,
+		ScaleFactor:   *sf,
+		Repetitions:   *reps,
+		FPR:           *fpr,
+		SourceMBps:    *mbps,
+		PipelineDepth: *pipej,
+		Verbose:       *verbose,
 	})
 
 	switch {

@@ -32,14 +32,59 @@ type FeedForward struct {
 	state   map[int]*ffClassState
 }
 
-// workingSet is one producer's incrementally built AIP set. The owning
-// operator goroutine is the only writer; a nil pointer means the set was
-// discarded because interest dropped to zero.
+// workingSet is one producer's incrementally built AIP set, sharded by the
+// executor's partition slots: OnStore(slot, t) feeds slot-private summaries
+// (each slot has exactly one writer goroutine, so the per-tuple path takes
+// no lock), and PointDone merges the slots — bitwise OR for Bloom filters,
+// bucket union for hash sets — into the published summary. discarded is
+// flipped when interest drops to zero; in-flight writers observe it and
+// stop cheaply.
+//
+// Memory: a slot's Bloom filter must be full-sized (union compatibility
+// requires equal geometry), so a producer running at partition fan-out P
+// holds up to P copies of the working filter until PointDone. That is the
+// price of a lock-free state-build phase that scales with P; hash-set
+// slots grow only with their content.
 type workingSet struct {
 	class int
-	col   int // state-schema column holding the attribute
-	bf    atomic.Pointer[bloom.Filter]
-	hs    atomic.Pointer[filter.HashSet]
+	col   int    // state-schema column holding the attribute
+	bits  uint64 // Bloom geometry shared by every slot (merge-compatible)
+	exact bool   // hash-set slots instead of Bloom slots
+
+	discarded atomic.Bool
+	slots     [exec.MaxPartitions]atomic.Pointer[slotSet]
+}
+
+// slotSet is one partition slot's private summary plus its key-encoding
+// scratch. Only the owning partition goroutine touches it before the merge;
+// the atomic slot pointer publishes it to the merger (every OnStore call
+// happens-before PointDone).
+type slotSet struct {
+	bf  *bloom.Filter
+	hs  *filter.HashSet
+	buf []byte
+}
+
+// ffSlotBuckets is the bucket count of per-slot hash-set summaries; slots
+// of one working set share it so they merge bucket-wise.
+const ffSlotBuckets = 256
+
+// slot returns the slot's summary, allocating it on first use by the
+// owning goroutine. bytesAdded reports fresh Bloom allocations so the
+// caller can account summary memory.
+func (ws *workingSet) slot(i int) (ss *slotSet, bytesAdded int) {
+	if ss = ws.slots[i].Load(); ss != nil {
+		return ss, 0
+	}
+	ss = &slotSet{}
+	if ws.exact {
+		ss.hs = filter.NewHashSet(ffSlotBuckets)
+	} else {
+		ss.bf = bloom.NewWithBits(ws.bits, 0)
+		bytesAdded = ss.bf.SizeBytes()
+	}
+	ws.slots[i].Store(ss)
+	return ss, bytesAdded
 }
 
 // ffClassState is the AIP Registry entry for one attribute class.
@@ -91,14 +136,7 @@ func (f *FeedForward) Begin() {
 				continue
 			}
 			seenProducer[pr.point] = true
-			ws := &workingSet{class: id, col: pr.col}
-			if f.opts.Kind == SummaryHashSet {
-				ws.hs.Store(filter.NewHashSet(256))
-			} else {
-				bf := bloom.NewWithBits(ci.bits, 0)
-				ws.bf.Store(bf)
-				f.opts.Stats.FilterBytes.Add(int64(bf.SizeBytes()))
-			}
+			ws := &workingSet{class: id, col: pr.col, bits: ci.bits, exact: f.opts.Kind == SummaryHashSet}
 			st.working[pr.point] = ws
 			producedBy[pr.point] = append(producedBy[pr.point], ws)
 		}
@@ -106,28 +144,81 @@ func (f *FeedForward) Begin() {
 
 	for p, sets := range producedBy {
 		sets := sets
-		// buf is reused across calls under mu. The partitioned executor may
-		// invoke OnStore from several partition workers of the same point
-		// concurrently (HashAgg calls it for new groups), and Bloom AddHash
-		// is not atomic, so the hook serializes itself; the key is still
-		// encoded and hashed once, then fed to the summary by hash.
-		var mu sync.Mutex
-		var buf []byte
-		p.OnStore = func(t types.Tuple) {
-			mu.Lock()
-			defer mu.Unlock()
+		// The partitioned executor invokes OnStore from several partition
+		// workers of the same point concurrently (HashAgg and Distinct call
+		// it once per new group/tuple from every worker), but each call
+		// carries its partition slot, and a slot has exactly one writer:
+		// the hook feeds slot-private summaries without taking any lock,
+		// and PointDone merges the slots. The key is still encoded and
+		// hashed once per (tuple, attribute), then fed to the summary by
+		// hash.
+		p.OnStore = func(slot int, t types.Tuple) {
 			for _, ws := range sets {
-				buf = buf[:0]
-				buf = t[ws.col].AppendKey(buf)
-				h := types.Hash64(buf, 0)
-				if bf := ws.bf.Load(); bf != nil {
-					bf.AddHash(h)
-				} else if hs := ws.hs.Load(); hs != nil {
-					hs.AddHash(h, buf)
+				if ws.discarded.Load() {
+					continue
+				}
+				ss, added := ws.slot(slot)
+				if added > 0 {
+					f.opts.Stats.FilterBytes.Add(int64(added))
+				}
+				ss.buf = t[ws.col].AppendKey(ss.buf[:0])
+				h := types.Hash64(ss.buf, 0)
+				if ss.bf != nil {
+					ss.bf.AddHash(h)
+				} else {
+					ss.hs.AddHash(h, ss.buf)
 				}
 			}
 		}
 	}
+}
+
+// mergeSlots folds a retired working set's partition slots into one
+// summary: bitwise OR for Bloom slots (same geometry by construction),
+// bucket union for hash-set slots. A producer that stored nothing still
+// yields an empty summary — a completed empty input legitimately prunes
+// everything downstream.
+func (ws *workingSet) mergeSlots() (*bloom.Filter, *filter.HashSet) {
+	if ws.exact {
+		var merged *filter.HashSet
+		for i := range ws.slots {
+			ss := ws.slots[i].Load()
+			if ss == nil {
+				continue
+			}
+			if merged == nil {
+				merged = ss.hs
+				continue
+			}
+			// Same bucket count by construction; the error path is a
+			// safety net and keeps the slot's keys by swapping roles.
+			if err := merged.MergeFrom(ss.hs); err != nil {
+				merged = ss.hs
+			}
+		}
+		if merged == nil {
+			merged = filter.NewHashSet(ffSlotBuckets)
+		}
+		return nil, merged
+	}
+	var merged *bloom.Filter
+	for i := range ws.slots {
+		ss := ws.slots[i].Load()
+		if ss == nil {
+			continue
+		}
+		if merged == nil {
+			merged = ss.bf
+			continue
+		}
+		if err := merged.UnionWith(ss.bf); err != nil {
+			merged = ss.bf // incompatible geometry: cannot happen, safety net
+		}
+	}
+	if merged == nil {
+		merged = bloom.NewWithBits(ws.bits, 0)
+	}
+	return merged, nil
 }
 
 // PointDone publishes the completed input's working sets, injects them into
@@ -143,13 +234,17 @@ func (f *FeedForward) PointDone(p *exec.Point) {
 		}
 		if ws, ok := st.working[p]; ok {
 			delete(st.working, p)
+			ws.discarded.Store(true)
 			// Working sets cover every tuple that passed the input's
 			// filters — complete summaries of the subexpression even when
-			// the join short-circuited its buffering.
-			if bf := ws.bf.Swap(nil); bf != nil {
+			// the join short-circuited its buffering. The partition slots
+			// are merged (bitwise OR for Bloom, bucket union for hash
+			// sets) into the one summary that gets published; slot writes
+			// happen-before PointDone, so the merge needs no locks.
+			bf, hs := ws.mergeSlots()
+			if bf != nil {
 				f.publishBloom(ci, st, bf)
-			}
-			if hs := ws.hs.Swap(nil); hs != nil {
+			} else {
 				f.opts.Stats.FiltersMade.Inc()
 				f.opts.Stats.FilterBytes.Add(int64(hs.SizeBytes()))
 				f.attachAll(ci, st, hs)
@@ -159,9 +254,10 @@ func (f *FeedForward) PointDone(p *exec.Point) {
 			st.interest--
 			if st.interest <= 0 {
 				// Nobody left to prune with these sets: discard them.
+				// In-flight partition writers observe the flag and stop;
+				// their slots are dropped with the working set.
 				for q, ws := range st.working {
-					ws.bf.Store(nil)
-					ws.hs.Store(nil)
+					ws.discarded.Store(true)
 					delete(st.working, q)
 				}
 			}

@@ -146,7 +146,7 @@ type aggPart struct {
 // Start launches the router and the per-partition fold workers.
 func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	in := h.Child.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("agg:" + h.Name)
 
 	P := ctx.partitions()
@@ -156,7 +156,7 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	parts := make([]*aggPart, P)
 	partIns := make([]chan *scatter, P)
 	for p := range parts {
-		parts[p] = &aggPart{in: make(chan *scatter, 4), accs: accAllocator{width: len(h.Aggs)}}
+		parts[p] = &aggPart{in: make(chan *scatter, ctx.pipeDepth()), accs: accAllocator{width: len(h.Aggs)}}
 		partIns[p] = parts[p].in
 	}
 
@@ -165,11 +165,12 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 		gcols[i] = i
 	}
 
-	// Router: probe AIP filters, evaluate and hash the group key once, and
-	// scatter. Stats are accumulated in locals and flushed once per batch.
-	// routed records a complete, uncancelled pass over the input; the
-	// finisher publishes the AIP state only then (partial state must not be
-	// presented as a completed input's summary).
+	// Router: probe AIP filters, evaluate the group-by expressions
+	// batch-at-a-time through the vectorized kernels, hash each surviving
+	// tuple's group key once, and scatter. Stats are accumulated in locals
+	// and flushed once per batch. routed records a complete, uncancelled
+	// pass over the input; the finisher publishes the AIP state only then
+	// (partial state must not be presented as a completed input's summary).
 	routerDone := make(chan struct{})
 	routed := false
 	go func() {
@@ -178,21 +179,43 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			keyHasher  types.Hasher
 			bankHasher types.Hasher
 			pr         = newPartitionRouter(0, P, partIns)
+			keep       []int32         // lanes surviving the AIP filters
+			gcols2     [][]types.Value // per group-by expr: lane-indexed column
 		)
+		compiled := make([]*expr.Compiled, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			compiled[i] = expr.Compile(g)
+		}
+		gcols2 = make([][]types.Value, len(compiled))
 		gvals := make(types.Tuple, len(h.GroupBy))
 		for b := range in {
-			nIn := int64(len(b))
+			sel := b.Live()
+			nIn := int64(len(sel))
 			var pruned int64
-			for _, t := range b {
-				if h.Point != nil && !h.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
-					pruned++
-					continue
+			keep = keep[:0]
+			if h.Point != nil && h.Point.Bank.Len() > 0 {
+				for _, l := range sel {
+					if !h.Point.Bank.ProbeHashed(b.Tuples[l], nil, 0, nil, &bankHasher) {
+						pruned++
+						continue
+					}
+					keep = append(keep, l)
 				}
-				for i, g := range h.GroupBy {
-					gvals[i] = g.Eval(t)
+			} else {
+				keep = append(keep, sel...)
+			}
+			// One vectorized pass per group-by expression over the
+			// survivors, then assemble the per-lane key from the columns.
+			for i, c := range compiled {
+				gcols2[i] = growVals(gcols2[i], len(b.Tuples))
+				c.EvalBatch(b.Tuples, keep, gcols2[i])
+			}
+			for _, l := range keep {
+				for i := range compiled {
+					gvals[i] = gcols2[i][l]
 				}
 				kh, key := keyHasher.KeyCols(gvals, gcols)
-				pr.route(t, kh, key)
+				pr.route(b.Tuples[l], kh, key)
 			}
 			op.In.Add(nIn)
 			op.Pruned.Add(pruned)
@@ -213,7 +236,10 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 		}
 	}()
 
-	// Workers: fold scattered tuples into the owned partition state.
+	// Workers: fold scattered tuples into the owned partition state. The
+	// aggregate arguments are evaluated batch-at-a-time into lane-indexed
+	// columns (one vectorized pass per argument per scatter) before the
+	// fold loop; each worker compiles its own kernels.
 	var workerWg sync.WaitGroup
 	workerWg.Add(P)
 	for p := 0; p < P; p++ {
@@ -221,8 +247,22 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			defer workerWg.Done()
 			pt := parts[pidx]
 			gvals := make(types.Tuple, len(h.GroupBy))
+			argC := make([]*expr.Compiled, len(h.Aggs))
+			for k := range h.Aggs {
+				argC[k] = expr.Compile(h.Aggs[k].Arg) // nil Arg compiles to nil
+			}
+			argCols := make([][]types.Value, len(h.Aggs))
 			for sb := range pt.in {
 				var newGroups, newBytes int64
+				n := len(sb.tuples)
+				ident := identSel(n)
+				for k, c := range argC {
+					if c == nil {
+						continue
+					}
+					argCols[k] = growVals(argCols[k], n)
+					c.EvalBatch(sb.tuples, ident, argCols[k])
+				}
 				for i, t := range sb.tuples {
 					id, added := pt.idx.Insert(sb.hashes[i], sb.key(i))
 					if added {
@@ -236,14 +276,14 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 						newGroups++
 						newBytes += int64(gvals.MemSize()) + int64(48*len(h.Aggs))
 						if h.Point != nil && h.Point.OnStore != nil {
-							h.Point.OnStore(pt.groups[id].groupVals)
+							h.Point.OnStore(pidx, pt.groups[id].groupVals)
 						}
 					}
 					gs := &pt.groups[id]
 					for k := range h.Aggs {
 						var v types.Value
-						if h.Aggs[k].Arg != nil {
-							v = h.Aggs[k].Arg.Eval(t)
+						if argC[k] != nil {
+							v = argCols[k][i]
 						}
 						gs.accs[k].add(h.Aggs[k].Func, v)
 					}
@@ -305,11 +345,11 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 		var arena rowArena
 		batch := GetBatch()
 		flush := func() bool {
-			if len(batch) == 0 {
+			if len(batch.Tuples) == 0 {
 				PutBatch(batch)
 				return true
 			}
-			n := int64(len(batch))
+			n := int64(len(batch.Tuples))
 			if !send(ctx, out, batch) {
 				return false
 			}
@@ -328,8 +368,8 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 					}
 					row[len(gs.groupVals)+i] = gs.accs[i].result(h.Aggs[i].Func, argKind)
 				}
-				batch = append(batch, row)
-				if len(batch) == BatchSize {
+				batch.Tuples = append(batch.Tuples, row)
+				if len(batch.Tuples) == BatchSize {
 					if !flush() {
 						return
 					}
@@ -367,7 +407,7 @@ type distinctPart struct {
 // Start launches the router and the per-partition dedup workers.
 func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	in := d.Child.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("distinct:" + d.Name)
 
 	P := ctx.partitions()
@@ -382,7 +422,7 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	parts := make([]*distinctPart, P)
 	partIns := make([]chan *scatter, P)
 	for p := range parts {
-		parts[p] = &distinctPart{in: make(chan *scatter, 4)}
+		parts[p] = &distinctPart{in: make(chan *scatter, ctx.pipeDepth())}
 		partIns[p] = parts[p].in
 	}
 
@@ -398,9 +438,11 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 			pr         = newPartitionRouter(0, P, partIns)
 		)
 		for b := range in {
-			nIn := int64(len(b))
+			sel := b.Live()
+			nIn := int64(len(sel))
 			var pruned int64
-			for _, t := range b {
+			for _, l := range sel {
+				t := b.Tuples[l]
 				kh, key := keyHasher.KeyCols(t, allCols)
 				if d.Point != nil && !d.Point.Bank.ProbeHashed(t, allCols, kh, key, &bankHasher) {
 					pruned++
@@ -446,9 +488,9 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 						stored++
 						storedBytes += int64(t.MemSize())
 						if d.Point != nil && d.Point.OnStore != nil {
-							d.Point.OnStore(t)
+							d.Point.OnStore(pidx, t)
 						}
-						fresh = append(fresh, t)
+						fresh.Tuples = append(fresh.Tuples, t)
 					}
 				}
 				op.StateRows.Add(stored)
@@ -460,10 +502,10 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 					d.Point.stored.Add(stored)
 				}
 				// Out per flushed batch at the send site.
-				if len(fresh) == 0 {
+				if len(fresh.Tuples) == 0 {
 					PutBatch(fresh)
 				} else {
-					n := int64(len(fresh))
+					n := int64(len(fresh.Tuples))
 					if !send(ctx, out, fresh) {
 						failed.Store(true)
 						return

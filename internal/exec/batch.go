@@ -9,44 +9,121 @@ import (
 // Batches flow through single-consumer channels, so each batch has exactly
 // one owner at a time: the producer owns it until send, the consumer owns it
 // after receive. Consumers return exhausted batches with PutBatch once they
-// no longer reference the slice (the Tuples inside may be retained — they
-// are independent of the Batch backing array).
+// no longer reference the slices (the Tuples inside may be retained — they
+// are independent of the Batch backing arrays).
+//
+// A batch may carry a selection vector (Sel): the ascending lane indices of
+// Tuples that are live. Filtering operators narrow Sel instead of copying
+// survivors into a fresh batch; every consumer must iterate live lanes only
+// (Live returns them uniformly). Materializing operators — Project, the
+// join's row builder, aggregation — emit dense batches (Sel == nil), so a
+// selection never survives past the next materialization point. Both the
+// tuple slice and the selection vector are owned by the batch and recycled
+// together by PutBatch.
 //
 // Slices can't go into a sync.Pool without boxing; to keep the Get/Put
 // cycle allocation-free the empty boxes are recycled through a second pool
 // instead of being reallocated on every Put.
-type batchBox struct{ b Batch }
+type batchBox struct{ b []types.Tuple }
 
 var batchPool = sync.Pool{
 	New: func() any {
-		return &batchBox{b: make(Batch, 0, BatchSize)}
+		return &batchBox{b: make([]types.Tuple, 0, BatchSize)}
 	},
 }
 
 var boxPool = sync.Pool{New: func() any { return new(batchBox) }}
 
-// GetBatch returns an empty batch with BatchSize capacity from the pool.
+// GetBatch returns an empty dense batch with BatchSize tuple capacity from
+// the pool.
 func GetBatch() Batch {
 	bb := batchPool.Get().(*batchBox)
 	b := bb.b[:0]
 	bb.b = nil
 	boxPool.Put(bb)
-	return b
+	return Batch{Tuples: b}
 }
 
-// PutBatch recycles a batch. The caller must not use the slice afterwards.
-// Tuple references are cleared so recycled batches do not pin row memory.
+// PutBatch recycles a batch's tuple slice and selection vector. The caller
+// must not use either afterwards. Tuple references are cleared so recycled
+// batches do not pin row memory.
 func PutBatch(b Batch) {
-	if cap(b) < BatchSize {
+	if b.Sel != nil {
+		putSel(b.Sel)
+	}
+	t := b.Tuples
+	if cap(t) < BatchSize {
 		return // undersized one-off, let the GC have it
 	}
-	b = b[:cap(b)]
-	for i := range b {
-		b[i] = nil
+	t = t[:cap(t)]
+	for i := range t {
+		t[i] = nil
 	}
 	bb := boxPool.Get().(*batchBox)
-	bb.b = b[:0]
+	bb.b = t[:0]
 	batchPool.Put(bb)
+}
+
+// selBox recycles selection vectors the same way batchBox recycles tuple
+// slices.
+type selBox struct{ s []int32 }
+
+var selPool = sync.Pool{
+	New: func() any { return &selBox{s: make([]int32, 0, BatchSize)} },
+}
+
+var selBoxPool = sync.Pool{New: func() any { return new(selBox) }}
+
+// getSel returns an empty selection vector with BatchSize capacity.
+func getSel() []int32 {
+	sb := selPool.Get().(*selBox)
+	s := sb.s[:0]
+	sb.s = nil
+	selBoxPool.Put(sb)
+	return s
+}
+
+// putSel recycles a selection vector.
+func putSel(s []int32) {
+	if cap(s) < BatchSize {
+		return
+	}
+	sb := selBoxPool.Get().(*selBox)
+	sb.s = s[:0]
+	selPool.Put(sb)
+}
+
+// identTab is the shared identity selection [0, BatchSize); Live hands out
+// prefixes of it for dense batches. Read-only: callers must never write
+// through a selection they did not allocate.
+var identTab = func() []int32 {
+	s := make([]int32, BatchSize)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}()
+
+// identSel returns the identity selection [0, n). For n ≤ BatchSize the
+// shared read-only table is returned; oversized batches (rare) allocate.
+func identSel(n int) []int32 {
+	if n <= len(identTab) {
+		return identTab[:n]
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// growVals resizes a lane-indexed scratch vector to n lanes, reusing the
+// backing array when possible.
+func growVals(v []types.Value, n int) []types.Value {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]types.Value, n)
 }
 
 // scatter is a pooled buffer carrying the tuples of one input batch that

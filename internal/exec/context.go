@@ -14,6 +14,13 @@
 //     taken once per batch and per-operator stat counters are accumulated
 //     in goroutine-locals and flushed once per batch, so the per-tuple path
 //     has no mutex or atomic traffic.
+//   - Predicates and projections are evaluated batch-at-a-time through the
+//     compiled kernels of internal/expr (expr.Compile): Filter narrows a
+//     batch's selection vector in place instead of copying survivors,
+//     Project evaluates expression-at-a-time into arena rows, and the join
+//     residual and aggregation argument paths consume the same EvalBatch /
+//     EvalBool API. See the Batch type for the selection-vector ownership
+//     contract; scalar expr.Eval remains the reference semantics.
 //   - Every tuple key is canonically encoded and hashed exactly once per
 //     (tuple, column set) via types.Hasher. The resulting 64-bit hash
 //     drives the join/aggregation/distinct tables (types.KeyTable, open
@@ -67,8 +74,38 @@ import (
 // BatchSize is the number of tuples moved per channel send.
 const BatchSize = 128
 
-// Batch is a group of tuples flowing between operators.
-type Batch []types.Tuple
+// Batch is a group of tuples flowing between operators, with an optional
+// selection vector.
+//
+// When Sel is nil every tuple in Tuples is live. When Sel is non-nil it
+// lists the live lane indices of Tuples in strictly ascending order, and
+// dead lanes must be ignored: filtering operators mark survivors by
+// narrowing Sel instead of compacting Tuples. Whoever holds the batch owns
+// both slices; PutBatch recycles them together. Operators that materialize
+// rows (Project, the join's output builder, aggregation) emit dense
+// batches, so selections never pile up across pipeline stages.
+type Batch struct {
+	Tuples []types.Tuple
+	Sel    []int32
+}
+
+// Len returns the number of live tuples.
+func (b Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Tuples)
+}
+
+// Live returns the batch's live lanes: Sel when present, else the shared
+// identity selection. The returned slice is read-only for dense batches —
+// mutating consumers must use Sel directly or allocate their own.
+func (b Batch) Live() []int32 {
+	if b.Sel != nil {
+		return b.Sel
+	}
+	return identSel(len(b.Tuples))
+}
 
 // Controller is the runtime hook set implemented by the AIP strategies in
 // internal/core. A nil Controller runs the baseline engine.
@@ -101,6 +138,12 @@ type Context struct {
 	// pre-partitioned single-owner data path exactly.
 	Parallelism int
 
+	// PipelineDepth is the buffer, in batches, of every inter-operator
+	// channel (pipeline edges and partition scatter channels). Deeper
+	// buffers absorb producer/consumer rate jitter at the cost of more
+	// in-flight batches; zero or negative means DefaultPipelineDepth.
+	PipelineDepth int
+
 	cancel    chan struct{}
 	cancelOne sync.Once
 
@@ -129,6 +172,20 @@ func (c *Context) partitions() int {
 		p &= p - 1
 	}
 	return p
+}
+
+// DefaultPipelineDepth is the default per-edge channel buffer in batches:
+// deep enough to keep a producer from stalling on a momentarily busy
+// consumer, shallow enough that a query holds O(operators) batches in
+// flight.
+const DefaultPipelineDepth = 4
+
+// pipeDepth resolves the effective per-edge channel buffer.
+func (c *Context) pipeDepth() int {
+	if c.PipelineDepth > 0 {
+		return c.PipelineDepth
+	}
+	return DefaultPipelineDepth
 }
 
 // minPartitionRows is the estimated row count below which an extra
@@ -208,7 +265,7 @@ func (c *Context) pointDone(p *Point) {
 // send delivers a batch unless the query was cancelled; it reports whether
 // the send happened.
 func send(ctx *Context, out chan<- Batch, b Batch) bool {
-	if len(b) == 0 {
+	if b.Len() == 0 {
 		return true
 	}
 	select {
@@ -240,11 +297,17 @@ func Run(ctx *Context, root Op) []types.Tuple {
 	total := 0
 	for b := range out {
 		batches = append(batches, b)
-		total += len(b)
+		total += b.Len()
 	}
 	rows := make([]types.Tuple, 0, total)
 	for _, b := range batches {
-		rows = append(rows, b...)
+		if b.Sel == nil {
+			rows = append(rows, b.Tuples...)
+		} else {
+			for _, l := range b.Sel {
+				rows = append(rows, b.Tuples[l])
+			}
+		}
 		PutBatch(b)
 	}
 	if ctx.Ctl != nil {

@@ -156,7 +156,7 @@ type joinPart struct {
 func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	lin := j.Left.Start(ctx)
 	rin := j.Right.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(j.LPoint)+pointEstRows(j.RPoint))
@@ -176,7 +176,7 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	parts := make([]*joinPart, P)
 	partIns := make([]chan *scatter, P)
 	for p := range parts {
-		parts[p] = &joinPart{in: make(chan *scatter, 4)}
+		parts[p] = &joinPart{in: make(chan *scatter, ctx.pipeDepth())}
 		partIns[p] = parts[p].in
 		for s, in := range inputs {
 			if in.point != nil {
@@ -234,9 +234,11 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			pr         = newPartitionRouter(own.side, P, partIns)
 		)
 		for b := range in {
-			nIn := int64(len(b))
+			sel := b.Live()
+			nIn := int64(len(sel))
 			var pruned int64
-			for _, t := range b {
+			for _, l := range sel {
+				t := b.Tuples[l]
 				h, key := keyHasher.KeyCols(t, own.keys)
 				if own.point != nil && !own.point.Bank.ProbeHashed(t, own.keys, h, key, &bankHasher) {
 					pruned++
@@ -245,9 +247,11 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 				pr.route(t, h, key)
 				// The working AIP set covers every tuple that passed the
 				// filters, whether or not a worker buffers it (Feed-Forward
-				// publishes it as a complete summary of this input).
+				// publishes it as a complete summary of this input). The
+				// router is the point's only OnStore caller, so it owns
+				// working-set slot 0.
 				if own.point != nil && own.point.OnStore != nil {
-					own.point.OnStore(t)
+					own.point.OnStore(0, t)
 				}
 			}
 			own.op.In.Add(nIn)
@@ -285,12 +289,18 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	// batch into the sending side's table (unless the other input already
 	// completed: short-circuit) with fresh tickets, probes the other side's
 	// table, and materializes earlier-ticket matches into arena-backed rows.
+	// The residual predicate is applied batch-at-a-time over the
+	// materialized rows via the vectorized EvalBool, marking survivors with
+	// a selection vector; rejected rows stay dead in their arena block
+	// until the batch is recycled downstream. Each worker compiles its own
+	// residual (Compiled carries scratch and is not goroutine-safe).
 	worker := func(pidx int) {
 		defer workerWg.Done()
 		pt := parts[pidx]
 		var (
 			matches []types.Tuple
 			arena   rowArena
+			resC    = expr.Compile(j.Residual)
 		)
 		for sb := range pt.in {
 			own, other := inputs[sb.side], inputs[1-sb.side]
@@ -316,6 +326,29 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			// counted per flushed batch at the send site, so cancelled
 			// queries report exactly the tuples that were delivered.
 			outBatch := GetBatch()
+			// emit runs the residual over the accumulated candidate rows
+			// (one EvalBool per batch instead of one Eval per row) and
+			// sends the surviving selection.
+			emit := func() bool {
+				if len(outBatch.Tuples) == 0 {
+					return true
+				}
+				if resC != nil {
+					outBatch.Sel = resC.EvalBool(outBatch.Tuples, identSel(len(outBatch.Tuples)), getSel())
+					if len(outBatch.Sel) == 0 {
+						PutBatch(outBatch)
+						outBatch = GetBatch()
+						return true
+					}
+				}
+				n := int64(outBatch.Len())
+				if !send(ctx, out, outBatch) {
+					return false
+				}
+				own.op.Out.Add(n)
+				outBatch = GetBatch()
+				return true
+			}
 			ownIsLeft := sb.side == 0
 			for i, t := range sb.tuples {
 				matches = otherT.probe(sb.hashes[i], sb.key(i), base+uint64(i)+1, matches[:0])
@@ -326,29 +359,18 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 					} else {
 						row = arena.concat(m, t)
 					}
-					if j.Residual != nil && !j.Residual.Eval(row).Truth() {
-						arena.release(row)
-						continue
-					}
-					outBatch = append(outBatch, row)
-					if len(outBatch) == BatchSize {
-						if !send(ctx, out, outBatch) {
+					outBatch.Tuples = append(outBatch.Tuples, row)
+					if len(outBatch.Tuples) == BatchSize {
+						if !emit() {
 							return
 						}
-						own.op.Out.Add(BatchSize)
-						outBatch = GetBatch()
 					}
 				}
 			}
-			if len(outBatch) == 0 {
-				PutBatch(outBatch)
-			} else {
-				emitted := int64(len(outBatch))
-				if !send(ctx, out, outBatch) {
-					return
-				}
-				own.op.Out.Add(emitted)
+			if !emit() {
+				return
 			}
+			PutBatch(outBatch)
 
 			// Batch-grained stats flush, folded into the side totals and the
 			// per-partition skew counters.

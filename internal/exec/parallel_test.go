@@ -326,7 +326,7 @@ func TestJoinCancellationExactStats(t *testing.T) {
 	drained := int64(0)
 	got := 0
 	for b := range out {
-		drained += int64(len(b))
+		drained += int64(b.Len())
 		got++
 		if got == 3 {
 			ctx.Cancel()
@@ -372,7 +372,7 @@ func TestAggCancellationExactStats(t *testing.T) {
 	drained := int64(0)
 	got := 0
 	for b := range out {
-		drained += int64(len(b))
+		drained += int64(b.Len())
 		got++
 		if got == 2 {
 			ctx.Cancel()
@@ -451,7 +451,7 @@ func TestDistinctCancellationNoLeak(t *testing.T) {
 	drained := int64(0)
 	got := 0
 	for b := range out {
-		drained += int64(len(b))
+		drained += int64(b.Len())
 		got++
 		if got == 2 {
 			ctx.Cancel()

@@ -39,7 +39,7 @@ func (s *Scan) Schema() *types.Schema { return s.Sch }
 
 // Start launches the scan goroutine.
 func (s *Scan) Start(ctx *Context) <-chan Batch {
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	s.op = ctx.Stats.NewOp("scan:" + s.Name)
 	go func() {
 		defer close(out)
@@ -59,7 +59,7 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 		// emitted) and pays any accumulated pacing debt. The final flush
 		// passes last=true to recycle instead of refilling the batch.
 		flush := func(last bool) bool {
-			if len(batch) == 0 {
+			if len(batch.Tuples) == 0 {
 				// Pacing debt was settled by the preceding non-empty flush
 				// (cumBytes is unchanged since), so just recycle.
 				if last {
@@ -67,7 +67,7 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				}
 				return true
 			}
-			n := int64(len(batch))
+			n := int64(len(batch.Tuples))
 			if !send(ctx, out, batch) {
 				return false
 			}
@@ -86,14 +86,14 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				}
 			}
 			if last {
-				batch = nil
+				batch = Batch{}
 			} else {
 				batch = GetBatch()
 			}
 			return true
 		}
 		for _, t := range s.Rows {
-			batch = append(batch, t)
+			batch.Tuples = append(batch.Tuples, t)
 			count++
 			if s.BytesPerSec > 0 {
 				cumBytes += int64(t.MemSize())
@@ -109,7 +109,7 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				}
 				continue
 			}
-			if len(batch) == BatchSize {
+			if len(batch.Tuples) == BatchSize {
 				if !flush(false) {
 					return
 				}
@@ -120,7 +120,11 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 	return out
 }
 
-// Filter applies a predicate. Stats are flushed once per batch.
+// Filter applies a predicate by narrowing each batch's selection vector:
+// survivors are marked, not copied, so the tuple slice flows through
+// untouched and the steady-state filter path performs zero allocations per
+// batch. The predicate runs through the vectorized EvalBool kernels; stats
+// are flushed once per batch.
 type Filter struct {
 	Child Op
 	Pred  expr.Expr
@@ -133,35 +137,42 @@ func (f *Filter) Schema() *types.Schema { return f.Child.Schema() }
 // Start launches the filter goroutine.
 func (f *Filter) Start(ctx *Context) <-chan Batch {
 	in := f.Child.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("filter:" + f.Name)
+	pred := expr.Compile(f.Pred)
 	go func() {
 		defer close(out)
 		for b := range in {
-			kept := GetBatch()
-			for _, t := range b {
-				if f.Pred.Eval(t).Truth() {
-					kept = append(kept, t)
-				}
-			}
-			op.In.Add(int64(len(b)))
-			if len(kept) == 0 {
-				PutBatch(kept)
+			op.In.Add(int64(b.Len()))
+			var sel []int32
+			if b.Sel != nil {
+				// Narrow the incoming selection in place: EvalBool only
+				// appends lanes it has already read, so the output may share
+				// the input's backing array.
+				sel = pred.EvalBool(b.Tuples, b.Sel, b.Sel)
 			} else {
-				n := int64(len(kept))
-				if !send(ctx, out, kept) {
-					return
-				}
-				op.Out.Add(n)
+				sel = pred.EvalBool(b.Tuples, identSel(len(b.Tuples)), getSel())
 			}
-			PutBatch(b)
+			b.Sel = sel
+			if len(sel) == 0 {
+				PutBatch(b)
+				continue
+			}
+			n := int64(len(sel))
+			if !send(ctx, out, b) {
+				return
+			}
+			op.Out.Add(n)
 		}
 	}()
 	return out
 }
 
-// Project computes output expressions. Output rows are carved from a
-// batch-sized arena: one allocation per batch rather than one per row.
+// Project computes output expressions one expression at a time over the
+// whole batch (vectorized EvalBatch into a lane-indexed column scratch),
+// then scatters the column into arena-backed output rows: one backing
+// allocation per ~BatchSize rows rather than one per row, and no per-tuple
+// expression-tree walks.
 type Project struct {
 	Child Op
 	Exprs []expr.Expr
@@ -175,31 +186,46 @@ func (p *Project) Schema() *types.Schema { return p.Sch }
 // Start launches the projection goroutine.
 func (p *Project) Start(ctx *Context) <-chan Batch {
 	in := p.Child.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("project:" + p.Name)
+	compiled := make([]*expr.Compiled, len(p.Exprs))
+	for i, e := range p.Exprs {
+		compiled[i] = expr.Compile(e)
+	}
 	go func() {
 		defer close(out)
-		var arena rowArena
+		var (
+			arena rowArena
+			col   []types.Value // lane-indexed column scratch
+			rows  []types.Tuple // per-batch output row scratch
+		)
+		width := len(compiled)
 		for b := range in {
+			sel := b.Live()
+			n := len(sel)
+			op.In.Add(int64(n))
+			if n == 0 {
+				PutBatch(b)
+				continue
+			}
+			rows = rows[:0]
+			for k := 0; k < n; k++ {
+				rows = append(rows, arena.alloc(width))
+			}
+			col = growVals(col, len(b.Tuples))
+			for j, c := range compiled {
+				c.EvalBatch(b.Tuples, sel, col)
+				for k, lane := range sel {
+					rows[k][j] = col[lane]
+				}
+			}
 			res := GetBatch()
-			for _, t := range b {
-				row := arena.alloc(len(p.Exprs))
-				for j, e := range p.Exprs {
-					row[j] = e.Eval(t)
-				}
-				res = append(res, row)
-			}
-			op.In.Add(int64(len(b)))
-			if len(res) == 0 {
-				PutBatch(res)
-			} else {
-				n := int64(len(res))
-				if !send(ctx, out, res) {
-					return
-				}
-				op.Out.Add(n)
-			}
+			res.Tuples = append(res.Tuples, rows...)
 			PutBatch(b)
+			if !send(ctx, out, res) {
+				return
+			}
+			op.Out.Add(int64(n))
 		}
 	}()
 	return out

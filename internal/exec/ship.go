@@ -24,27 +24,37 @@ func (s *Ship) Schema() *types.Schema { return s.Child.Schema() }
 // Start launches the shipping goroutine.
 func (s *Ship) Start(ctx *Context) <-chan Batch {
 	in := s.Child.Start(ctx)
-	out := make(chan Batch, 4)
+	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("ship:" + s.Name)
 	go func() {
 		defer close(out)
 		var bankHasher types.Hasher
 		for b := range in {
-			kept := GetBatch()
+			nIn := int64(b.Len())
 			var pruned int64
 			nbytes := 0
-			for _, t := range b {
+			// Mark the tuples that survive the remote-side AIP filters with
+			// a selection vector instead of copying them; only survivors
+			// are charged to the simulated link.
+			var kept []int32
+			if b.Sel != nil {
+				kept = b.Sel[:0]
+			} else {
+				kept = getSel()
+			}
+			for _, l := range b.Live() {
+				t := b.Tuples[l]
 				if s.Point != nil && !s.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
 					pruned++
 					continue
 				}
-				kept = append(kept, t)
+				kept = append(kept, l)
 				nbytes += t.MemSize()
 			}
-			op.In.Add(int64(len(b)))
+			op.In.Add(nIn)
 			op.Pruned.Add(pruned)
 			if s.Point != nil {
-				s.Point.received.Add(int64(len(b)))
+				s.Point.received.Add(nIn)
 			}
 			if len(kept) > 0 && s.Link != nil {
 				if !s.Link.Transfer(nbytes, ctx.Cancelled()) {
@@ -52,16 +62,16 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 				}
 				ctx.Stats.NetworkBytes.Add(int64(nbytes))
 			}
+			b.Sel = kept
 			if len(kept) == 0 {
-				PutBatch(kept)
-			} else {
-				n := int64(len(kept))
-				if !send(ctx, out, kept) {
-					return
-				}
-				op.Out.Add(n)
+				PutBatch(b)
+				continue
 			}
-			PutBatch(b)
+			n := int64(len(kept))
+			if !send(ctx, out, b) {
+				return
+			}
+			op.Out.Add(n)
 		}
 		if s.Point != nil {
 			s.Point.done.Store(true)

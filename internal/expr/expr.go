@@ -1,6 +1,15 @@
 // Package expr defines bound (position-resolved) scalar expressions: the
 // executable form produced by the plan binder and evaluated by the push
 // executor for selections, join residuals, projections, and aggregates.
+//
+// Expressions evaluate two ways. Expr.Eval is the scalar reference
+// implementation: one tuple per call, used on cold paths and by the
+// differential tests. Compile lowers an Expr into type-specialized
+// vectorized kernels (EvalBatch / EvalBool) that process a batch of tuples
+// per call under a selection vector; see vector.go for the
+// selection-vector contract shared with the executor. Both paths funnel
+// binary operators through one helper, so they cannot diverge
+// semantically.
 package expr
 
 import (
@@ -119,14 +128,20 @@ func (b *Binary) Eval(t types.Tuple) types.Value {
 		}
 		return types.Bool(false)
 	}
-	l := b.L.Eval(t)
-	r := b.R.Eval(t)
+	return evalBin(b.Op, b.L.Eval(t), b.R.Eval(t))
+}
+
+// evalBin applies a comparison or arithmetic operator to two evaluated
+// operands. It is the single implementation behind both the scalar
+// Binary.Eval and the vectorized kernels in vector.go, so the two paths
+// cannot diverge on NULL, mixed-kind, or division-by-zero semantics.
+func evalBin(op BinOp, l, r types.Value) types.Value {
 	if l.IsNull() || r.IsNull() {
 		return types.Null()
 	}
-	if b.Op.IsComparison() {
+	if op.IsComparison() {
 		cmp := types.Compare(l, r)
-		switch b.Op {
+		switch op {
 		case OpEq:
 			return types.Bool(cmp == 0)
 		case OpNe:
@@ -143,8 +158,8 @@ func (b *Binary) Eval(t types.Tuple) types.Value {
 	}
 	// Arithmetic: integer when both sides are integers (except division),
 	// float otherwise.
-	if l.K == types.KindInt && r.K == types.KindInt && b.Op != OpDiv {
-		switch b.Op {
+	if l.K == types.KindInt && r.K == types.KindInt && op != OpDiv {
+		switch op {
 		case OpAdd:
 			return types.Int(l.I + r.I)
 		case OpSub:
@@ -158,7 +173,7 @@ func (b *Binary) Eval(t types.Tuple) types.Value {
 	if !lok || !rok {
 		return types.Null()
 	}
-	switch b.Op {
+	switch op {
 	case OpAdd:
 		return types.Float(lf + rf)
 	case OpSub:
@@ -171,7 +186,7 @@ func (b *Binary) Eval(t types.Tuple) types.Value {
 		}
 		return types.Float(lf / rf)
 	default:
-		panic(fmt.Sprintf("expr: unhandled operator %v", b.Op))
+		panic(fmt.Sprintf("expr: unhandled operator %v", op))
 	}
 }
 

@@ -1,0 +1,735 @@
+// Vectorized (batch-at-a-time) expression evaluation.
+//
+// Compile translates a bound Expr into a tree of type-specialized kernels
+// evaluated one expression node per batch instead of one tuple per call:
+// the per-tuple interface dispatch, Value boxing, and operator switch of
+// the scalar Eval path are paid once per batch. Evaluation is driven by a
+// selection vector — an ascending list of live lane (row) indices — so a
+// kernel only touches lanes that earlier predicates kept alive, and a
+// predicate narrows the selection in place instead of copying tuples.
+//
+// Contract (shared with the executor's Batch type):
+//
+//   - A selection vector sel lists live lanes of the batch in strictly
+//     ascending order. EvalBatch writes dst[lane] for every lane in sel and
+//     leaves dead lanes untouched; dst must have length ≥ len(b).
+//   - EvalBool(b, sel, out) returns the sub-selection of sel on which the
+//     expression is TRUE (SQL semantics: NULL and false both drop the
+//     lane). out is overwritten from position 0 and may share its backing
+//     array with sel — kernels only append a lane after it has been read —
+//     but must not alias a shared read-only selection such as the
+//     executor's identity table.
+//   - The scalar Eval remains the reference implementation: both paths
+//     funnel binary operators through the same evalBin helper, and the
+//     differential tests in vector_test.go assert lane-for-lane agreement.
+//
+// A Compiled carries per-node scratch vectors (reused across batches, so
+// steady-state evaluation performs zero allocations) and is therefore NOT
+// safe for concurrent use: each operator goroutine compiles its own.
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Compiled is the vectorized form of an Expr. Compile once per goroutine;
+// see the package comment for the selection-vector contract.
+type Compiled struct {
+	root vecNode
+	pred predNode
+	kind types.Kind
+	str  string
+}
+
+// Compile builds the vectorized evaluator for e; a nil expression compiles
+// to nil.
+func Compile(e Expr) *Compiled {
+	if e == nil {
+		return nil
+	}
+	n := compileNode(e)
+	return &Compiled{root: n, pred: asPred(n), kind: e.Kind(), str: e.String()}
+}
+
+// Kind returns the statically inferred result type.
+func (c *Compiled) Kind() types.Kind { return c.kind }
+
+// String renders the source expression.
+func (c *Compiled) String() string { return c.str }
+
+// EvalBatch evaluates the expression for every lane in sel, writing the
+// result to dst[lane]. dst must have length ≥ len(b); dead lanes are left
+// untouched.
+func (c *Compiled) EvalBatch(b []types.Tuple, sel []int32, dst []types.Value) {
+	c.root.eval(b, sel, dst)
+}
+
+// EvalBool narrows sel to the lanes on which the expression evaluates to
+// TRUE, writing the survivors into out (overwritten from position 0, may
+// alias sel's backing array) and returning them. The result preserves
+// sel's ascending order.
+func (c *Compiled) EvalBool(b []types.Tuple, sel []int32, out []int32) []int32 {
+	return c.pred.sift(b, sel, out[:0])
+}
+
+// vecNode produces a value vector: eval writes the node's value for every
+// lane in sel into dst[lane].
+type vecNode interface {
+	eval(b []types.Tuple, sel []int32, dst []types.Value)
+}
+
+// predNode narrows a selection: sift appends to out the lanes of sel on
+// which the node is TRUE, in order. Implementations must only append a
+// lane after reading it from sel, so out may share sel's backing array.
+type predNode interface {
+	sift(b []types.Tuple, sel []int32, out []int32) []int32
+}
+
+// asPred adapts a node for predicate use; nodes that cannot produce
+// selections natively are wrapped in a Truth() filter.
+func asPred(n vecNode) predNode {
+	if p, ok := n.(predNode); ok {
+		return p
+	}
+	return &truthNode{n: n}
+}
+
+// asAndOperand adapts a node for operand position inside AND's sift.
+// Scalar AND rejects an operand only when it is bool-false or NULL — a
+// non-boolean value passes (and the conjunction then yields TRUE), so
+// wrapping in Truth() semantics would wrongly drop such lanes. Native
+// predicate nodes only ever produce Bool/NULL values, for which the TRUE
+// set and the pass set coincide, so they are used directly.
+func asAndOperand(n vecNode) predNode {
+	if p, ok := n.(predNode); ok {
+		return p
+	}
+	return &passNode{n: n}
+}
+
+// grow resizes a lane-indexed scratch vector to n lanes, reusing the
+// backing array when it is large enough.
+func grow(v []types.Value, n int) []types.Value {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]types.Value, n)
+}
+
+// Per-lane combination helpers. They mirror the scalar evaluator exactly:
+// comparisons and arithmetic share evalBin with Binary.Eval, and the
+// three-valued connectives reproduce its AND/OR/NOT branches as pure
+// functions of the operand values (evaluation order cannot matter because
+// expression evaluation is side-effect free).
+
+// andValue is three-valued AND of two evaluated operands.
+func andValue(l, r types.Value) types.Value {
+	if l.K == types.KindBool && l.I == 0 {
+		return types.Bool(false)
+	}
+	if r.K == types.KindBool && r.I == 0 {
+		return types.Bool(false)
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null()
+	}
+	return types.Bool(true)
+}
+
+// orValue is three-valued OR of two evaluated operands.
+func orValue(l, r types.Value) types.Value {
+	if l.Truth() || r.Truth() {
+		return types.Bool(true)
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null()
+	}
+	return types.Bool(false)
+}
+
+// notValue is three-valued NOT.
+func notValue(v types.Value) types.Value {
+	if v.IsNull() {
+		return v
+	}
+	return types.Bool(!v.Truth())
+}
+
+// cmpWants decomposes a comparison operator into which Compare outcomes
+// (-1, 0, +1) satisfy it, so kernels test outcomes with three register
+// flags instead of re-switching on the operator per lane.
+func cmpWants(op BinOp) (lt, eq, gt bool) {
+	switch op {
+	case OpEq:
+		return false, true, false
+	case OpNe:
+		return true, false, true
+	case OpLt:
+		return true, false, false
+	case OpLe:
+		return true, true, false
+	case OpGt:
+		return false, false, true
+	default: // OpGe
+		return false, true, true
+	}
+}
+
+// mirrorCmp flips a comparison for swapped operands: c op x  ⇔  x mirror(op) c.
+func mirrorCmp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// cmpLanes compares two non-NULL values the way evalBin does, with the
+// all-integer fast path inlined.
+func cmpLanes(l, r types.Value) int {
+	if (l.K == types.KindInt && r.K == types.KindInt) || (l.K == types.KindDate && r.K == types.KindDate) {
+		switch {
+		case l.I < r.I:
+			return -1
+		case l.I > r.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return types.Compare(l, r)
+}
+
+// arithLane applies an arithmetic operator to *lp and *rp, writing the
+// result to *dst. Operands travel by pointer so the all-int and all-float
+// fast paths read two struct fields instead of copying 40-byte Values;
+// everything else (NULLs, mixed kinds, dates) defers to the shared evalBin
+// and therefore cannot diverge from the scalar path.
+func arithLane(op BinOp, lp, rp, dst *types.Value) {
+	if lp.K == types.KindInt && rp.K == types.KindInt {
+		switch op {
+		case OpAdd:
+			*dst = types.Value{K: types.KindInt, I: lp.I + rp.I}
+			return
+		case OpSub:
+			*dst = types.Value{K: types.KindInt, I: lp.I - rp.I}
+			return
+		case OpMul:
+			*dst = types.Value{K: types.KindInt, I: lp.I * rp.I}
+			return
+		case OpDiv:
+			if rp.I == 0 {
+				*dst = types.Value{}
+				return
+			}
+			*dst = types.Value{K: types.KindFloat, F: float64(lp.I) / float64(rp.I)}
+			return
+		}
+	}
+	if lp.K == types.KindFloat && rp.K == types.KindFloat {
+		switch op {
+		case OpAdd:
+			*dst = types.Value{K: types.KindFloat, F: lp.F + rp.F}
+			return
+		case OpSub:
+			*dst = types.Value{K: types.KindFloat, F: lp.F - rp.F}
+			return
+		case OpMul:
+			*dst = types.Value{K: types.KindFloat, F: lp.F * rp.F}
+			return
+		case OpDiv:
+			if rp.F == 0 {
+				*dst = types.Value{}
+				return
+			}
+			*dst = types.Value{K: types.KindFloat, F: lp.F / rp.F}
+			return
+		}
+	}
+	*dst = evalBin(op, *lp, *rp)
+}
+
+// compileNode lowers one Expr node to its most specialized kernel.
+func compileNode(e Expr) vecNode {
+	switch v := e.(type) {
+	case *ColRef:
+		return &colNode{idx: v.Idx}
+	case *Const:
+		return &constNode{v: v.V}
+	case *Binary:
+		switch v.Op {
+		case OpAnd:
+			l, r := compileNode(v.L), compileNode(v.R)
+			return &andNode{l: l, r: r, lp: asAndOperand(l), rp: asAndOperand(r)}
+		case OpOr:
+			l, r := compileNode(v.L), compileNode(v.R)
+			return &orNode{l: l, r: r, lp: asPred(l), rp: asPred(r)}
+		}
+		if v.Op.IsComparison() {
+			if lc, ok := v.L.(*ColRef); ok {
+				if rc, ok := v.R.(*Const); ok {
+					return &cmpColConst{op: v.Op, idx: lc.Idx, c: rc.V}
+				}
+				if rc, ok := v.R.(*ColRef); ok {
+					return &cmpColCol{op: v.Op, li: lc.Idx, ri: rc.Idx}
+				}
+			}
+			if lc, ok := v.L.(*Const); ok {
+				if rc, ok := v.R.(*ColRef); ok {
+					return &cmpColConst{op: mirrorCmp(v.Op), idx: rc.Idx, c: lc.V}
+				}
+			}
+			return &cmpNode{op: v.Op, l: compileNode(v.L), r: compileNode(v.R)}
+		}
+		if lc, ok := v.L.(*ColRef); ok {
+			if rc, ok := v.R.(*Const); ok {
+				return &arithColConst{op: v.Op, idx: lc.Idx, c: rc.V}
+			}
+			if rc, ok := v.R.(*ColRef); ok {
+				return &arithColCol{op: v.Op, li: lc.Idx, ri: rc.Idx}
+			}
+		}
+		if lc, ok := v.L.(*Const); ok {
+			if rc, ok := v.R.(*ColRef); ok {
+				return &arithColConst{op: v.Op, idx: rc.Idx, c: lc.V, constLeft: true}
+			}
+		}
+		return &arithNode{op: v.Op, l: compileNode(v.L), r: compileNode(v.R)}
+	case *Not:
+		return &notNode{n: compileNode(v.E)}
+	case *Like:
+		return &likeNode{n: compileNode(v.E), pattern: v.Pattern, negate: v.Negate}
+	case *Year:
+		return &yearNode{n: compileNode(v.E)}
+	default:
+		panic(fmt.Sprintf("expr: Compile on %T", e))
+	}
+}
+
+// colNode reads one input column.
+type colNode struct{ idx int }
+
+func (c *colNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	idx := c.idx
+	for _, l := range sel {
+		dst[l] = b[l][idx]
+	}
+}
+
+// constNode broadcasts a literal.
+type constNode struct{ v types.Value }
+
+func (c *constNode) eval(_ []types.Tuple, sel []int32, dst []types.Value) {
+	v := c.v
+	for _, l := range sel {
+		dst[l] = v
+	}
+}
+
+// cmpColConst compares one column against a literal: the hottest filter
+// shape, evaluated without materializing either operand vector.
+type cmpColConst struct {
+	op  BinOp
+	idx int
+	c   types.Value
+}
+
+func (n *cmpColConst) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	idx, c := n.idx, n.c
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	if c.IsNull() {
+		for _, l := range sel {
+			dst[l] = types.Null()
+		}
+		return
+	}
+	for _, l := range sel {
+		v := b[l][idx]
+		if v.K == types.KindNull {
+			dst[l] = types.Null()
+			continue
+		}
+		var cmp int
+		if v.K == types.KindInt && c.K == types.KindInt {
+			switch {
+			case v.I < c.I:
+				cmp = -1
+			case v.I > c.I:
+				cmp = 1
+			}
+		} else {
+			cmp = cmpLanes(v, c)
+		}
+		dst[l] = types.Bool(cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK)
+	}
+}
+
+func (n *cmpColConst) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	idx, c := n.idx, n.c
+	if c.IsNull() {
+		return out
+	}
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	for _, l := range sel {
+		v := b[l][idx]
+		var cmp int
+		if v.K == types.KindInt && c.K == types.KindInt {
+			switch {
+			case v.I < c.I:
+				cmp = -1
+			case v.I > c.I:
+				cmp = 1
+			}
+		} else if v.K == types.KindNull {
+			continue
+		} else {
+			cmp = cmpLanes(v, c)
+		}
+		if cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// cmpColCol compares two columns of the same batch (join residuals are
+// usually this shape over the concatenated row).
+type cmpColCol struct {
+	op     BinOp
+	li, ri int
+}
+
+func (n *cmpColCol) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	for _, l := range sel {
+		t := b[l]
+		lv, rv := t[n.li], t[n.ri]
+		if lv.K == types.KindNull || rv.K == types.KindNull {
+			dst[l] = types.Null()
+			continue
+		}
+		cmp := cmpLanes(lv, rv)
+		dst[l] = types.Bool(cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK)
+	}
+}
+
+func (n *cmpColCol) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	for _, l := range sel {
+		t := b[l]
+		lv, rv := t[n.li], t[n.ri]
+		if lv.K == types.KindNull || rv.K == types.KindNull {
+			continue
+		}
+		cmp := cmpLanes(lv, rv)
+		if cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// cmpNode is the general comparison: both operand vectors materialized,
+// then combined lane-at-a-time.
+type cmpNode struct {
+	op     BinOp
+	l, r   vecNode
+	lv, rv []types.Value
+}
+
+func (n *cmpNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	n.lv, n.rv = grow(n.lv, len(b)), grow(n.rv, len(b))
+	n.l.eval(b, sel, n.lv)
+	n.r.eval(b, sel, n.rv)
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	for _, l := range sel {
+		lv, rv := n.lv[l], n.rv[l]
+		if lv.K == types.KindNull || rv.K == types.KindNull {
+			dst[l] = types.Null()
+			continue
+		}
+		cmp := cmpLanes(lv, rv)
+		dst[l] = types.Bool(cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK)
+	}
+}
+
+func (n *cmpNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	n.lv, n.rv = grow(n.lv, len(b)), grow(n.rv, len(b))
+	n.l.eval(b, sel, n.lv)
+	n.r.eval(b, sel, n.rv)
+	ltOK, eqOK, gtOK := cmpWants(n.op)
+	for _, l := range sel {
+		lv, rv := n.lv[l], n.rv[l]
+		if lv.K == types.KindNull || rv.K == types.KindNull {
+			continue
+		}
+		cmp := cmpLanes(lv, rv)
+		if cmp < 0 && ltOK || cmp == 0 && eqOK || cmp > 0 && gtOK {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// arithColConst applies an arithmetic operator between a column and a
+// literal (constLeft selects "literal op column" for the non-commutative
+// operators).
+type arithColConst struct {
+	op        BinOp
+	idx       int
+	c         types.Value
+	constLeft bool
+}
+
+func (n *arithColConst) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	idx, op := n.idx, n.op
+	c := n.c
+	if n.constLeft {
+		for _, l := range sel {
+			arithLane(op, &c, &b[l][idx], &dst[l])
+		}
+		return
+	}
+	for _, l := range sel {
+		arithLane(op, &b[l][idx], &c, &dst[l])
+	}
+}
+
+// arithColCol applies an arithmetic operator between two columns.
+type arithColCol struct {
+	op     BinOp
+	li, ri int
+}
+
+func (n *arithColCol) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	li, ri, op := n.li, n.ri, n.op
+	for _, l := range sel {
+		t := b[l]
+		arithLane(op, &t[li], &t[ri], &dst[l])
+	}
+}
+
+// arithNode is the general arithmetic kernel over materialized operands.
+type arithNode struct {
+	op     BinOp
+	l, r   vecNode
+	lv, rv []types.Value
+}
+
+func (n *arithNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	n.lv, n.rv = grow(n.lv, len(b)), grow(n.rv, len(b))
+	n.l.eval(b, sel, n.lv)
+	n.r.eval(b, sel, n.rv)
+	op := n.op
+	for _, l := range sel {
+		arithLane(op, &n.lv[l], &n.rv[l], &dst[l])
+	}
+}
+
+// andNode: as a predicate it short-circuits with selection vectors — the
+// right side only ever sees lanes the left side kept. As a value it
+// materializes both sides (side-effect-free, so the result is identical to
+// the scalar short-circuit).
+type andNode struct {
+	l, r   vecNode
+	lp, rp predNode
+	lv, rv []types.Value
+}
+
+func (n *andNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	n.lv, n.rv = grow(n.lv, len(b)), grow(n.rv, len(b))
+	n.l.eval(b, sel, n.lv)
+	n.r.eval(b, sel, n.rv)
+	for _, l := range sel {
+		dst[l] = andValue(n.lv[l], n.rv[l])
+	}
+}
+
+func (n *andNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	out = n.lp.sift(b, sel, out)
+	return n.rp.sift(b, out, out[:0])
+}
+
+// orNode: as a predicate the right side is evaluated only on the lanes the
+// left side rejected, and the two survivor lists are merged back into
+// selection order.
+type orNode struct {
+	l, r   vecNode
+	lp, rp predNode
+	lv, rv []types.Value
+	sa, sb []int32
+}
+
+func (n *orNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	n.lv, n.rv = grow(n.lv, len(b)), grow(n.rv, len(b))
+	n.l.eval(b, sel, n.lv)
+	n.r.eval(b, sel, n.rv)
+	for _, l := range sel {
+		dst[l] = orValue(n.lv[l], n.rv[l])
+	}
+}
+
+func (n *orNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	n.sa = n.lp.sift(b, sel, n.sa[:0])
+	// Lanes the left side did not keep; both lists are ascending.
+	rej := n.sb[:0]
+	i := 0
+	for _, l := range sel {
+		if i < len(n.sa) && n.sa[i] == l {
+			i++
+			continue
+		}
+		rej = append(rej, l)
+	}
+	n.sb = n.rp.sift(b, rej, rej[:0])
+	// Merge the two ascending survivor lists; sel has been fully read, so
+	// out may reuse its backing array.
+	a, c := n.sa, n.sb
+	i, k := 0, 0
+	for i < len(a) && k < len(c) {
+		if a[i] < c[k] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, c[k])
+			k++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, c[k:]...)
+}
+
+// notNode is three-valued NOT; as a predicate it keeps lanes whose operand
+// is non-NULL and not true (matching Eval: NOT NULL is NULL, which drops).
+type notNode struct {
+	n    vecNode
+	vals []types.Value
+}
+
+func (m *notNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		dst[l] = notValue(m.vals[l])
+	}
+}
+
+func (m *notNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		v := m.vals[l]
+		if v.K != types.KindNull && !v.Truth() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// likeNode matches a constant LIKE pattern.
+type likeNode struct {
+	n       vecNode
+	pattern string
+	negate  bool
+	vals    []types.Value
+}
+
+func (m *likeNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		v := m.vals[l]
+		if v.IsNull() {
+			dst[l] = v
+			continue
+		}
+		dst[l] = types.Bool(likeMatch(v.S, m.pattern) != m.negate)
+	}
+}
+
+func (m *likeNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		v := m.vals[l]
+		if !v.IsNull() && likeMatch(v.S, m.pattern) != m.negate {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// yearNode extracts the calendar year of a date vector.
+type yearNode struct {
+	n    vecNode
+	vals []types.Value
+}
+
+func (m *yearNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		v := m.vals[l]
+		if v.IsNull() {
+			dst[l] = v
+			continue
+		}
+		days, _ := v.AsInt()
+		dst[l] = types.Int(yearOfDays(days))
+	}
+}
+
+// passNode keeps the lanes an AND conjunction does not reject: operand
+// non-NULL and not bool-false (see asAndOperand; matches the scalar
+// Binary.Eval AND branch exactly).
+type passNode struct {
+	n    vecNode
+	vals []types.Value
+}
+
+func (m *passNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	m.n.eval(b, sel, dst)
+}
+
+func (m *passNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		v := m.vals[l]
+		if v.K != types.KindNull && !(v.K == types.KindBool && v.I == 0) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// truthNode adapts any value-producing node to predicate position: a lane
+// survives iff the value is a true boolean (SQL WHERE semantics).
+type truthNode struct {
+	n    vecNode
+	vals []types.Value
+}
+
+func (m *truthNode) eval(b []types.Tuple, sel []int32, dst []types.Value) {
+	m.n.eval(b, sel, dst)
+}
+
+func (m *truthNode) sift(b []types.Tuple, sel []int32, out []int32) []int32 {
+	m.vals = grow(m.vals, len(b))
+	m.n.eval(b, sel, m.vals)
+	for _, l := range sel {
+		if m.vals[l].Truth() {
+			out = append(out, l)
+		}
+	}
+	return out
+}

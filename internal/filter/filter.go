@@ -6,6 +6,7 @@
 package filter
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/bloom"
@@ -109,6 +110,44 @@ func (h *HashSet) MayContainHash(hash uint64, key []byte) bool {
 	}
 	_, ok := h.buckets[b][string(key)]
 	return ok
+}
+
+// MergeFrom unions other's keys into h (bucket-wise, so a discarded bucket
+// on either side stays discarded and keeps passing everything). Both sets
+// must have the same bucket count — the Feed-Forward controller merges the
+// per-partition working sets of one producer, which it sizes identically.
+func (h *HashSet) MergeFrom(other *HashSet) error {
+	if h.nbuckets != other.nbuckets {
+		return fmt.Errorf("filter: cannot merge hash sets with %d and %d buckets", h.nbuckets, other.nbuckets)
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range other.buckets {
+		if other.discarded[i] {
+			if !h.discarded[i] {
+				for k := range h.buckets[i] {
+					h.size--
+					h.bytes -= len(k) + 16
+				}
+				h.buckets[i] = nil
+				h.discarded[i] = true
+			}
+			continue
+		}
+		if h.discarded[i] {
+			continue
+		}
+		for k := range other.buckets[i] {
+			if _, ok := h.buckets[i][k]; !ok {
+				h.buckets[i][k] = struct{}{}
+				h.size++
+				h.bytes += len(k) + 16
+			}
+		}
+	}
+	return nil
 }
 
 // DiscardBucket drops one bucket's contents to relieve memory pressure;

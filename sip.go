@@ -150,6 +150,13 @@ type Options struct {
 	// can saturate. Zero means GOMAXPROCS; the executor rounds it down to a
 	// power of two. One reproduces the single-owner data path exactly.
 	Parallelism int
+
+	// PipelineDepth is the per-edge channel buffer in batches (pipeline
+	// edges and partition scatter channels). Zero means the executor's
+	// default (exec.DefaultPipelineDepth); deeper buffers absorb rate
+	// jitter between producers and consumers at the cost of more
+	// in-flight batches.
+	PipelineDepth int
 }
 
 func (o Options) delay() *exec.DelayConfig {
@@ -273,6 +280,7 @@ func (e *Engine) run(blk *plan.Block, opts Options) (*Result, error) {
 
 	ctx := exec.NewContext(reg, ctl)
 	ctx.Parallelism = opts.Parallelism
+	ctx.PipelineDepth = opts.PipelineDepth
 	for _, p := range built.Points {
 		ctx.Register(p)
 	}
