@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race bench-smoke bench joinbench benchdiff verify
+.PHONY: all build test vet test-race bench-smoke bench joinbench stmtbench benchdiff verify
 
 all: build
 
@@ -41,10 +41,17 @@ joinbench:
 exprbench:
 	$(GO) run ./cmd/sipbench -exprbench
 
+# stmtbench: measure the prepare-once/execute-many point-query microbench
+# (ad-hoc vs plan-cache vs prepared statement) and record it on the latest
+# BENCH_joins.json entry. Run after joinbench so the section lands on this
+# PR's entry.
+stmtbench:
+	$(GO) run ./cmd/sipbench -stmtbench
+
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.
 benchdiff:
 	$(GO) run ./cmd/benchdiff
 
-# verify: the tier-1 gate plus a bench smoke run.
+# verify: the tier-1 gate (go vet, build, tests) plus a bench smoke run.
 verify: vet build test bench-smoke

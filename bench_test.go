@@ -8,6 +8,7 @@ package sip_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -119,7 +120,7 @@ func BenchmarkAblationSummaryKind(b *testing.B) {
 		b.Run(kind.name, func(b *testing.B) {
 			var state float64
 			for i := 0; i < b.N; i++ {
-				res, err := e.Query(sql, sip.Options{
+				res, err := e.Query(context.Background(), sql, sip.Options{
 					Strategy:          sip.FeedForward,
 					Summary:           kind.k,
 					SourceBytesPerSec: 1 << 30,
@@ -143,7 +144,7 @@ func BenchmarkAblationFPR(b *testing.B) {
 		b.Run(fmt.Sprintf("fpr=%g", fpr), func(b *testing.B) {
 			var pruned int64
 			for i := 0; i < b.N; i++ {
-				res, err := e.Query(sql, sip.Options{
+				res, err := e.Query(context.Background(), sql, sip.Options{
 					Strategy:          sip.FeedForward,
 					FPR:               fpr,
 					SourceBytesPerSec: 1 << 30,
@@ -170,7 +171,7 @@ func BenchmarkAblationCostThreshold(b *testing.B) {
 			cost.Fixed = fixed
 			var filters int64
 			for i := 0; i < b.N; i++ {
-				res, err := e.Query(sql, sip.Options{
+				res, err := e.Query(context.Background(), sql, sip.Options{
 					Strategy:          sip.CostBased,
 					Cost:              &cost,
 					SourceBytesPerSec: 1 << 30,
@@ -193,7 +194,7 @@ func BenchmarkStrategies(b *testing.B) {
 	for _, s := range sip.AllStrategies() {
 		b.Run(s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
+				if _, err := e.Query(context.Background(), sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -212,7 +213,7 @@ func BenchmarkDistributedBloomjoin(b *testing.B) {
 		b.Run(s.String(), func(b *testing.B) {
 			var netMB float64
 			for i := 0; i < b.N; i++ {
-				res, err := e.Query(sql, sip.Options{
+				res, err := e.Query(context.Background(), sql, sip.Options{
 					Strategy:     s,
 					RemoteTables: spec.Remote,
 					Topology:     topo,

@@ -42,12 +42,20 @@ type exprCell struct {
 	VectorTuplesPerSec float64 `json:"vector_tuples_per_sec"`
 }
 
+type stmtCell struct {
+	Name        string  `json:"name"`
+	AdhocQPS    float64 `json:"adhoc_queries_per_sec"`
+	CachedQPS   float64 `json:"cached_queries_per_sec"`
+	PreparedQPS float64 `json:"prepared_queries_per_sec"`
+}
+
 type entry struct {
 	Generated       string         `json:"generated"`
 	Machine         string         `json:"machine"`
 	Strategies      []strategyCell `json:"strategies"`
 	ParallelScaling []scalingCell  `json:"parallel_scaling"`
 	ExprMicrobench  []exprCell     `json:"expr_microbench"`
+	StmtMicrobench  []stmtCell     `json:"stmt_microbench"`
 }
 
 type trajectory struct {
@@ -134,6 +142,20 @@ func main() {
 		if p, ok := prevExpr[c.Name]; ok {
 			check("expr:"+c.Name, "scalar_tuples_per_sec", p.ScalarTuplesPerSec, c.ScalarTuplesPerSec)
 			check("expr:"+c.Name, "vector_tuples_per_sec", p.VectorTuplesPerSec, c.VectorTuplesPerSec)
+		}
+	}
+	// Prepared-statement microbench (sipbench -stmtbench): gate all three
+	// execution paths per shape; cells absent from either entry pass
+	// trivially (the section first appears with the streaming-API PR).
+	prevStmt := map[string]stmtCell{}
+	for _, c := range prev.StmtMicrobench {
+		prevStmt[c.Name] = c
+	}
+	for _, c := range cur.StmtMicrobench {
+		if p, ok := prevStmt[c.Name]; ok {
+			check("stmt:"+c.Name, "adhoc_queries_per_sec", p.AdhocQPS, c.AdhocQPS)
+			check("stmt:"+c.Name, "cached_queries_per_sec", p.CachedQPS, c.CachedQPS)
+			check("stmt:"+c.Name, "prepared_queries_per_sec", p.PreparedQPS, c.PreparedQPS)
 		}
 	}
 	if failed {

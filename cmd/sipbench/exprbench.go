@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -97,7 +95,7 @@ func measure(batches [][]types.Tuple, reps int, fn func(b []types.Tuple)) (tuple
 }
 
 // runExprBench measures both shapes and records the section.
-func runExprBench(outPath string, reps int) error {
+func runExprBench(outPath string, reps int, overwrite bool) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -182,7 +180,7 @@ func runExprBench(outPath string, reps int) error {
 			c.Name, c.ScalarTuplesPerSec, c.VectorTuplesPerSec, c.Speedup,
 			c.ScalarAllocsPerBatch, c.VectorAllocsPerBatch)
 	}
-	return recordExprBench(outPath, cells)
+	return recordBenchSection(outPath, "expr_microbench", cells, overwrite)
 }
 
 func identity(n int) []int32 {
@@ -191,58 +189,4 @@ func identity(n int) []int32 {
 		s[i] = int32(i)
 	}
 	return s
-}
-
-// recordExprBench attaches the section to the latest trajectory entry
-// (the one -joinbench appended for this PR) if that entry has no section
-// yet; otherwise — or when the file is absent or empty — it appends a
-// fresh entry, so a previous PR's recorded numbers are never overwritten
-// and benchdiff always compares against the baseline that was actually
-// measured.
-func recordExprBench(outPath string, cells []exprBenchCell) error {
-	doc := map[string]any{}
-	if old, err := os.ReadFile(outPath); err == nil {
-		var prev map[string]any
-		if err := json.Unmarshal(old, &prev); err == nil {
-			doc = prev
-		}
-	}
-	entries, _ := doc["entries"].([]any)
-	section := make([]any, 0, len(cells))
-	raw, err := json.Marshal(cells)
-	if err != nil {
-		return err
-	}
-	if err := json.Unmarshal(raw, &section); err != nil {
-		return err
-	}
-	attached := false
-	if len(entries) > 0 {
-		last, ok := entries[len(entries)-1].(map[string]any)
-		if !ok {
-			return fmt.Errorf("exprbench: %s has a malformed last entry", outPath)
-		}
-		if _, taken := last["expr_microbench"]; !taken {
-			last["expr_microbench"] = section
-			attached = true
-		}
-	}
-	if !attached {
-		entries = append(entries, map[string]any{
-			"generated":       time.Now().UTC().Format(time.RFC3339),
-			"machine":         machineString(),
-			"expr_microbench": section,
-		})
-	}
-	doc["entries"] = entries
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("recorded expr_microbench on entry %d of %s\n", len(entries), outPath)
-	return nil
 }

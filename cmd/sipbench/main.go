@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,21 +68,27 @@ func main() {
 
 		joinbench = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
 		exprbench = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
-		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench")
+		stmtbench = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
+		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench")
+		overwrite = flag.Bool("overwrite", false, "let -exprbench/-stmtbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
 	)
 	flag.Parse()
 
-	if *joinbench {
-		if err := runJoinBench(*benchout, *reps); err != nil {
-			fatal(err)
+	if *joinbench || *exprbench || *stmtbench {
+		if *joinbench {
+			if err := runJoinBench(*benchout, *reps); err != nil {
+				fatal(err)
+			}
 		}
-		if !*exprbench {
-			return
+		if *exprbench {
+			if err := runExprBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
 		}
-	}
-	if *exprbench {
-		if err := runExprBench(*benchout, *reps); err != nil {
-			fatal(err)
+		if *stmtbench {
+			if err := runStmtBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -216,7 +223,7 @@ func runJoinBench(outPath string, reps int) error {
 	var cells []strategyBench
 	for _, s := range sip.AllStrategies() {
 		// Warm-up run excluded from measurement (catalog caches, pools).
-		if _, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
+		if _, err := eng.Query(context.Background(), sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30}); err != nil {
 			return err
 		}
 		// Per-rep measurement, reported as the median rep on every axis
@@ -235,7 +242,7 @@ func runJoinBench(outPath string, reps int) error {
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
 			start := time.Now()
-			res, err := eng.Query(sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
+			res, err := eng.Query(context.Background(), sql, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
 			if err != nil {
 				return err
 			}
@@ -354,7 +361,11 @@ func runParallelScaling(reps int) ([]scalingBench, error) {
 			j := exec.NewHashJoin("scale", l, r, []int{0}, []int{0}, nil)
 			ctx := exec.NewContext(stats.NewRegistry(), nil)
 			ctx.Parallelism = p
-			return len(exec.Run(ctx, j))
+			rows, err := exec.Run(ctx, j)
+			if err != nil {
+				fatal(err)
+			}
+			return len(rows)
 		}
 		run() // warm-up
 		times := make([]time.Duration, reps)

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// recordBenchSection attaches a microbench section to the latest
+// BENCH_joins.json trajectory entry — the one -joinbench appended for this
+// PR. If that entry already carries the section (a previous PR's recorded
+// baseline, when -joinbench has not yet appended this PR's entry) it
+// refuses unless overwrite is set, so a baseline is never silently
+// destroyed; with overwrite it replaces the section in place (intra-PR
+// re-measurement). It never appends a section-only entry next to a full
+// one: that would make the next benchdiff compare against an entry with
+// no join/expr cells and pass those gates trivially. A section-only entry
+// is created only when the file has no entries at all.
+func recordBenchSection(outPath, key string, cells any, overwrite bool) error {
+	doc := map[string]any{}
+	if old, err := os.ReadFile(outPath); err == nil {
+		var prev map[string]any
+		if err := json.Unmarshal(old, &prev); err == nil {
+			doc = prev
+		}
+	}
+	entries, _ := doc["entries"].([]any)
+
+	// Round-trip the typed cells through JSON so the section slots into the
+	// generic document structure.
+	var section []any
+	raw, err := json.Marshal(cells)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		return err
+	}
+
+	if len(entries) > 0 {
+		last, ok := entries[len(entries)-1].(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: %s has a malformed last entry", key, outPath)
+		}
+		if _, taken := last[key]; taken && !overwrite {
+			return fmt.Errorf("entry %d of %s already has %s (a recorded baseline); run `make joinbench` to append this PR's entry first, or pass -overwrite to replace it",
+				len(entries), outPath, key)
+		}
+		last[key] = section
+	} else {
+		entries = append(entries, map[string]any{
+			"generated": time.Now().UTC().Format(time.RFC3339),
+			"machine":   machineString(),
+			key:         section,
+		})
+	}
+	doc["entries"] = entries
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s on entry %d of %s\n", key, len(entries), outPath)
+	return nil
+}

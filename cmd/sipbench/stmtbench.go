@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	sip "repro"
+)
+
+// The prepared-statement microbench measures the prepare-once/execute-many
+// path against per-call ad-hoc execution on a point query: the shape a
+// high-QPS serving workload runs millions of times. Three paths are
+// recorded:
+//
+//   - adhoc: Engine.Query with a distinct literal per call — every call
+//     pays parse + bind + optimize (each SQL text is a plan-cache miss),
+//     the pre-redesign behavior of the public API.
+//   - cached: Engine.Query with the same SQL text per call — the plan
+//     cache absorbs parse/bind/optimize after the first call.
+//   - prepared: Stmt.Query with a `?` argument — parse/bind/optimize ran
+//     once at Prepare; each call instantiates and runs the compiled plan.
+//
+// The section is recorded on the latest BENCH_joins.json entry
+// ("stmt_microbench") so `make benchdiff` can gate it PR-over-PR.
+
+// stmtBenchN is the number of executions measured per path per rep.
+const stmtBenchN = 400
+
+// stmtBenchSF pins the data scale; the query touches a single small
+// relation so the measurement isolates per-call overhead.
+const stmtBenchSF = 0.01
+
+type stmtBenchCell struct {
+	Name            string  `json:"name"`
+	AdhocQPS        float64 `json:"adhoc_queries_per_sec"`
+	CachedQPS       float64 `json:"cached_queries_per_sec"`
+	PreparedQPS     float64 `json:"prepared_queries_per_sec"`
+	SpeedupPrepared float64 `json:"speedup_prepared_vs_adhoc"`
+	SpeedupCached   float64 `json:"speedup_cached_vs_adhoc"`
+}
+
+// measureQPS runs fn (one query execution per call) stmtBenchN times per
+// rep and returns the median-rep queries/sec.
+func measureQPS(reps int, fn func(i int) error) (float64, error) {
+	if err := fn(0); err != nil { // warm-up
+		return 0, err
+	}
+	times := make([]time.Duration, reps)
+	for r := 0; r < reps; r++ {
+		// Collect between reps so one path's garbage is not billed to the
+		// next path's measurement.
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < stmtBenchN; i++ {
+			if err := fn(i); err != nil {
+				return 0, err
+			}
+		}
+		times[r] = time.Since(start)
+	}
+	sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+	med := times[len(times)/2]
+	return float64(stmtBenchN) / med.Seconds(), nil
+}
+
+func runStmtBench(outPath string, reps int, overwrite bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	ctx := context.Background()
+	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: stmtBenchSF}))
+
+	// Point query: one row out of NATION by key. The ad-hoc path runs on an
+	// engine with caching disabled, so every call pays parse + bind +
+	// optimize — the pre-redesign per-call cost (a distinct literal per
+	// call would equally defeat the cache, but would slowly pollute it).
+	uncached := sip.NewEngineWithConfig(eng.Catalog(), sip.EngineConfig{PlanCacheSize: -1})
+	adhocUncached := func(i int) error {
+		sql := fmt.Sprintf("SELECT n_name, n_regionkey FROM nation WHERE n_nationkey = %d", i%25)
+		_, err := uncached.Query(ctx, sql, sip.Options{})
+		return err
+	}
+
+	cached := func(i int) error {
+		_, err := eng.Query(ctx, "SELECT n_name, n_regionkey FROM nation WHERE n_nationkey = 7", sip.Options{})
+		return err
+	}
+
+	stmt, err := eng.Prepare(ctx, "SELECT n_name, n_regionkey FROM nation WHERE n_nationkey = ?")
+	if err != nil {
+		return err
+	}
+	prepared := func(i int) error {
+		res, err := stmt.Query(ctx, sip.Int(int64(i%25)))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("stmtbench: point query returned %d rows, want 1", len(res.Rows))
+		}
+		return nil
+	}
+
+	adhocQPS, err := measureQPS(reps, adhocUncached)
+	if err != nil {
+		return err
+	}
+	cachedQPS, err := measureQPS(reps, cached)
+	if err != nil {
+		return err
+	}
+	preparedQPS, err := measureQPS(reps, prepared)
+	if err != nil {
+		return err
+	}
+
+	cell := stmtBenchCell{
+		Name:            "point_nation",
+		AdhocQPS:        adhocQPS,
+		CachedQPS:       cachedQPS,
+		PreparedQPS:     preparedQPS,
+		SpeedupPrepared: preparedQPS / adhocQPS,
+		SpeedupCached:   cachedQPS / adhocQPS,
+	}
+	fmt.Printf("%-14s adhoc %10.0f q/s  cached %10.0f q/s (%.2fx)  prepared %10.0f q/s (%.2fx)\n",
+		cell.Name, cell.AdhocQPS, cell.CachedQPS, cell.SpeedupCached,
+		cell.PreparedQPS, cell.SpeedupPrepared)
+	return recordBenchSection(outPath, "stmt_microbench", []stmtBenchCell{cell}, overwrite)
+}

@@ -1,5 +1,7 @@
 // Command sipquery runs ad-hoc SQL over generated TPC-H data under any of
-// the four execution strategies.
+// the four execution strategies. Results stream incrementally through the
+// engine's Rows cursor, and Ctrl-C cancels the running query cleanly (the
+// partial output is followed by a "cancelled" notice).
 //
 // Usage:
 //
@@ -7,14 +9,18 @@
 //	               WHERE s_nationkey = n_nationkey GROUP BY n_name"
 //	sipquery -strategy Cost-based -sf 0.05 -sql "..."
 //	sipquery -explain -sql "..."
+//	sipquery -timeout 5s -sql "..."
 //	echo "SELECT ..." | sipquery
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -31,8 +37,20 @@ func main() {
 		limit    = flag.Int("limit", 20, "max rows to print (0 = all)")
 		delayed  = flag.String("delay", "", "comma-separated tables to delay per the paper's §VI-B model")
 		stats    = flag.Bool("stats", false, "print per-operator statistics")
+		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight query via the engine's context plumbing:
+	// every operator goroutine drains promptly and the cursor reports
+	// context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	text := *sqlText
 	if text == "" {
@@ -82,17 +100,63 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := eng.Query(text, opts)
+	rows, err := eng.QueryStream(ctx, text, opts)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(sip.FormatRows(res.Schema, res.Rows, *limit))
+	defer rows.Close()
+
+	// Print the header, then rows as they arrive — no buffering of the
+	// full result.
+	var sb strings.Builder
+	for i, c := range rows.Schema().Cols {
+		if i > 0 {
+			sb.WriteString("\t")
+		}
+		sb.WriteString(c.Name)
+	}
+	fmt.Println(sb.String())
+	n := 0
+	for rows.Next() {
+		n++
+		if *limit > 0 && n > *limit {
+			continue // keep draining for the exact row count and stats
+		}
+		sb.Reset()
+		for j, v := range rows.Row() {
+			if j > 0 {
+				sb.WriteString("\t")
+			}
+			sb.WriteString(v.String())
+		}
+		fmt.Println(sb.String())
+	}
+	if *limit > 0 && n > *limit {
+		fmt.Printf("... (%d more rows)\n", n-*limit)
+	}
+	exitCode := 0
+	switch err := rows.Err(); {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "sipquery: query cancelled (partial output)")
+		exitCode = 1
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "sipquery: query timed out (partial output)")
+		exitCode = 1
+	case err != nil:
+		fatal(err)
+	}
+
+	res := rows.Result()
 	fmt.Printf("\n%d row(s) in %v; state peak %.2f MB; %d filter(s), %d tuple(s) pruned\n",
-		len(res.Rows), time.Since(start).Round(time.Millisecond),
+		n, time.Since(start).Round(time.Millisecond),
 		float64(res.PeakStateBytes)/(1<<20), res.FiltersCreated, res.TuplesPruned)
 	if *stats {
 		fmt.Println()
 		fmt.Print(res.Stats.Report())
+	}
+	// A truncated result must not look like success to scripts.
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.02}))
 
 	const q = `
@@ -42,7 +44,7 @@ func main() {
 		fmt.Printf("%-14s %10s %12s %9s %9s\n", "strategy", "time", "state(MB)", "filters", "pruned")
 		for _, s := range sip.AllStrategies() {
 			opts.Strategy = s
-			res, err := eng.Query(q, opts)
+			res, err := eng.Query(ctx, q, opts)
 			if err != nil {
 				log.Fatal(err)
 			}

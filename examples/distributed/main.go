@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.02}))
 
 	// The IBM decorrelation query with PARTSUPP fetched remotely.
@@ -42,7 +44,7 @@ func main() {
 		fmt.Printf("— remote PARTSUPP over %s —\n", link.name)
 		fmt.Printf("%-14s %10s %12s %12s %9s\n", "strategy", "time", "net(MB)", "state(MB)", "pruned")
 		for _, s := range []sip.Strategy{sip.Baseline, sip.FeedForward, sip.CostBased} {
-			res, err := eng.Query(q, sip.Options{
+			res, err := eng.Query(ctx, q, sip.Options{
 				Strategy:     s,
 				RemoteTables: map[string]int{"partsupp": 1},
 				Topology:     topo,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Generate a TPC-H-shaped catalog (SF 0.02 ≈ 20 MB).
 	cat := sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.02})
 	eng := sip.NewEngine(cat)
@@ -31,7 +34,7 @@ func main() {
 	// 3. Run it under each strategy and compare.
 	fmt.Printf("%-14s %10s %12s %9s %9s\n", "strategy", "time", "state(MB)", "filters", "pruned")
 	for _, s := range sip.AllStrategies() {
-		res, err := eng.Query(q, sip.Options{
+		res, err := eng.Query(ctx, q, sip.Options{
 			Strategy: s,
 			// Pace scans like a source stream so completion times stagger
 			// (see DESIGN.md §2); drop this option for raw in-memory runs.
@@ -47,7 +50,7 @@ func main() {
 	}
 
 	// 4. Show the actual result rows (same under every strategy).
-	res, err := eng.Query(q, sip.Options{Strategy: sip.FeedForward})
+	res, err := eng.Query(ctx, q, sip.Options{Strategy: sip.FeedForward})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.02}))
 
 	const q17 = `
@@ -42,7 +44,7 @@ func main() {
 	fmt.Printf("%-14s %10s %12s %9s %10s\n", "strategy", "time", "state(MB)", "filters", "pruned")
 	var answer string
 	for _, s := range sip.AllStrategies() {
-		res, err := eng.Query(q17, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
+		res, err := eng.Query(ctx, q17, sip.Options{Strategy: s, SourceBytesPerSec: 1 << 30})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -27,7 +28,7 @@ func TestRunningExample(t *testing.T) {
 	strategiesAgree(t, e, q)
 	// AIP must fire here: the DISTINCT/top-join state and both aggregation
 	// states are all usable AIP sources (Examples 3.1/3.2).
-	res, err := e.Query(q, Options{Strategy: FeedForward})
+	res, err := e.Query(context.Background(), q, Options{Strategy: FeedForward})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +40,11 @@ func TestRunningExample(t *testing.T) {
 func TestDelayedTablesOption(t *testing.T) {
 	e := testEngine(t)
 	const q = `SELECT count(*) FROM partsupp WHERE ps_availqty > 100`
-	fast, err := e.Query(q, Options{})
+	fast, err := e.Query(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := e.Query(q, Options{
+	slow, err := e.Query(context.Background(), q, Options{
 		DelayedTables: []string{"partsupp"},
 		Delay:         &DelayConfig{Initial: 80 * time.Millisecond},
 	})
@@ -71,11 +72,11 @@ func TestRemoteExecution(t *testing.T) {
 	const q = `
 		SELECT s_name FROM supplier, partsupp
 		WHERE s_suppkey = ps_suppkey AND s_nation = 'FRANCE' AND ps_availqty < 500`
-	local, err := e.Query(q, Options{})
+	local, err := e.Query(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote, err := e.Query(q, Options{
+	remote, err := e.Query(context.Background(), q, Options{
 		RemoteTables: map[string]int{"partsupp": 1},
 		Topology:     NewTopology(&Link{BytesPerSec: Mbps(400)}),
 	})
@@ -98,7 +99,7 @@ func TestRemoteWithCostBasedShipsFilters(t *testing.T) {
 		SELECT p_name FROM part, partsupp
 		WHERE p_partkey = ps_partkey AND p_size = 1 AND p_type LIKE '%TIN'`
 	run := func(s Strategy) *Result {
-		res, err := e.Query(q, Options{
+		res, err := e.Query(context.Background(), q, Options{
 			Strategy:     s,
 			RemoteTables: map[string]int{"partsupp": 1},
 			Topology:     NewTopology(&Link{BytesPerSec: Mbps(800)}),
@@ -127,11 +128,11 @@ func TestHashSetSummaryOption(t *testing.T) {
 	const q = `
 		SELECT s_name FROM supplier, partsupp
 		WHERE s_suppkey = ps_suppkey AND s_nation = 'FRANCE'`
-	res, err := e.Query(q, Options{Strategy: FeedForward, Summary: SummaryHashSet})
+	res, err := e.Query(context.Background(), q, Options{Strategy: FeedForward, Summary: SummaryHashSet})
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := e.Query(q, Options{})
+	base, err := e.Query(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestFPROption(t *testing.T) {
 		SELECT s_name FROM supplier, partsupp
 		WHERE s_suppkey = ps_suppkey AND s_nation = 'FRANCE'`
 	for _, fpr := range []float64{0.01, 0.05, 0.2} {
-		res, err := e.Query(q, Options{Strategy: FeedForward, FPR: fpr})
+		res, err := e.Query(context.Background(), q, Options{Strategy: FeedForward, FPR: fpr})
 		if err != nil {
 			t.Fatalf("fpr %v: %v", fpr, err)
 		}
@@ -167,14 +168,14 @@ func TestCostParamsOption(t *testing.T) {
 		WHERE s_suppkey = ps_suppkey AND s_nation = 'FRANCE'`
 	eager := DefaultCostParams()
 	eager.Fixed = 0
-	res, err := e.Query(q, Options{Strategy: CostBased, Cost: &eager})
+	res, err := e.Query(context.Background(), q, Options{Strategy: CostBased, Cost: &eager})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = res
 	starved := DefaultCostParams()
 	starved.Fixed = 1e12
-	res2, err := e.Query(q, Options{Strategy: CostBased, Cost: &starved})
+	res2, err := e.Query(context.Background(), q, Options{Strategy: CostBased, Cost: &starved})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,14 +187,14 @@ func TestCostParamsOption(t *testing.T) {
 func TestSourcePacingOption(t *testing.T) {
 	e := testEngine(t)
 	const q = `SELECT count(*) FROM lineitem`
-	fast, err := e.Query(q, Options{})
+	fast, err := e.Query(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Pace the whole lineitem stream to ~150ms.
 	li, _ := e.Catalog().Table("lineitem")
 	rate := li.MemBytes() * 6
-	paced, err := e.Query(q, Options{SourceBytesPerSec: rate})
+	paced, err := e.Query(context.Background(), q, Options{SourceBytesPerSec: rate})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +205,10 @@ func TestSourcePacingOption(t *testing.T) {
 
 func TestParseErrorsSurface(t *testing.T) {
 	e := testEngine(t)
-	if _, err := e.Query("SELEKT broken", Options{}); err == nil {
+	if _, err := e.Query(context.Background(), "SELEKT broken", Options{}); err == nil {
 		t.Fatal("parse error not surfaced")
 	}
-	if _, err := e.Query("SELECT missing_col FROM part", Options{}); err == nil {
+	if _, err := e.Query(context.Background(), "SELECT missing_col FROM part", Options{}); err == nil {
 		t.Fatal("bind error not surfaced")
 	}
 	if _, err := e.Explain("nope"); err == nil {
@@ -217,7 +218,7 @@ func TestParseErrorsSurface(t *testing.T) {
 
 func TestFormatRows(t *testing.T) {
 	e := testEngine(t)
-	res, err := e.Query("SELECT r_regionkey, r_name FROM region", Options{})
+	res, err := e.Query(context.Background(), "SELECT r_regionkey, r_name FROM region", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestStrategyNames(t *testing.T) {
 
 func TestStatsExposed(t *testing.T) {
 	e := testEngine(t)
-	res, err := e.Query(`SELECT count(*) FROM nation`, Options{})
+	res, err := e.Query(context.Background(), `SELECT count(*) FROM nation`, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestConcurrentQueries(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s := AllStrategies()[i%4]
 		go func(s Strategy) {
-			_, err := e.Query(q, Options{Strategy: s})
+			_, err := e.Query(context.Background(), q, Options{Strategy: s})
 			errc <- err
 		}(s)
 	}

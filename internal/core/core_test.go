@@ -94,7 +94,7 @@ func joinFixture(t *testing.T, ctl exec.Controller, nLeft, nRight int) (*exec.Ha
 	ctx := exec.NewContext(reg, ctl)
 	ctx.Register(j.LPoint)
 	ctx.Register(j.RPoint)
-	rows := exec.Run(ctx, j)
+	rows, _ := exec.Run(ctx, j)
 	return j, reg, rows
 }
 
@@ -116,7 +116,7 @@ func TestFeedForwardPrunesAndPreservesResults(t *testing.T) {
 	ctx := exec.NewContext(reg, ff)
 	ctx.Register(j.LPoint)
 	ctx.Register(j.RPoint)
-	rows := exec.Run(ctx, j)
+	rows, _ := exec.Run(ctx, j)
 
 	// Results: keys 0..9 match → 10 rows, unaffected by pruning.
 	if len(rows) != 10 {
@@ -160,7 +160,7 @@ func joinFixtureWithCtl(t *testing.T, ctl exec.Controller, reg *stats.Registry) 
 	ctx := exec.NewContext(reg, ctl)
 	ctx.Register(j.LPoint)
 	ctx.Register(j.RPoint)
-	rows := exec.Run(ctx, j)
+	rows, _ := exec.Run(ctx, j)
 	return j, reg, rows
 }
 
@@ -195,7 +195,7 @@ func TestCostBasedRejectsUselessFilter(t *testing.T) {
 	ctx := exec.NewContext(reg, cb)
 	ctx.Register(j.LPoint)
 	ctx.Register(j.RPoint)
-	exec.Run(ctx, j)
+	_, _ = exec.Run(ctx, j)
 	if cb.Created() != 0 {
 		t.Fatalf("cost-based built %d useless filters", cb.Created())
 	}

@@ -64,8 +64,10 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 	"repro/internal/types"
@@ -146,6 +148,7 @@ type Context struct {
 
 	cancel    chan struct{}
 	cancelOne sync.Once
+	cause     atomic.Pointer[error]
 
 	mu     sync.Mutex
 	points []*Point
@@ -227,11 +230,61 @@ func partShift(p int) uint {
 	return s
 }
 
-// Cancel aborts the query; operators drain and stop promptly.
-func (c *Context) Cancel() { c.cancelOne.Do(func() { close(c.cancel) }) }
+// Cancel aborts the query; operators drain and stop promptly. The recorded
+// cause is context.Canceled.
+func (c *Context) Cancel() { c.CancelCause(context.Canceled) }
+
+// CancelCause aborts the query recording why; the first cause wins. A nil
+// err is recorded as context.Canceled.
+func (c *Context) CancelCause(err error) {
+	c.cancelOne.Do(func() {
+		if err == nil {
+			err = context.Canceled
+		}
+		c.cause.Store(&err)
+		close(c.cancel)
+	})
+}
+
+// Err returns the cancellation cause, or nil while the query has not been
+// cancelled. A completed, uncancelled query always reports nil.
+func (c *Context) Err() error {
+	if p := c.cause.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Cancelled returns the cancellation channel.
 func (c *Context) Cancelled() <-chan struct{} { return c.cancel }
+
+// BindStd ties the execution context to a standard context.Context: a
+// watcher goroutine forwards std's deadline or cancellation to CancelCause
+// (so Err reports context.Canceled / context.DeadlineExceeded) and exits as
+// soon as the query is cancelled from either side. The returned stop
+// function tears the watcher down and waits for it to exit; callers must
+// invoke it once the query completes so no goroutine outlives the query.
+func (c *Context) BindStd(std context.Context) (stop func()) {
+	if std == nil || std.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-std.Done():
+			c.CancelCause(context.Cause(std))
+		case <-quit:
+		case <-c.cancel:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		<-done
+	}
+}
 
 // Register assigns an id to a point, records it, and forwards it to the
 // controller. All points must be registered before Run starts the plan.
@@ -284,15 +337,29 @@ type Op interface {
 	Start(ctx *Context) <-chan Batch
 }
 
-// Run executes a plan to completion and collects all output tuples.
-func Run(ctx *Context, root Op) []types.Tuple {
+// Run executes a plan to completion and collects all output tuples. When
+// the context was cancelled (Cancel, CancelCause, or a bound standard
+// context firing) the possibly-truncated rows are returned alongside the
+// cancellation cause, so callers can distinguish a complete result from a
+// cut-off one.
+func Run(ctx *Context, root Op) ([]types.Tuple, error) {
 	if ctx.Ctl != nil {
 		ctx.Ctl.Begin()
 	}
-	out := root.Start(ctx)
-	// Collect batches first, then copy once into an exactly-sized result:
-	// appending tuple-by-tuple would reallocate and re-copy the result
-	// log₂(n) times for large outputs.
+	rows := Collect(root.Start(ctx))
+	if ctx.Ctl != nil {
+		ctx.Ctl.End()
+	}
+	return rows, ctx.Err()
+}
+
+// Collect drains a batch channel into an exactly-sized tuple slice,
+// honoring selection vectors and recycling every batch. Batches are
+// collected first, then copied once: appending tuple-by-tuple would
+// reallocate and re-copy the result log₂(n) times for large outputs. It is
+// the shared materialization step of Run and the public blocking Query
+// path.
+func Collect(out <-chan Batch) []types.Tuple {
 	var batches []Batch
 	total := 0
 	for b := range out {
@@ -309,9 +376,6 @@ func Run(ctx *Context, root Op) []types.Tuple {
 			}
 		}
 		PutBatch(b)
-	}
-	if ctx.Ctl != nil {
-		ctx.Ctl.End()
 	}
 	return rows
 }

@@ -37,7 +37,11 @@ func intRows(vals ...[]int64) []types.Tuple {
 func runOp(t *testing.T, op Op, ctl Controller) []types.Tuple {
 	t.Helper()
 	ctx := NewContext(stats.NewRegistry(), ctl)
-	return Run(ctx, op)
+	rows, err := Run(ctx, op)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rows
 }
 
 func sortedInts(rows []types.Tuple, col int) []int64 {
@@ -342,7 +346,10 @@ func TestShipChargesNetwork(t *testing.T) {
 	s := &Ship{Name: "s", Child: &Scan{Name: "t", Rows: rows, Sch: intSchema("a")}, Link: link}
 	reg := stats.NewRegistry()
 	ctx := NewContext(reg, nil)
-	got := Run(ctx, s)
+	got, err := Run(ctx, s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if len(got) != 2 {
 		t.Fatalf("ship lost rows: %d", len(got))
 	}
@@ -360,7 +367,10 @@ func TestShipFilterPrunesBeforeWire(t *testing.T) {
 	pt.Bank.Attach([]int{0}, hs)
 	s := &Ship{Name: "s", Child: &Scan{Name: "t", Rows: rows, Sch: intSchema("a")}, Link: link, Point: pt}
 	reg := stats.NewRegistry()
-	got := Run(NewContext(reg, nil), s)
+	got, err := Run(NewContext(reg, nil), s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if len(got) != 1 {
 		t.Fatalf("ship filter kept %d rows", len(got))
 	}
@@ -480,7 +490,9 @@ func TestControllerLifecycle(t *testing.T) {
 	ctx := NewContext(stats.NewRegistry(), rec)
 	ctx.Register(j.LPoint)
 	ctx.Register(j.RPoint)
-	Run(ctx, j)
+	if _, err := Run(ctx, j); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if len(rec.events) < 5 {
 		t.Fatalf("events = %v", rec.events)
 	}
@@ -518,7 +530,10 @@ func TestStatsCounts(t *testing.T) {
 	j := buildJoin(intRows([]int64{1, 0}, []int64{2, 0}), intRows([]int64{1, 0}))
 	reg := stats.NewRegistry()
 	ctx := NewContext(reg, nil)
-	rows := Run(ctx, j)
+	rows, err := Run(ctx, j)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if len(rows) != 1 {
 		t.Fatal("unexpected result")
 	}
@@ -583,7 +598,9 @@ func TestJoinOnStoreCoversShortCircuitedTuples(t *testing.T) {
 func TestScanStatsName(t *testing.T) {
 	reg := stats.NewRegistry()
 	ctx := NewContext(reg, nil)
-	Run(ctx, &Scan{Name: "part", Rows: intRows([]int64{1}), Sch: intSchema("a")})
+	if _, err := Run(ctx, &Scan{Name: "part", Rows: intRows([]int64{1}), Sch: intSchema("a")}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	found := false
 	for _, op := range reg.Ops() {
 		if op.Name == "scan:part" {

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// InlineMaxRows bounds the scan size eligible for inline execution. Beyond
+// it the goroutine pipeline's backpressure matters more than its fixed
+// cost, so the plan runs on the normal channel-connected operator tree.
+const InlineMaxRows = 4096
+
+// TryRunInline executes a small, linear, stateless plan — an optional
+// Project over zero or more Filters over one unpaced, undelayed Scan of at
+// most InlineMaxRows rows — synchronously in the caller's goroutine,
+// returning (rows, true). Plans with any other shape (joins, aggregation,
+// distinct, ship, injection points, paced or delayed scans, big scans)
+// return (nil, false) and must run through Op.Start.
+//
+// This is the point-query fast path: the goroutine pipeline costs a fixed
+// ~10µs per query in goroutine spawns, channel buffers, and the garbage
+// they feed the collector — more than executing a dimension-table point
+// lookup itself. Per-operator stats are recorded under the same names as
+// the pipelined path, so Result counters and -stats reports are identical.
+func TryRunInline(ctx *Context, root Op) ([]types.Tuple, bool) {
+	op := root
+	var proj *Project
+	if p, ok := op.(*Project); ok {
+		proj = p
+		op = p.Child
+	}
+	// Filters, outermost first; execution applies them innermost first.
+	var filters []*Filter
+	for {
+		f, ok := op.(*Filter)
+		if !ok {
+			break
+		}
+		filters = append(filters, f)
+		op = f.Child
+	}
+	scan, ok := op.(*Scan)
+	if !ok || scan.Delay != nil || scan.BytesPerSec > 0 || len(scan.Rows) > InlineMaxRows {
+		return nil, false
+	}
+
+	scanOp := ctx.Stats.NewOp("scan:" + scan.Name)
+	type inlineFilter struct {
+		op   *stats.OpStats
+		pred *expr.Compiled
+	}
+	fs := make([]inlineFilter, len(filters))
+	for i := range filters {
+		// Reverse so fs[0] is the filter nearest the scan.
+		f := filters[len(filters)-1-i]
+		fs[i] = inlineFilter{op: ctx.Stats.NewOp("filter:" + f.Name), pred: expr.Compile(f.Pred)}
+	}
+	var (
+		projOp   *stats.OpStats
+		compiled []*expr.Compiled
+		col      []types.Value
+	)
+	if proj != nil {
+		projOp = ctx.Stats.NewOp("project:" + proj.Name)
+		compiled = make([]*expr.Compiled, len(proj.Exprs))
+		for i, e := range proj.Exprs {
+			compiled[i] = expr.Compile(e)
+		}
+	}
+
+	var out []types.Tuple
+	rows := scan.Rows
+	for base := 0; base < len(rows); base += BatchSize {
+		select {
+		case <-ctx.Cancelled():
+			return out, true
+		default:
+		}
+		end := base + BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[base:end]
+		scanOp.Out.Add(int64(len(chunk)))
+
+		sel := identSel(len(chunk))
+		for i := range fs {
+			fs[i].op.In.Add(int64(len(sel)))
+			if i == 0 {
+				sel = fs[i].pred.EvalBool(chunk, sel, getSel())
+			} else {
+				sel = fs[i].pred.EvalBool(chunk, sel, sel)
+			}
+			fs[i].op.Out.Add(int64(len(sel)))
+			if len(sel) == 0 {
+				break
+			}
+		}
+		if len(sel) == 0 {
+			putSel(sel) // pool-owned: at least one filter ran
+			continue
+		}
+
+		if proj == nil {
+			for _, l := range sel {
+				out = append(out, chunk[l])
+			}
+		} else {
+			projOp.In.Add(int64(len(sel)))
+			start := len(out)
+			// One exactly-sized backing block per chunk (a point query
+			// produces a handful of rows; an arena's BatchSize-row blocks
+			// would allocate 100× the result).
+			w := len(compiled)
+			backing := make([]types.Value, len(sel)*w)
+			for k := range sel {
+				out = append(out, backing[k*w:(k+1)*w:(k+1)*w])
+			}
+			col = growVals(col, len(chunk))
+			for j, c := range compiled {
+				c.EvalBatch(chunk, sel, col)
+				for k, lane := range sel {
+					out[start+k][j] = col[lane]
+				}
+			}
+			projOp.Out.Add(int64(len(sel)))
+		}
+		if len(fs) > 0 {
+			putSel(sel)
+		}
+	}
+	return out, true
+}

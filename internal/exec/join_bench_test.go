@@ -38,7 +38,11 @@ func benchmarkJoin(b *testing.B, n, nkeys, parallelism int) {
 			Schema: r.Sch, DomainDistinct: []float64{float64(nkeys), 0}, EstRows: float64(n)}
 		ctx := NewContext(stats.NewRegistry(), nil)
 		ctx.Parallelism = parallelism
-		rows = len(Run(ctx, j))
+		jrows, err := Run(ctx, j)
+		if err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+		rows = len(jrows)
 	}
 	b.StopTimer()
 	if rows == 0 {

@@ -53,7 +53,8 @@ func runParallel(op Op, parallelism int) ([]types.Tuple, *stats.Registry) {
 	reg := stats.NewRegistry()
 	ctx := NewContext(reg, nil)
 	ctx.Parallelism = parallelism
-	return Run(ctx, op), reg
+	rows, _ := Run(ctx, op)
+	return rows, reg
 }
 
 func rowStrings(rows []types.Tuple) []string {

@@ -198,6 +198,30 @@ type Point struct {
 	stateIter func(emit func(t types.Tuple) bool)
 }
 
+// CloneForRun returns a fresh Point carrying the same plan metadata (name,
+// schema, equivalence classes, key columns, estimates, site, depth) with
+// zeroed runtime state: a new empty FilterBank, no counters, no OnStore
+// hook, no state iterator. Ancestors are NOT remapped — they still point at
+// the template's points; callers instantiating a whole plan must rewrite
+// them against their own clone map. This is what lets one optimized plan
+// template back many concurrent executions.
+func (p *Point) CloneForRun() *Point {
+	return &Point{
+		Name:           p.Name,
+		EqIDs:          append([]int(nil), p.EqIDs...),
+		StateEqIDs:     append([]int(nil), p.StateEqIDs...),
+		Schema:         p.Schema,
+		Bank:           NewFilterBank(),
+		Stateful:       p.Stateful,
+		KeyCols:        append([]int(nil), p.KeyCols...),
+		Site:           p.Site,
+		Depth:          p.Depth,
+		Ancestors:      append([]*Point(nil), p.Ancestors...),
+		EstRows:        p.EstRows,
+		DomainDistinct: append([]float64(nil), p.DomainDistinct...),
+	}
+}
+
 // Received returns the number of tuples that have arrived at this input.
 func (p *Point) Received() int64 { return p.received.Load() }
 

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/expr"
-	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -30,17 +29,17 @@ type Scan struct {
 	// relations finish proportionally later than small ones, which is what
 	// staggers subexpression completion times. Zero means unpaced.
 	BytesPerSec int64
-
-	op *stats.OpStats
 }
 
 // Schema returns the scan's output schema.
 func (s *Scan) Schema() *types.Schema { return s.Sch }
 
-// Start launches the scan goroutine.
+// Start launches the scan goroutine. All per-run state (the stats handle
+// included) lives in the goroutine, so one Scan value can back many
+// concurrent executions of a prepared plan.
 func (s *Scan) Start(ctx *Context) <-chan Batch {
 	out := make(chan Batch, ctx.pipeDepth())
-	s.op = ctx.Stats.NewOp("scan:" + s.Name)
+	op := ctx.Stats.NewOp("scan:" + s.Name)
 	go func() {
 		defer close(out)
 		if s.Delay != nil && s.Delay.Initial > 0 {
@@ -71,7 +70,7 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 			if !send(ctx, out, batch) {
 				return false
 			}
-			s.op.Out.Add(n)
+			op.Out.Add(n)
 			if s.BytesPerSec > 0 {
 				// Pace against a cumulative deadline; sleeping only when
 				// the debt exceeds a couple of milliseconds keeps the rate

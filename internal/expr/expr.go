@@ -59,6 +59,122 @@ func (c *Const) String() string {
 	return c.V.String()
 }
 
+// Param is a `?` placeholder of a prepared statement: position Idx in the
+// argument list, with the type inferred at bind time from the expression it
+// is compared against (KindInt when nothing constrains it). Params never
+// reach execution — BindParams substitutes them with typed Const nodes
+// before the plan is instantiated, so the vectorized const kernels
+// (cmpColConst, arithColConst) are reused unchanged.
+type Param struct {
+	Idx int
+	Knd types.Kind
+}
+
+// Eval panics: a parameter must be substituted before evaluation.
+func (p *Param) Eval(types.Tuple) types.Value {
+	panic(fmt.Sprintf("expr: unbound parameter ?%d evaluated", p.Idx+1))
+}
+
+// Kind returns the inferred parameter type (KindInt when unconstrained).
+func (p *Param) Kind() types.Kind {
+	if p.Knd == types.KindNull {
+		return types.KindInt
+	}
+	return p.Knd
+}
+
+func (p *Param) String() string { return fmt.Sprintf("?%d", p.Idx+1) }
+
+// BindParams substitutes every Param in e with a Const holding the
+// corresponding argument, returning a new expression tree (shared subtrees
+// without params are reused as-is). Arguments are coerced to the inferred
+// parameter kind where the coercion is lossless: int→float, and
+// 'YYYY-MM-DD' strings→date. A reference to an argument beyond len(args)
+// is an error.
+func BindParams(e Expr, args []types.Value) (Expr, error) {
+	switch v := e.(type) {
+	case nil:
+		return nil, nil
+	case *Param:
+		if v.Idx < 0 || v.Idx >= len(args) {
+			return nil, fmt.Errorf("expr: statement references parameter ?%d but only %d argument(s) were bound", v.Idx+1, len(args))
+		}
+		val, err := coerceParam(args[v.Idx], v.Kind())
+		if err != nil {
+			return nil, fmt.Errorf("expr: parameter ?%d: %w", v.Idx+1, err)
+		}
+		return &Const{V: val}, nil
+	case *ColRef, *Const:
+		return e, nil
+	case *Binary:
+		l, err := BindParams(v.L, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := BindParams(v.R, args)
+		if err != nil {
+			return nil, err
+		}
+		if l == v.L && r == v.R {
+			return v, nil
+		}
+		return &Binary{Op: v.Op, L: l, R: r}, nil
+	case *Not:
+		inner, err := BindParams(v.E, args)
+		if err != nil {
+			return nil, err
+		}
+		if inner == v.E {
+			return v, nil
+		}
+		return &Not{E: inner}, nil
+	case *Like:
+		inner, err := BindParams(v.E, args)
+		if err != nil {
+			return nil, err
+		}
+		if inner == v.E {
+			return v, nil
+		}
+		return &Like{E: inner, Pattern: v.Pattern, Negate: v.Negate}, nil
+	case *Year:
+		inner, err := BindParams(v.E, args)
+		if err != nil {
+			return nil, err
+		}
+		if inner == v.E {
+			return v, nil
+		}
+		return &Year{E: inner}, nil
+	default:
+		return nil, fmt.Errorf("expr: BindParams on %T", e)
+	}
+}
+
+// coerceParam adapts an argument value to the parameter's inferred kind.
+// Mixed numeric kinds pass through (comparisons define int vs float);
+// anything else that does not match is an error — a wrongly-typed argument
+// must not silently compare false on every row.
+func coerceParam(v types.Value, want types.Kind) (types.Value, error) {
+	if v.K == want || v.IsNull() {
+		return v, nil
+	}
+	switch {
+	case want == types.KindFloat && v.K == types.KindInt:
+		return types.Float(float64(v.I)), nil
+	case want == types.KindInt && v.K == types.KindFloat:
+		return v, nil
+	case want == types.KindDate && v.K == types.KindString:
+		d, err := types.DateFromString(v.S)
+		if err != nil {
+			return types.Null(), fmt.Errorf("argument %q is not a date", v.S)
+		}
+		return d, nil
+	default:
+		return types.Null(), fmt.Errorf("argument %s does not match the parameter's inferred type %s", v, want)
+	}
+}
+
 // BinOp enumerates binary operators.
 type BinOp int
 
@@ -356,7 +472,7 @@ func CollectCols(e Expr, dst []int) []int {
 		return dst
 	case *ColRef:
 		return append(dst, v.Idx)
-	case *Const:
+	case *Const, *Param:
 		return dst
 	case *Binary:
 		return CollectCols(v.R, CollectCols(v.L, dst))
@@ -384,6 +500,8 @@ func Remap(e Expr, mapping map[int]int) (Expr, bool) {
 		}
 		return nil, false
 	case *Const:
+		return v, true
+	case *Param:
 		return v, true
 	case *Binary:
 		l, ok := Remap(v.L, mapping)
@@ -427,8 +545,8 @@ func Shift(e Expr, offset int) Expr {
 		return nil
 	case *ColRef:
 		return &ColRef{Idx: v.Idx + offset, Col: v.Col}
-	case *Const:
-		return v
+	case *Const, *Param:
+		return e
 	case *Binary:
 		return &Binary{Op: v.Op, L: Shift(v.L, offset), R: Shift(v.R, offset)}
 	case *Not:

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -129,7 +130,7 @@ func (r *Runner) RunCell(spec workload.Spec, strategyName string, delayed []stri
 	cell := Cell{Query: spec.ID, Strategy: strategyName}
 	times := make([]float64, 0, r.cfg.Repetitions)
 	for i := 0; i < r.cfg.Repetitions; i++ {
-		res, err := eng.Query(sql, opts)
+		res, err := eng.Query(context.Background(), sql, opts)
 		if err != nil {
 			return Cell{}, fmt.Errorf("%s/%s: %w", spec.ID, strategyName, err)
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestAllWorkloadQueriesAgreeAcrossStrategies(t *testing.T) {
 			sql := spec.SQL(eng.Catalog())
 			var baseline []string
 			for _, strat := range []sip.Strategy{sip.Baseline, sip.Magic, sip.FeedForward, sip.CostBased} {
-				res, err := eng.Query(sql, sip.Options{Strategy: strat, RemoteTables: spec.Remote})
+				res, err := eng.Query(context.Background(), sql, sip.Options{Strategy: strat, RemoteTables: spec.Remote})
 				if err != nil {
 					t.Fatalf("%v failed: %v", strat, err)
 				}

@@ -659,7 +659,16 @@ func predSelectivity(e expr.Expr) float64 {
 }
 
 func isConstComparison(b *expr.Binary) bool {
-	_, lc := b.L.(*expr.Const)
-	_, rc := b.R.(*expr.Const)
-	return lc != rc // exactly one side constant
+	return isConstLike(b.L) != isConstLike(b.R) // exactly one side constant
+}
+
+// isConstLike treats prepared-statement parameters like the constants they
+// become at execute time, so parameterized plans get the same selectivity
+// estimates as their literal-constant equivalents.
+func isConstLike(e expr.Expr) bool {
+	switch e.(type) {
+	case *expr.Const, *expr.Param:
+		return true
+	}
+	return false
 }

@@ -33,7 +33,11 @@ func buildAndRun(t *testing.T, sql string) ([]types.Tuple, *Result) {
 	for _, p := range res.Points {
 		ctx.Register(p)
 	}
-	return exec.Run(ctx, res.Root), res
+	rows, err := exec.Run(ctx, res.Root)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rows, res
 }
 
 func TestScanWithPushedPredicate(t *testing.T) {

@@ -28,6 +28,10 @@ func Bind(cat *catalog.Catalog, stmt *sqlparser.SelectStmt) (*Block, error) {
 		return nil, err
 	}
 	b.eq.finalize(blk)
+	blk.NumParams = stmt.NumParams
+	if b.numParams > blk.NumParams {
+		blk.NumParams = b.numParams
+	}
 	return blk, nil
 }
 
@@ -86,9 +90,10 @@ func (e *eqAlloc) finalize(b *Block) {
 // Binder.
 
 type binder struct {
-	cat    *catalog.Catalog
-	eq     *eqAlloc
-	nextID int
+	cat       *catalog.Catalog
+	eq        *eqAlloc
+	nextID    int
+	numParams int // highest placeholder ordinal seen + 1
 }
 
 // scope is the name-resolution environment: the block being bound plus its
@@ -333,6 +338,14 @@ func (b *binder) bindExpr(e sqlparser.Expr, sc *scope) (expr.Expr, error) {
 	case *sqlparser.StringLit:
 		return &expr.Const{V: types.Str(v.Val)}, nil
 
+	case *sqlparser.Placeholder:
+		if v.Ord+1 > b.numParams {
+			b.numParams = v.Ord + 1
+		}
+		// The kind starts unconstrained; bindBinary infers it from the
+		// expression the placeholder is compared against.
+		return &expr.Param{Idx: v.Ord}, nil
+
 	case *sqlparser.Ident:
 		return b.resolveIdent(v, sc)
 
@@ -396,12 +409,29 @@ func (b *binder) bindBinary(v *sqlparser.BinaryExpr, sc *scope) (expr.Expr, erro
 	if err != nil {
 		return nil, err
 	}
-	// Coerce string literals compared against dates into date values.
+	// Coerce string literals compared against dates into date values, and
+	// infer placeholder kinds from the opposite operand.
 	if op.IsComparison() {
 		l, r = coerceDate(l, r)
 		r, l = coerceDate(r, l)
+		inferParamKind(l, r)
+		inferParamKind(r, l)
 	}
 	return &expr.Binary{Op: op, L: l, R: r}, nil
+}
+
+// inferParamKind types an unconstrained `?` placeholder from the expression
+// it is compared against, so date and float arguments coerce correctly at
+// execute time.
+func inferParamKind(p, other expr.Expr) {
+	pp, ok := p.(*expr.Param)
+	if !ok || pp.Knd != types.KindNull {
+		return
+	}
+	if _, otherIsParam := other.(*expr.Param); otherIsParam {
+		return
+	}
+	pp.Knd = other.Kind()
 }
 
 // coerceDate converts rhs string constants to dates when lhs is a date.

@@ -149,6 +149,11 @@ type Block struct {
 	// or against Global otherwise.
 	Output   []OutputCol
 	Distinct bool
+
+	// NumParams is the number of `?` placeholders in the statement; set on
+	// the root block only. Plans built from a block with parameters must
+	// have them substituted (expr.BindParams) before execution.
+	NumParams int
 }
 
 // PostAggSchema returns the virtual schema that Output is bound against for

@@ -12,6 +12,10 @@ type SelectStmt struct {
 	From     []TableRef
 	Where    Expr // nil when absent
 	GroupBy  []Expr
+
+	// NumParams is the number of `?` placeholders in the whole statement,
+	// subqueries included. Parse sets it on the root statement only.
+	NumParams int
 }
 
 // SelectItem is one output column: an expression with an optional alias, or
@@ -116,6 +120,13 @@ func (c *Call) String() string {
 	}
 	return c.Name + "(" + strings.Join(args, ", ") + ")"
 }
+
+// Placeholder is a `?` parameter marker of a prepared statement. Ord is its
+// zero-based ordinal in source order across the whole statement (subqueries
+// included), matching the position of the argument bound at execute time.
+type Placeholder struct{ Ord int }
+
+func (p *Placeholder) String() string { return "?" }
 
 // SubqueryExpr is a parenthesized scalar subquery used as a value.
 type SubqueryExpr struct{ Sel *SelectStmt }

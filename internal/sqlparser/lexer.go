@@ -154,7 +154,7 @@ scan:
 			return token{kind: tokOp, text: "<>", pos: start}, nil
 		}
 		return token{}, l.errorf(start, "unexpected '!'")
-	case strings.IndexByte("=+-*/(),.", c) >= 0:
+	case strings.IndexByte("=+-*/(),.?", c) >= 0:
 		l.pos++
 		return token{kind: tokOp, text: string(c), pos: start}, nil
 	default:

@@ -19,13 +19,15 @@ func Parse(src string) (*SelectStmt, error) {
 	if !p.atEOF() {
 		return nil, p.errHere("unexpected trailing input %q", p.peek().text)
 	}
+	stmt.NumParams = p.nParams
 	return stmt, nil
 }
 
 type parser struct {
-	toks []token
-	i    int
-	lx   *lexer
+	toks    []token
+	i       int
+	lx      *lexer
+	nParams int // `?` placeholders seen so far, in source order
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -392,6 +394,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return &Ident{Name: t.text}, nil
 	case tokOp:
+		if t.text == "?" {
+			p.advance()
+			ph := &Placeholder{Ord: p.nParams}
+			p.nParams++
+			return ph, nil
+		}
 		if t.text == "(" {
 			p.advance()
 			// Scalar subquery or parenthesized expression.

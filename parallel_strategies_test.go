@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -54,7 +55,7 @@ func TestStrategiesParallelismDeterminism(t *testing.T) {
 		return out
 	}
 	for qi, sql := range queries {
-		res, err := eng.Query(sql, Options{Strategy: Baseline, Parallelism: 1})
+		res, err := eng.Query(context.Background(), sql, Options{Strategy: Baseline, Parallelism: 1})
 		if err != nil {
 			t.Fatalf("query %d baseline: %v", qi, err)
 		}
@@ -64,7 +65,7 @@ func TestStrategiesParallelismDeterminism(t *testing.T) {
 		}
 		for _, s := range AllStrategies() {
 			for _, p := range []int{1, 2, 4, 8} {
-				res, err := eng.Query(sql, Options{Strategy: s, Parallelism: p})
+				res, err := eng.Query(context.Background(), sql, Options{Strategy: s, Parallelism: p})
 				if err != nil {
 					t.Fatalf("query %d %v P=%d: %v", qi, s, p, err)
 				}

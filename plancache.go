@@ -1,0 +1,93 @@
+package sip
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// PlanCacheStats is a snapshot of the engine's plan-cache counters.
+type PlanCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// PlanCacheStats returns the current plan-cache counters; all zeros when
+// caching is disabled.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.cache == nil {
+		return PlanCacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// planCache is a bounded LRU of compiled plan templates keyed by SQL text
+// plus the plan-affecting option fingerprint. Cached values are immutable
+// templates (optimizer.Result plus metadata) instantiated per execution, so
+// sharing one entry across concurrent queries is safe.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *enginePlan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *planCache) get(key string) (*enginePlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+func (c *planCache) put(key string, p *enginePlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok { // lost a build race: keep the incumbent
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, plan: p})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	entries := c.order.Len()
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
+}

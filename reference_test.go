@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -66,7 +67,7 @@ func TestRandomizedJoinAgainstReference(t *testing.T) {
 		sort.Strings(want)
 
 		for _, s := range AllStrategies() {
-			res, err := eng.Query(sql, Options{Strategy: s})
+			res, err := eng.Query(context.Background(), sql, Options{Strategy: s})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, s, err)
 			}
@@ -113,7 +114,7 @@ func TestRandomizedAggregateAgainstReference(t *testing.T) {
 		cat.Add(&catalog.Table{Name: "t", Schema: sch, Rows: rows})
 		eng := NewEngine(cat)
 
-		res, err := eng.Query(`SELECT g, sum(v), count(*) FROM t GROUP BY g`, Options{})
+		res, err := eng.Query(context.Background(), `SELECT g, sum(v), count(*) FROM t GROUP BY g`, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,14 +144,14 @@ func TestEmptyTables(t *testing.T) {
 		Rows: []types.Tuple{{types.Int(1)}}})
 	eng := NewEngine(cat)
 	for _, s := range AllStrategies() {
-		res, err := eng.Query(`SELECT e.k FROM e, f WHERE e.k = f.k`, Options{Strategy: s})
+		res, err := eng.Query(context.Background(), `SELECT e.k FROM e, f WHERE e.k = f.k`, Options{Strategy: s})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
 		if len(res.Rows) != 0 {
 			t.Fatalf("%v: join with empty table produced rows", s)
 		}
-		agg, err := eng.Query(`SELECT count(*), sum(k) FROM e`, Options{Strategy: s})
+		agg, err := eng.Query(context.Background(), `SELECT count(*), sum(k) FROM e`, Options{Strategy: s})
 		if err != nil {
 			t.Fatal(err)
 		}

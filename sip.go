@@ -12,13 +12,36 @@
 //   - CostBased: cost-model-driven adaptive information passing (§IV-B),
 //     including distributed filter shipping.
 //
-// Quick start:
+// Every execution entry point takes a context.Context: cancelling it (or
+// letting its deadline expire) drains every operator goroutine promptly and
+// surfaces context.Canceled / context.DeadlineExceeded from the query.
+//
+// Quick start — blocking execution:
 //
 //	cat := sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.01})
 //	eng := sip.NewEngine(cat)
-//	res, err := eng.Query(`SELECT n_name, count(*) FROM supplier, nation
+//	res, err := eng.Query(ctx, `SELECT n_name, count(*) FROM supplier, nation
 //	    WHERE s_nationkey = n_nationkey GROUP BY n_name`,
 //	    sip.Options{Strategy: sip.FeedForward})
+//
+// Streaming — rows are delivered batch-at-a-time from the root operator
+// with backpressure (a slow consumer stalls the pipeline instead of
+// materializing the result), and Close cancels the query and reclaims
+// every goroutine:
+//
+//	rows, err := eng.QueryStream(ctx, sql, sip.Options{})
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	err = rows.Err()
+//
+// Prepared statements — parse/bind/optimize once, execute many times with
+// `?` placeholder arguments; the ad-hoc Query path gets the same benefit
+// automatically from the engine's bounded plan cache:
+//
+//	stmt, err := eng.Prepare(ctx, `SELECT n_name FROM nation WHERE n_nationkey = ?`)
+//	res, err := stmt.Query(ctx, sip.Int(7))
 package sip
 
 import (
@@ -30,10 +53,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
-	"repro/internal/magic"
 	"repro/internal/network"
-	"repro/internal/optimizer"
-	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/tpch"
 	"repro/internal/types"
@@ -66,6 +86,18 @@ type Row = types.Tuple
 
 // Value is one SQL value.
 type Value = types.Value
+
+// Int builds an integer Value (prepared-statement arguments).
+func Int(v int64) Value { return types.Int(v) }
+
+// Float builds a float Value.
+func Float(v float64) Value { return types.Float(v) }
+
+// Str builds a string Value.
+func Str(s string) Value { return types.Str(s) }
+
+// Date builds a date Value from 'YYYY-MM-DD'.
+func Date(s string) (Value, error) { return types.DateFromString(s) }
 
 // Schema describes result columns.
 type Schema = types.Schema
@@ -204,132 +236,59 @@ type Result struct {
 	Stats *stats.Registry
 }
 
-// Engine executes queries against a catalog.
-type Engine struct {
-	cat *catalog.Catalog
+// DefaultPlanCacheSize is the default capacity (in plans) of the engine's
+// LRU plan cache.
+const DefaultPlanCacheSize = 64
+
+// EngineConfig tunes engine-wide behavior shared by all queries.
+type EngineConfig struct {
+	// PlanCacheSize bounds the engine's LRU plan cache (in cached plans).
+	// Zero means DefaultPlanCacheSize; negative disables caching, so every
+	// ad-hoc Query re-parses, re-binds, and re-optimizes.
+	//
+	// A cached plan snapshots the catalog state (table row slices,
+	// statistics) at first use, exactly like a prepared statement snapshots
+	// it at Prepare. The engine assumes an immutable catalog; callers that
+	// mutate tables after queries have run must create a new Engine (or
+	// disable caching) to observe the changes.
+	PlanCacheSize int
+
+	// MaxConcurrentQueries caps the number of queries executing at once;
+	// further callers block in admission until a slot frees (or their
+	// context is cancelled). Zero means unlimited.
+	MaxConcurrentQueries int
 }
 
-// NewEngine creates an engine over the catalog.
-func NewEngine(cat *Catalog) *Engine { return &Engine{cat: cat} }
+// Engine executes queries against a catalog. It is safe for concurrent use:
+// many goroutines may Query/QueryStream/Prepare on one engine at once, with
+// admission bounded by EngineConfig.MaxConcurrentQueries.
+type Engine struct {
+	cat   *catalog.Catalog
+	cache *planCache    // nil when disabled
+	sem   chan struct{} // nil when unlimited
+}
+
+// NewEngine creates an engine over the catalog with the default config.
+func NewEngine(cat *Catalog) *Engine { return NewEngineWithConfig(cat, EngineConfig{}) }
+
+// NewEngineWithConfig creates an engine with explicit limits.
+func NewEngineWithConfig(cat *Catalog, cfg EngineConfig) *Engine {
+	e := &Engine{cat: cat}
+	size := cfg.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		e.cache = newPlanCache(size)
+	}
+	if cfg.MaxConcurrentQueries > 0 {
+		e.sem = make(chan struct{}, cfg.MaxConcurrentQueries)
+	}
+	return e
+}
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *Catalog { return e.cat }
-
-// Query parses, binds, optimizes, and executes sql under the options.
-func (e *Engine) Query(sql string, opts Options) (*Result, error) {
-	blk, err := plan.BindSQL(e.cat, sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.run(blk, opts)
-}
-
-// Explain returns a textual description of the bound block structure.
-func (e *Engine) Explain(sql string) (string, error) {
-	blk, err := plan.BindSQL(e.cat, sql)
-	if err != nil {
-		return "", err
-	}
-	return blk.String(), nil
-}
-
-func (e *Engine) run(blk *plan.Block, opts Options) (*Result, error) {
-	blk = blk.Clone()
-	if err := e.applyPlacement(blk, opts); err != nil {
-		return nil, err
-	}
-	if opts.Strategy == Magic {
-		blk = magic.Rewrite(blk)
-	}
-
-	var topo *network.Topology
-	if len(opts.RemoteTables) > 0 {
-		topo = opts.topology()
-	}
-	built, err := optimizer.Build(optimizer.Config{
-		Topology:        topo,
-		Delay:           opts.delay(),
-		ScanBytesPerSec: opts.SourceBytesPerSec,
-	}, blk)
-	if err != nil {
-		return nil, err
-	}
-
-	reg := stats.NewRegistry()
-	copts := core.Options{
-		FPR:      opts.FPR,
-		Kind:     opts.Summary,
-		Stats:    reg,
-		Topology: topo,
-		Cost:     core.DefaultCostParams(),
-	}
-	if opts.Cost != nil {
-		copts.Cost = *opts.Cost
-	}
-	var ctl exec.Controller
-	switch opts.Strategy {
-	case FeedForward:
-		ctl = core.NewFeedForward(copts)
-	case CostBased:
-		ctl = core.NewCostBased(copts)
-	case Baseline, Magic:
-		ctl = nil
-	default:
-		return nil, fmt.Errorf("sip: unknown strategy %d", opts.Strategy)
-	}
-
-	ctx := exec.NewContext(reg, ctl)
-	ctx.Parallelism = opts.Parallelism
-	ctx.PipelineDepth = opts.PipelineDepth
-	for _, p := range built.Points {
-		ctx.Register(p)
-	}
-
-	start := time.Now()
-	rows := exec.Run(ctx, built.Root)
-	dur := time.Since(start)
-
-	return &Result{
-		Rows:            rows,
-		Schema:          blk.OutputSchema(),
-		Duration:        dur,
-		PeakStateBytes:  reg.PeakStateBytes(),
-		FiltersCreated:  reg.FiltersMade.Load(),
-		FiltersInjected: reg.FiltersUsed.Load(),
-		TuplesPruned:    reg.TotalPruned(),
-		TuplesProcessed: reg.TotalIn(),
-		TuplesScanned:   reg.TotalScanned(),
-		NetworkBytes:    reg.NetworkBytes.Load(),
-		Stats:           reg,
-	}, nil
-}
-
-// applyPlacement tags relations with delay and site assignments,
-// recursively through nested blocks.
-func (e *Engine) applyPlacement(b *plan.Block, opts Options) error {
-	delayed := map[string]bool{}
-	for _, t := range opts.DelayedTables {
-		delayed[strings.ToLower(t)] = true
-	}
-	var walk func(b *plan.Block)
-	walk = func(b *plan.Block) {
-		for _, rel := range b.Rels {
-			if rel.Sub != nil {
-				walk(rel.Sub)
-				continue
-			}
-			name := strings.ToLower(rel.Table.Name)
-			if delayed[name] {
-				rel.Delayed = true
-			}
-			if site, ok := opts.RemoteTables[name]; ok {
-				rel.Site = site
-			}
-		}
-	}
-	walk(b)
-	return nil
-}
 
 // FormatValueRounded renders a value, rounding floats to the given number
 // of significant digits. Useful when comparing results across strategies:

@@ -1,6 +1,7 @@
 package sip
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func canon(rows []Row) []string {
 
 func mustRows(t *testing.T, e *Engine, sql string, opts Options) []Row {
 	t.Helper()
-	res, err := e.Query(sql, opts)
+	res, err := e.Query(context.Background(), sql, opts)
 	if err != nil {
 		t.Fatalf("query failed: %v\nsql: %s", err, sql)
 	}

@@ -1,0 +1,335 @@
+package sip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/stats"
+)
+
+// Query parses, binds, optimizes (consulting the plan cache), and executes
+// sql under the options, collecting the full result. It is a thin wrapper
+// that drains QueryStream; a cancelled or deadline-expired ctx aborts the
+// execution and returns context.Canceled / context.DeadlineExceeded.
+func (e *Engine) Query(ctx context.Context, sql string, opts Options) (*Result, error) {
+	rows, err := e.QueryStream(ctx, sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rows.drain()
+}
+
+// QueryStream starts sql and returns a streaming cursor over its result.
+// Rows are delivered batch-at-a-time from the root operator over the
+// executor's bounded pipeline edges, so a slow consumer exerts backpressure
+// (at most O(operators × PipelineDepth) batches are in flight) instead of
+// forcing the result to materialize. The caller must exhaust or Close the
+// cursor; Close cancels the query and reclaims every operator goroutine.
+//
+// Queries containing `?` placeholders must go through Prepare.
+func (e *Engine) QueryStream(ctx context.Context, sql string, opts Options) (*Rows, error) {
+	p, err := e.plan(sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	if p.numParams > 0 {
+		return nil, fmt.Errorf("sip: query has %d parameter(s); use Prepare and Stmt.Query", p.numParams)
+	}
+	return e.start(ctx, p, opts, nil)
+}
+
+// start instantiates the plan template and launches execution, returning
+// the cursor wired to the root operator's output edge.
+func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []Value) (*Rows, error) {
+	// An already-cancelled context must fail deterministically: without
+	// this check a fast query can outrun the BindStd watcher and return a
+	// complete result from a dead context.
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	switch opts.Strategy {
+	case Baseline, Magic, FeedForward, CostBased:
+	default:
+		return nil, fmt.Errorf("sip: unknown strategy %d", opts.Strategy)
+	}
+
+	// Admission: block until an execution slot frees or the caller gives up.
+	release := func() {}
+	if e.sem != nil {
+		select {
+		case e.sem <- struct{}{}:
+			var once sync.Once
+			sem := e.sem
+			release = func() { once.Do(func() { <-sem }) }
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+
+	inst, err := p.built.Instantiate(args)
+	if err != nil {
+		release()
+		return nil, err
+	}
+
+	reg := stats.NewRegistry()
+	// Controllers are per-run: they hold per-query filter bookkeeping and
+	// write into this execution's registry.
+	ctl := e.controller(opts, p, reg)
+
+	ectx := exec.NewContext(reg, ctl)
+	ectx.Parallelism = opts.Parallelism
+	ectx.PipelineDepth = opts.PipelineDepth
+	for _, pt := range inst.Points {
+		ectx.Register(pt)
+	}
+	stopWatch := ectx.BindStd(ctx)
+
+	if ctl != nil {
+		ctl.Begin()
+	}
+	start := time.Now()
+
+	// Point-query fast path: a small, linear, stateless plan executes
+	// synchronously — no goroutines, no channels — and the cursor serves
+	// the materialized rows. Plans big enough for backpressure to matter
+	// never qualify (see exec.InlineMaxRows).
+	if inline, ok := exec.TryRunInline(ectx, inst.Root); ok {
+		ch := make(chan exec.Batch, 1)
+		if len(inline) > 0 {
+			ch <- exec.Batch{Tuples: inline}
+		}
+		close(ch)
+		return &Rows{
+			sch:       p.schema,
+			out:       ch,
+			ectx:      ectx,
+			reg:       reg,
+			start:     start,
+			stopWatch: stopWatch,
+			release:   release,
+		}, nil
+	}
+
+	out := inst.Root.Start(ectx)
+
+	return &Rows{
+		sch:       p.schema,
+		out:       out,
+		ectx:      ectx,
+		reg:       reg,
+		start:     start,
+		stopWatch: stopWatch,
+		release:   release,
+	}, nil
+}
+
+// controller builds the per-execution AIP controller (nil for
+// Baseline/Magic). Strategy validity was checked by start.
+func (e *Engine) controller(opts Options, p *enginePlan, reg *stats.Registry) exec.Controller {
+	switch opts.Strategy {
+	case FeedForward, CostBased:
+		copts := core.Options{
+			FPR:      opts.FPR,
+			Kind:     opts.Summary,
+			Stats:    reg,
+			Topology: p.topo,
+			Cost:     core.DefaultCostParams(),
+		}
+		if opts.Cost != nil {
+			copts.Cost = *opts.Cost
+		}
+		if opts.Strategy == FeedForward {
+			return core.NewFeedForward(copts)
+		}
+		return core.NewCostBased(copts)
+	default:
+		return nil
+	}
+}
+
+// errRowsClosed is the cancellation cause recorded when the consumer closes
+// the cursor early; it is reported as a clean shutdown (Err() == nil), not
+// an error.
+var errRowsClosed = errors.New("sip: rows closed")
+
+// Rows is a streaming result cursor. The usage pattern follows
+// database/sql:
+//
+//	rows, err := eng.QueryStream(ctx, sql, opts)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    row := rows.Row()
+//	    ...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Next blocks on the root operator's bounded output edge: not consuming
+// rows stalls the pipeline (backpressure) rather than buffering the result.
+// Close cancels the query, drains and reclaims every operator goroutine,
+// and releases the engine's admission slot; it is safe to call at any time
+// and more than once. A Rows is not safe for concurrent use.
+type Rows struct {
+	sch  *Schema
+	out  <-chan exec.Batch
+	ectx *exec.Context
+	reg  *stats.Registry
+
+	start     time.Time
+	stopWatch func()
+	release   func()
+
+	cur   exec.Batch
+	lanes []int32
+	idx   int
+	row   Row
+
+	done bool
+	err  error
+	res  *Result
+}
+
+// Schema returns the result schema; available immediately.
+func (r *Rows) Schema() *Schema { return r.sch }
+
+// Next advances to the next row, blocking until one is available. It
+// returns false when the result is exhausted, the query failed, or the
+// cursor was closed; consult Err to distinguish.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	for {
+		if r.idx < len(r.lanes) {
+			r.row = r.cur.Tuples[r.lanes[r.idx]]
+			r.idx++
+			return true
+		}
+		r.recycle()
+		b, ok := <-r.out
+		if !ok {
+			r.finish()
+			return false
+		}
+		r.cur, r.lanes, r.idx = b, b.Live(), 0
+	}
+}
+
+// Row returns the current row. It is valid after a true Next and remains
+// valid after further Next/Close calls (rows are independent of the
+// recycled batch buffers).
+func (r *Rows) Row() Row { return r.row }
+
+// Err returns the terminal error: context.Canceled or
+// context.DeadlineExceeded when the bound context fired, nil after normal
+// exhaustion or a consumer-initiated Close.
+func (r *Rows) Err() error { return r.err }
+
+// Close cancels the query if it is still running, drains every operator
+// goroutine, and releases the engine admission slot. Always returns nil;
+// it is idempotent.
+func (r *Rows) Close() error {
+	if r.done {
+		return nil
+	}
+	r.ectx.CancelCause(errRowsClosed)
+	r.recycle()
+	r.finish()
+	return nil
+}
+
+// All returns a Go 1.23 range-over-func adapter. The cursor is closed when
+// the loop ends, normally or early; a terminal error is yielded as the
+// final element.
+//
+//	for row, err := range rows.All() {
+//	    if err != nil { ... }
+//	    ...
+//	}
+func (r *Rows) All() iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.row, nil) {
+				return
+			}
+		}
+		if err := r.Err(); err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// Result returns the lazily-finalized execution summary: row-less Result
+// whose duration and counters are read once, at cursor exhaustion or
+// Close — never mid-flight. It returns nil while the cursor is still
+// active.
+func (r *Rows) Result() *Result {
+	return r.res
+}
+
+// recycle returns the in-hand batch to the executor's pool.
+func (r *Rows) recycle() {
+	if r.cur.Tuples != nil || r.cur.Sel != nil {
+		exec.PutBatch(r.cur)
+	}
+	r.cur, r.lanes, r.idx = exec.Batch{}, nil, 0
+}
+
+// finish drains any remaining output (the producers have been cancelled or
+// are done), tears down the context watcher, releases admission, and
+// finalizes the stats view. Idempotent via r.done.
+func (r *Rows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	for b := range r.out {
+		exec.PutBatch(b)
+	}
+	if r.ectx.Ctl != nil {
+		r.ectx.Ctl.End()
+	}
+	dur := time.Since(r.start)
+	r.stopWatch()
+	r.release()
+	if err := r.ectx.Err(); err != nil && !errors.Is(err, errRowsClosed) {
+		r.err = err
+	}
+	reg := r.reg
+	r.res = &Result{
+		Schema:          r.sch,
+		Duration:        dur,
+		PeakStateBytes:  reg.PeakStateBytes(),
+		FiltersCreated:  reg.FiltersMade.Load(),
+		FiltersInjected: reg.FiltersUsed.Load(),
+		TuplesPruned:    reg.TotalPruned(),
+		TuplesProcessed: reg.TotalIn(),
+		TuplesScanned:   reg.TotalScanned(),
+		NetworkBytes:    reg.NetworkBytes.Load(),
+		Stats:           reg,
+	}
+}
+
+// drain consumes the whole cursor into a materialized Result (the blocking
+// Query path), via the same batch-collect-and-copy step exec.Run uses
+// (appending row-by-row through Next would reallocate and re-copy the
+// result log₂(n) times for large outputs). Only valid on a fresh cursor
+// (before any Next).
+func (r *Rows) drain() (*Result, error) {
+	rows := exec.Collect(r.out)
+	r.finish()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	res := r.res
+	res.Rows = rows
+	return res, nil
+}
