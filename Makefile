@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race bench-smoke bench joinbench stmtbench benchdiff verify
+.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench benchdiff verify
 
 all: build
 
@@ -24,10 +24,19 @@ bench:
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
 
 # test-race: the executor's concurrency tests (partitioned join/agg
-# determinism, cancellation) and the scalar-vs-vectorized expression
-# differential tests under the race detector.
+# determinism, cancellation), the scalar-vs-vectorized expression
+# differential tests, and the network fault/breaker tests under the race
+# detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/core ./internal/expr .
+	$(GO) test -race ./internal/exec ./internal/core ./internal/expr ./internal/network .
+
+# chaos: the full fault-injection matrix (seeds × fault profiles ×
+# Fail/Partial × strategies) plus the recovery smoke tests, under the race
+# detector with goroutine-leak checks. A fixed-seed smoke subset of the same
+# suite runs in tier-1 `test` (and under -race in `test-race`); this target
+# adds the SIP_CHAOS-gated sweep.
+chaos:
+	SIP_CHAOS=1 $(GO) test -race -run TestChaos -count=1 -timeout 15m .
 
 # joinbench: append this revision's per-strategy + parallel-scaling entry
 # to the BENCH_joins.json trajectory (the recorded microbench section and

@@ -10,7 +10,13 @@
 //	sipquery -strategy Cost-based -sf 0.05 -sql "..."
 //	sipquery -explain -sql "..."
 //	sipquery -timeout 5s -sql "..."
+//	sipquery -remote partsupp=1 -fault-transient 0.1 -partial -sql "..."
 //	echo "SELECT ..." | sipquery
+//
+// The -fault-* flags inject deterministic failures into remote links and
+// delayed scans (see sip.FaultProfile); -retries/-attempt-timeout bound the
+// recovery policy, and -partial degrades a dead source to a partial result
+// (with a warning and exit code 1) instead of failing the query.
 package main
 
 import (
@@ -38,6 +44,18 @@ func main() {
 		delayed  = flag.String("delay", "", "comma-separated tables to delay per the paper's §VI-B model")
 		stats    = flag.Bool("stats", false, "print per-operator statistics")
 		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no deadline)")
+
+		remote = flag.String("remote", "", "comma-separated table=site placements, e.g. partsupp=1 (site > 0)")
+
+		faultSeed      = flag.Int64("fault-seed", 0, "seed for deterministic fault injection")
+		faultTransient = flag.Float64("fault-transient", 0, "per-interaction transient-error rate [0,1]")
+		faultDrop      = flag.Float64("fault-drop", 0, "per-message drop rate [0,1]")
+		faultStall     = flag.Float64("fault-stall", 0, "per-interaction stall rate [0,1]")
+		faultCut       = flag.Float64("fault-cut", 0, "per-message mid-flight cut rate [0,1]")
+
+		retries        = flag.Int("retries", 0, "retry budget per source (0 = default 3, negative disables)")
+		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt timeout (0 = default 2s, negative disables)")
+		partial        = flag.Bool("partial", false, "degrade to a partial result instead of failing when a source stays dead")
 	)
 	flag.Parse()
 
@@ -94,9 +112,31 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	opts := sip.Options{Strategy: strat}
+	opts := sip.Options{Strategy: strat, Retry: sip.RetryPolicy{MaxRetries: *retries, AttemptTimeout: *attemptTimeout}}
 	if *delayed != "" {
 		opts.DelayedTables = strings.Split(*delayed, ",")
+	}
+	if *remote != "" {
+		opts.RemoteTables = map[string]int{}
+		for _, pair := range strings.Split(*remote, ",") {
+			name, site, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			var n int
+			if ok {
+				_, err := fmt.Sscanf(site, "%d", &n)
+				ok = err == nil
+			}
+			if !ok {
+				fatal(fmt.Errorf("bad -remote entry %q (want table=site)", pair))
+			}
+			opts.RemoteTables[name] = n
+		}
+	}
+	if prof := (sip.FaultProfile{Seed: *faultSeed, TransientRate: *faultTransient,
+		DropRate: *faultDrop, StallRate: *faultStall, CutRate: *faultCut}); prof.Active() {
+		opts.Faults = &prof
+	}
+	if *partial {
+		opts.OnSourceFailure = sip.PartialOnSourceError
 	}
 
 	start := time.Now()
@@ -135,6 +175,7 @@ func main() {
 		fmt.Printf("... (%d more rows)\n", n-*limit)
 	}
 	exitCode := 0
+	var srcErr *sip.SourceError
 	switch err := rows.Err(); {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "sipquery: query cancelled (partial output)")
@@ -142,14 +183,30 @@ func main() {
 	case errors.Is(err, context.DeadlineExceeded):
 		fmt.Fprintln(os.Stderr, "sipquery: query timed out (partial output)")
 		exitCode = 1
+	case errors.As(err, &srcErr):
+		fmt.Fprintf(os.Stderr, "sipquery: source failed: table %s (site %d) stayed dead after %d attempt(s): %v\n",
+			srcErr.Table, srcErr.Site, srcErr.Attempts, srcErr.Cause)
+		fmt.Fprintln(os.Stderr, "sipquery: rerun with -partial to degrade to a partial result instead")
+		exitCode = 1
 	case err != nil:
 		fatal(err)
 	}
 
 	res := rows.Result()
+	// Degradation warnings: a partial result must never read like a
+	// complete one.
+	for _, se := range res.IncompleteTables {
+		fmt.Fprintf(os.Stderr, "sipquery: WARNING: result incomplete — table %s (site %d) abandoned after %d attempt(s): %v\n",
+			se.Table, se.Site, se.Attempts, se.Cause)
+		exitCode = 1
+	}
 	fmt.Printf("\n%d row(s) in %v; state peak %.2f MB; %d filter(s), %d tuple(s) pruned\n",
 		n, time.Since(start).Round(time.Millisecond),
 		float64(res.PeakStateBytes)/(1<<20), res.FiltersCreated, res.TuplesPruned)
+	if res.Retries > 0 || res.BreakerTransitions > 0 || res.WastedBytes > 0 {
+		fmt.Printf("recovery: %d retr%s, %d breaker transition(s), %d wasted byte(s)\n",
+			res.Retries, plural(res.Retries, "y", "ies"), res.BreakerTransitions, res.WastedBytes)
+	}
 	if *stats {
 		fmt.Println()
 		fmt.Print(res.Stats.Report())
@@ -158,6 +215,13 @@ func main() {
 	if exitCode != 0 {
 		os.Exit(exitCode)
 	}
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func fatal(err error) {

@@ -1,0 +1,90 @@
+// Faulty sources: the robustness layer on top of the paper's adaptive
+// engine. PARTSUPP lives on a remote site whose link injects deterministic
+// faults (transient errors, drops, mid-flight cuts, stalls); the recovery
+// policy — bounded retries with capped exponential backoff, per-attempt
+// timeouts, and a per-site circuit breaker — absorbs what it can, and
+// Options.OnSourceFailure picks what happens when a source stays dead:
+// fail fast with a typed *sip.SourceError, or degrade gracefully to a
+// partial result annotated with exactly what is missing.
+//
+//	go run ./examples/faulty
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	sip "repro"
+)
+
+const q = `
+	SELECT s_name, ps_availqty FROM supplier, partsupp
+	WHERE s_suppkey = ps_suppkey AND ps_availqty < 500`
+
+func main() {
+	ctx := context.Background()
+	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.01}))
+
+	// The reference answer: same placement, no faults.
+	clean, err := eng.Query(ctx, q, sip.Options{
+		RemoteTables: map[string]int{"partsupp": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free run: %d rows in %v\n\n",
+		len(clean.Rows), clean.Duration.Round(time.Millisecond))
+
+	// A flaky link: one transfer in ten fails transiently, one in twenty
+	// is cut mid-flight. A retry budget sized for the flakiness absorbs
+	// every fault; the answer is identical and the recovery counters show
+	// the work it took.
+	res, err := eng.Query(ctx, q, sip.Options{
+		RemoteTables: map[string]int{"partsupp": 1},
+		Faults:       &sip.FaultProfile{Seed: 42, TransientRate: 0.1, CutRate: 0.05},
+		Retry:        sip.RetryPolicy{MaxRetries: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flaky link:     %d rows in %v — complete=%v, %d retries, %d wasted bytes\n\n",
+		len(res.Rows), res.Duration.Round(time.Millisecond),
+		res.Complete(), res.Retries, res.WastedBytes)
+
+	// A dead source: every interaction fails. Under the default
+	// FailOnSourceError the query surfaces a typed error naming the
+	// source, the site, and the attempts made.
+	dead := &sip.FaultProfile{Seed: 1, TransientRate: 1}
+	retry := sip.RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+	_, err = eng.Query(ctx, q, sip.Options{
+		RemoteTables: map[string]int{"partsupp": 1},
+		Faults:       dead,
+		Retry:        retry,
+	})
+	var se *sip.SourceError
+	if !errors.As(err, &se) {
+		log.Fatalf("expected a *sip.SourceError, got %v", err)
+	}
+	fmt.Printf("dead source, fail-fast: table %s (site %d) after %d attempts: %v\n\n",
+		se.Table, se.Site, se.Attempts, se.Cause)
+
+	// The same dead source under PartialOnSourceError: the query completes
+	// without PARTSUPP's tuples and the result says so.
+	res, err = eng.Query(ctx, q, sip.Options{
+		RemoteTables:    map[string]int{"partsupp": 1},
+		Faults:          dead,
+		Retry:           retry,
+		OnSourceFailure: sip.PartialOnSourceError,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dead source, degraded: %d rows, complete=%v\n", len(res.Rows), res.Complete())
+	for _, inc := range res.IncompleteTables {
+		fmt.Printf("  missing: table %s (site %d) abandoned after %d attempts: %v\n",
+			inc.Table, inc.Site, inc.Attempts, inc.Cause)
+	}
+}

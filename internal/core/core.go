@@ -85,6 +85,21 @@ type Options struct {
 	Topology *network.Topology
 	// Cost parameterizes the CostBased manager.
 	Cost CostParams
+	// ShipFilter, when set, performs remote filter transfers on behalf of
+	// the controller; the engine installs a hook bound to the query's
+	// execution context so filter shipments run under its recovery policy
+	// (retries, per-attempt timeouts, the site's circuit breaker). A non-nil
+	// error means the shipment failed and the filter must not be attached.
+	// nil falls back to a direct, unguarded link.Transfer.
+	ShipFilter func(link *network.Link, site int, nbytes int) error
+}
+
+// shipFilter routes a filter transfer through the installed hook.
+func (o Options) shipFilter(link *network.Link, site, nbytes int) error {
+	if o.ShipFilter != nil {
+		return o.ShipFilter(link, site, nbytes)
+	}
+	return link.Transfer(nbytes, nil)
 }
 
 func (o Options) fpr() float64 {

@@ -46,8 +46,9 @@ type CostBased struct {
 	attached map[*exec.Point]map[int]*cbAttached
 
 	// decisions counts create/skip outcomes for introspection and tests.
-	created int
-	skipped int
+	created    int
+	skipped    int
+	shipFailed int // filter shipments abandoned after recovery was exhausted
 }
 
 type cbAttached struct {
@@ -93,6 +94,14 @@ func (c *CostBased) Skipped() int {
 	return c.skipped
 }
 
+// ShipFailed returns how many filter shipments were abandoned because the
+// remote site stayed dead through the recovery policy.
+func (c *CostBased) ShipFailed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shipFailed
+}
+
 // PointDone triggers the AIP Manager for a completed stateful input.
 func (c *CostBased) PointDone(p *exec.Point) {
 	if !p.Stateful || !p.StateComplete() {
@@ -119,7 +128,8 @@ type candidate struct {
 	col     int
 	benefit float64
 	sigma   float64
-	link    int // remote site to ship to, 0 when local
+	link    int           // remote site to ship to, 0 when local
+	anc     []*exec.Point // ancestors whose estimates this filter revises
 }
 
 // considerSet is ESTIMATEBENEFIT plus the injection step. Caller holds c.mu.
@@ -187,7 +197,7 @@ func (c *CostBased) considerSet(src *exec.Point, stateCol int, ci *classInfo) {
 			continue
 		}
 		savings += benefit
-		accepted = append(accepted, candidate{point: n, col: co.col, benefit: benefit, sigma: sigma, link: n.Site})
+		ca := candidate{point: n, col: co.col, benefit: benefit, sigma: sigma, link: n.Site}
 		// Propagate revised cardinality estimates to n's ancestors
 		// (tentatively), and exclude ancestors up to the common ancestor
 		// of n and src from further consideration.
@@ -197,8 +207,10 @@ func (c *CostBased) considerSet(src *exec.Point, stateCol int, ci *classInfo) {
 			}
 			used[a] = true
 			tentative[a] = tentFactor(tentative, a) * sigma
+			ca.anc = append(ca.anc, a)
 		}
 		used[n] = true
+		accepted = append(accepted, ca)
 	}
 
 	if savings <= createCost || len(accepted) == 0 {
@@ -212,17 +224,23 @@ func (c *CostBased) considerSet(src *exec.Point, stateCol int, ci *classInfo) {
 	c.opts.Stats.FiltersMade.Inc()
 	c.opts.Stats.FilterBytes.Add(int64(sum.SizeBytes()))
 
-	// Make revised estimates permanent and inject.
-	for pt, fac := range tentative {
-		c.discount[pt] = c.factor(pt) * fac
-	}
+	// Inject, making each candidate's revised estimates permanent only once
+	// its filter is actually in place: a filter whose shipment failed (dead
+	// remote site, recovery exhausted) is neither attached nor allowed to
+	// discount the estimates other decisions will read.
 	for _, a := range accepted {
 		if link := c.opts.linkFor(src.Site, a.point.Site); link != nil {
-			// Shipping the filter costs real (simulated) time and bytes.
+			// Shipping the filter costs real (simulated) time and bytes —
+			// and may fail; the shipment runs under the engine's recovery
+			// policy when the hook is installed.
 			n := sum.SizeBytes()
 			c.mu.Unlock()
-			link.Transfer(n, nil)
+			err := c.opts.shipFilter(link, a.point.Site, n)
 			c.mu.Lock()
+			if err != nil {
+				c.shipFailed++
+				continue
+			}
 			c.opts.Stats.NetworkBytes.Add(int64(n))
 			c.opts.Stats.FilterNetWork.Add(int64(n))
 		}
@@ -237,6 +255,9 @@ func (c *CostBased) considerSet(src *exec.Point, stateCol int, ci *classInfo) {
 		}
 		c.attached[a.point][ci.id] = &cbAttached{sum: sum, size: int(setSize)}
 		c.opts.Stats.FiltersUsed.Inc()
+		for _, p := range a.anc {
+			c.discount[p] = c.factor(p) * a.sigma
+		}
 	}
 }
 

@@ -232,7 +232,14 @@ func (f *FeedForward) PointDone(p *exec.Point) {
 		if st == nil {
 			continue
 		}
-		if ws, ok := st.working[p]; ok {
+		// A truncated input (a dead source degraded to a partial result) has
+		// a working set missing tuples that never arrived; publishing it
+		// would prune rows that belong in the answer. Drop it unpublished —
+		// interest accounting below still runs.
+		if ws, ok := st.working[p]; ok && !p.StateComplete() {
+			delete(st.working, p)
+			ws.discarded.Store(true)
+		} else if ok {
 			delete(st.working, p)
 			ws.discarded.Store(true)
 			// Working sets cover every tuple that passed the input's

@@ -173,7 +173,7 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	// (partial state must not be presented as a completed input's summary).
 	routerDone := make(chan struct{})
 	routed := false
-	go func() {
+	ctx.Spawn(func() {
 		defer close(routerDone)
 		var (
 			keyHasher  types.Hasher
@@ -234,7 +234,7 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 		default:
 			routed = true
 		}
-	}()
+	})
 
 	// Workers: fold scattered tuples into the owned partition state. The
 	// aggregate arguments are evaluated batch-at-a-time into lane-indexed
@@ -243,7 +243,8 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	var workerWg sync.WaitGroup
 	workerWg.Add(P)
 	for p := 0; p < P; p++ {
-		go func(pidx int) {
+		pidx := p
+		ctx.Spawn(func() {
 			defer workerWg.Done()
 			pt := parts[pidx]
 			gvals := make(types.Tuple, len(h.GroupBy))
@@ -298,12 +299,12 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 				}
 				putScatter(sb)
 			}
-		}(p)
+		})
 	}
 
 	// Finisher: close the partition channels once routing ends, wait for the
 	// folds, publish the AIP state, and emit the result rows.
-	go func() {
+	ctx.Spawn(func() {
 		defer close(out)
 		<-routerDone
 		for _, pt := range parts {
@@ -378,7 +379,7 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			}
 		}
 		flush()
-	}()
+	})
 	return out
 }
 
@@ -430,7 +431,7 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	// over the input, gating the AIP state publication.
 	routerDone := make(chan struct{})
 	routed := false
-	go func() {
+	ctx.Spawn(func() {
 		defer close(routerDone)
 		var (
 			keyHasher  types.Hasher
@@ -465,7 +466,7 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 		default:
 			routed = true
 		}
-	}()
+	})
 
 	// failed is set when a worker could not deliver its output (cancel):
 	// the seen-state is then incomplete and must not be published.
@@ -473,7 +474,8 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	var workerWg sync.WaitGroup
 	workerWg.Add(P)
 	for p := 0; p < P; p++ {
-		go func(pidx int) {
+		pidx := p
+		ctx.Spawn(func() {
 			defer workerWg.Done()
 			pt := parts[pidx]
 			for sb := range pt.in {
@@ -514,10 +516,10 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 				}
 				putScatter(sb)
 			}
-		}(p)
+		})
 	}
 
-	go func() {
+	ctx.Spawn(func() {
 		defer close(out)
 		<-routerDone
 		for _, pt := range parts {
@@ -540,6 +542,6 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 			d.Point.done.Store(true)
 			ctx.pointDone(d.Point)
 		}
-	}()
+	})
 	return out
 }

@@ -146,6 +146,11 @@ type Context struct {
 	// in-flight batches; zero or negative means DefaultPipelineDepth.
 	PipelineDepth int
 
+	// Recovery configures retries, timeouts, circuit breaking, and the
+	// failure mode for unreliable sources. The zero value uses the default
+	// retry policy, no breakers, and fail-fast semantics.
+	Recovery Recovery
+
 	cancel    chan struct{}
 	cancelOne sync.Once
 	cause     atomic.Pointer[error]
@@ -153,6 +158,11 @@ type Context struct {
 	mu     sync.Mutex
 	points []*Point
 	nextID int
+
+	wg sync.WaitGroup // goroutines started via Spawn
+
+	incMu      sync.Mutex
+	incomplete map[string]*SourceError // dead sources (PartialOnSourceError)
 }
 
 // NewContext creates an execution context. reg must be non-nil; ctl may be

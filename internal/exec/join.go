@@ -387,14 +387,15 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 		}
 	}
 
-	go router(lin, inputs[0])
-	go router(rin, inputs[1])
+	ctx.Spawn(func() { router(lin, inputs[0]) })
+	ctx.Spawn(func() { router(rin, inputs[1]) })
 	for p := 0; p < P; p++ {
-		go worker(p)
+		p := p
+		ctx.Spawn(func() { worker(p) })
 	}
-	go func() {
+	ctx.Spawn(func() {
 		workerWg.Wait()
 		close(out)
-	}()
+	})
 	return out
 }

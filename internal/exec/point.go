@@ -157,6 +157,12 @@ type Point struct {
 	// remote point must be shipped; the harness models that cost.
 	Site int
 
+	// Tables lists the base tables feeding this input. When a source is
+	// abandoned under PartialOnSourceError, every point fed by its table is
+	// marked state-incomplete so AIP controllers never publish the partial
+	// state as a complete set.
+	Tables []string
+
 	// Depth is the input's depth in the physical plan tree (root joins are
 	// depth 0); ESTIMATEBENEFIT visits candidate users bottom-up.
 	Depth int
@@ -215,6 +221,7 @@ func (p *Point) CloneForRun() *Point {
 		Stateful:       p.Stateful,
 		KeyCols:        append([]int(nil), p.KeyCols...),
 		Site:           p.Site,
+		Tables:         append([]string(nil), p.Tables...),
 		Depth:          p.Depth,
 		Ancestors:      append([]*Point(nil), p.Ancestors...),
 		EstRows:        p.EstRows,

@@ -1,20 +1,35 @@
 package exec
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/network"
 	"repro/internal/types"
 )
 
 // DelayConfig reproduces the paper's §VI-B source-delay model: an initial
 // delay before the first tuple, then a fixed pause every N tuples ("delayed
 // by 100msec and rate-limited by injecting a 5msec delay every 1000
-// tuples").
+// tuples"). The Burst and Fault fields extend the model to flaky sources:
+// bursty silence and injected failures the recovery policy must outlast.
 type DelayConfig struct {
 	Initial time.Duration
 	EveryN  int
 	Pause   time.Duration
+
+	// BurstEveryN / BurstPause model a bursty source: after every
+	// BurstEveryN tuples the stream goes quiet for BurstPause — coarse
+	// stop-and-go on top of EveryN's fine-grained rate limit.
+	BurstEveryN int
+	BurstPause  time.Duration
+
+	// Fault, when active, injects per-batch source failures (transient
+	// errors, stalls) drawn deterministically from the profile's seed. The
+	// Context's Recovery policy drives retries; an exhausted source fails
+	// the query or degrades it to a partial result per the FailureMode.
+	Fault *network.FaultProfile
 }
 
 // Scan streams a base table.
@@ -23,6 +38,13 @@ type Scan struct {
 	Rows  []types.Tuple
 	Sch   *types.Schema
 	Delay *DelayConfig
+
+	// Table is the base table this scan streams; it names the source in
+	// SourceError and ties the scan to the abandoned-source set under
+	// PartialOnSourceError. Empty for synthetic scans.
+	Table string
+	// Site is the executing node, keying the per-site circuit breaker.
+	Site int
 
 	// BytesPerSec paces the scan like a disk or source stream (the paper's
 	// non-delayed experiments "streamed data directly from disk"): large
@@ -40,7 +62,17 @@ func (s *Scan) Schema() *types.Schema { return s.Sch }
 func (s *Scan) Start(ctx *Context) <-chan Batch {
 	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("scan:" + s.Name)
-	go func() {
+	// Fault plumbing: one deterministic injector and one retry driver per
+	// run, both derived from the scan's name so (plan, seed) reproduces the
+	// same failure sequence.
+	var inj *network.FaultInjector
+	var ret *retrier
+	if s.Delay != nil && s.Delay.Fault.Active() {
+		inj = s.Delay.Fault.Injector("scan:" + s.Name)
+		ret = newRetrier(ctx, op, s.Site, "scan:"+s.Name)
+	}
+	partialMode := ctx.Recovery.Mode == PartialOnSourceError && s.Table != ""
+	ctx.Spawn(func() {
 		defer close(out)
 		if s.Delay != nil && s.Delay.Initial > 0 {
 			select {
@@ -53,6 +85,20 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 		count := 0
 		var cumBytes int64
 		start := time.Now()
+		// readAttempt models one read from the flaky source: it draws the
+		// injected fault decision for this attempt. A stalled read blocks on
+		// the retrier's stop channel (per-attempt timeout or cancellation).
+		readAttempt := func(stop <-chan struct{}) error {
+			switch k := inj.Next(); k {
+			case network.FaultNone:
+				return nil
+			case network.FaultStall:
+				<-stop
+				return network.ErrCancelled // timeout converts this to ErrAttemptTimeout
+			default:
+				return &network.FaultError{Kind: k}
+			}
+		}
 		// flush sends the current batch (counting output per flushed batch,
 		// so cancelled or short-circuited scans still report what they
 		// emitted) and pays any accumulated pacing debt. The final flush
@@ -65,6 +111,26 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 					PutBatch(batch)
 				}
 				return true
+			}
+			// A sibling stream of the same table may have been abandoned;
+			// stop producing rather than feed a query that gave up on us.
+			if partialMode && ctx.SourceAbandoned(s.Table) {
+				PutBatch(batch)
+				batch = Batch{}
+				return false
+			}
+			if ret != nil {
+				if err := ret.do(readAttempt); err != nil {
+					PutBatch(batch)
+					batch = Batch{}
+					if !errors.Is(err, network.ErrCancelled) {
+						ctx.FailSource(&SourceError{
+							Table: s.Table, Site: s.Site,
+							Attempts: ret.attempts, Cause: err,
+						})
+					}
+					return false
+				}
 			}
 			n := int64(len(batch.Tuples))
 			if !send(ctx, out, batch) {
@@ -108,6 +174,17 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 				}
 				continue
 			}
+			if s.Delay != nil && s.Delay.BurstEveryN > 0 && count%s.Delay.BurstEveryN == 0 {
+				if !flush(false) {
+					return
+				}
+				select {
+				case <-time.After(s.Delay.BurstPause):
+				case <-ctx.Cancelled():
+					return
+				}
+				continue
+			}
 			if len(batch.Tuples) == BatchSize {
 				if !flush(false) {
 					return
@@ -115,7 +192,7 @@ func (s *Scan) Start(ctx *Context) <-chan Batch {
 			}
 		}
 		flush(true)
-	}()
+	})
 	return out
 }
 
@@ -139,7 +216,7 @@ func (f *Filter) Start(ctx *Context) <-chan Batch {
 	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("filter:" + f.Name)
 	pred := expr.Compile(f.Pred)
-	go func() {
+	ctx.Spawn(func() {
 		defer close(out)
 		for b := range in {
 			op.In.Add(int64(b.Len()))
@@ -163,7 +240,7 @@ func (f *Filter) Start(ctx *Context) <-chan Batch {
 			}
 			op.Out.Add(n)
 		}
-	}()
+	})
 	return out
 }
 
@@ -191,7 +268,7 @@ func (p *Project) Start(ctx *Context) <-chan Batch {
 	for i, e := range p.Exprs {
 		compiled[i] = expr.Compile(e)
 	}
-	go func() {
+	ctx.Spawn(func() {
 		defer close(out)
 		var (
 			arena rowArena
@@ -226,6 +303,6 @@ func (p *Project) Start(ctx *Context) <-chan Batch {
 			}
 			op.Out.Add(int64(n))
 		}
-	}()
+	})
 	return out
 }

@@ -35,6 +35,14 @@ type Config struct {
 	PipelineDepth int
 	// Verbose adds per-operator detail to the output writer.
 	Verbose bool
+
+	// Faults optionally injects deterministic source/link failures into
+	// every measured run (robustness experiments rather than the paper's
+	// figures); Retry bounds the recovery policy applied to them, and
+	// OnSourceFailure picks fail-fast or graceful partial degradation.
+	Faults          *sip.FaultProfile
+	Retry           sip.RetryPolicy
+	OnSourceFailure sip.FailureMode
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +132,11 @@ func (r *Runner) RunCell(spec workload.Spec, strategyName string, delayed []stri
 	}
 	if r.cfg.SourceMBps > 0 {
 		opts.SourceBytesPerSec = int64(r.cfg.SourceMBps * 1e6)
+	}
+	if r.cfg.Faults != nil {
+		opts.Faults = r.cfg.Faults
+		opts.Retry = r.cfg.Retry
+		opts.OnSourceFailure = r.cfg.OnSourceFailure
 	}
 	sql := spec.SQL(eng.Catalog())
 

@@ -26,11 +26,18 @@ type Link struct {
 	// Scale divides all sleep times, letting experiments compress
 	// wall-clock time uniformly; 0 or 1 means real time.
 	Scale float64
+	// Faults, when non-nil, injects per-message failures (drop, stall,
+	// transient error, mid-message cut) drawn deterministically from the
+	// profile's seed. A nil profile is a reliable link.
+	Faults *FaultProfile
 
-	mu        sync.Mutex
-	sentBytes int64
-	sentMsgs  int64
-	busyUntil time.Time
+	mu           sync.Mutex
+	sentBytes    int64
+	sentMsgs     int64
+	abortedBytes int64
+	abortedMsgs  int64
+	busyUntil    time.Time
+	inj          *FaultInjector
 }
 
 // TransferTime returns the modeled time for a message of n bytes.
@@ -48,8 +55,48 @@ func (l *Link) TransferTime(n int) time.Duration {
 // Transfer blocks for the modeled transfer time of an n-byte message and
 // records the traffic. Concurrent transfers share the link: they serialize
 // on the modeled bandwidth, as a real link would.
-func (l *Link) Transfer(n int, cancel <-chan struct{}) bool {
+//
+// Bandwidth is reserved while the message is in flight and committed to the
+// sent counters only on success; a cancelled or faulted transfer rolls its
+// reservation back when possible and is accounted under AbortedBytes, so a
+// failed attempt never inflates the sent-byte figures.
+//
+// It returns nil on success, ErrCancelled when cancel fired first, or a
+// *FaultError when the link's fault profile failed the message.
+func (l *Link) Transfer(n int, cancel <-chan struct{}) error {
 	l.mu.Lock()
+	fault := FaultNone
+	if l.Faults.Active() {
+		if l.inj == nil {
+			l.inj = l.Faults.Injector("link")
+		}
+		fault = l.inj.Next()
+	}
+	switch fault {
+	case FaultTransient:
+		// Fails before any bytes move: no bandwidth, no reservation.
+		l.abortedMsgs++
+		l.mu.Unlock()
+		return &FaultError{Kind: FaultTransient}
+	case FaultStall:
+		// Hangs without consuming modeled bandwidth — the wire is idle, the
+		// far end just never answers.
+		l.abortedMsgs++
+		l.mu.Unlock()
+		if cancel == nil {
+			// Nothing can end the stall; treat as an immediate timeout
+			// rather than wedging the caller forever.
+			return &FaultError{Kind: FaultStall}
+		}
+		<-cancel
+		return ErrCancelled
+	case FaultCut:
+		n = l.inj.cutBytes(n)
+	}
+
+	// Reserve the link: the message occupies [start, end) of modeled
+	// bandwidth. Counters are not advanced yet (reserve now, commit on
+	// success).
 	now := time.Now()
 	start := now
 	if l.busyUntil.After(now) {
@@ -57,34 +104,74 @@ func (l *Link) Transfer(n int, cancel <-chan struct{}) bool {
 	}
 	end := start.Add(l.TransferTime(n))
 	l.busyUntil = end
-	l.sentBytes += int64(n)
-	l.sentMsgs++
 	l.mu.Unlock()
 
 	wait := time.Until(end)
-	if wait <= 0 {
-		return true
+	completed := true
+	if wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-cancel:
+			completed = false
+		}
 	}
-	select {
-	case <-time.After(wait):
-		return true
-	case <-cancel:
-		return false
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !completed {
+		// Roll the reservation back when no later transfer queued behind
+		// it; otherwise the slot is already promised and stays consumed,
+		// like frames already handed to the NIC.
+		if l.busyUntil.Equal(end) {
+			l.busyUntil = start
+		}
+		l.abortedBytes += int64(n)
+		l.abortedMsgs++
+		return ErrCancelled
 	}
+	switch fault {
+	case FaultDrop:
+		// The message crossed (and consumed) the wire but was lost.
+		l.abortedBytes += int64(n)
+		l.abortedMsgs++
+		return &FaultError{Kind: FaultDrop, Sent: n}
+	case FaultCut:
+		l.abortedBytes += int64(n)
+		l.abortedMsgs++
+		return &FaultError{Kind: FaultCut, Sent: n}
+	}
+	l.sentBytes += int64(n)
+	l.sentMsgs++
+	return nil
 }
 
-// SentBytes returns the total bytes transferred over the link.
+// SentBytes returns the total bytes successfully transferred over the link.
 func (l *Link) SentBytes() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.sentBytes
 }
 
-// SentMessages returns the number of messages transferred.
+// SentMessages returns the number of messages successfully transferred.
 func (l *Link) SentMessages() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.sentMsgs
+}
+
+// AbortedBytes returns the modeled bytes consumed by cancelled, dropped, or
+// cut transfers — bandwidth wasted on work that never completed.
+func (l *Link) AbortedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.abortedBytes
+}
+
+// AbortedMessages returns the number of failed or cancelled transfers.
+func (l *Link) AbortedMessages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.abortedMsgs
 }
 
 // Topology is the set of sites and pairwise links of one experiment.

@@ -1,0 +1,263 @@
+// Recovery policy for unreliable sources: bounded retries with capped
+// exponential backoff and jitter, per-attempt timeouts, and a per-site
+// circuit breaker (closed → open → half-open). The policy is pure
+// configuration plus small state machines; the executor drives the attempt
+// loops (see internal/exec) so cancellation and stats stay in one place.
+package network
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds how hard the engine fights for one remote interaction
+// (a shipped batch, a delayed-source read, an AIP filter transfer) before
+// declaring the source failed.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first try (so a
+	// source gets 1+MaxRetries attempts). Negative disables retries
+	// entirely; zero means the default (3).
+	MaxRetries int
+
+	// AttemptTimeout bounds one attempt; a stalled attempt is abandoned and
+	// retried after this long. Zero means the default (2s); negative
+	// disables the per-attempt timeout (a stalled source then hangs until
+	// the query's own deadline or cancellation).
+	AttemptTimeout time.Duration
+
+	// BaseBackoff is the first retry's backoff; each further retry doubles
+	// it up to MaxBackoff, with ±Jitter randomization. Zero means the
+	// default (10ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means the default
+	// (500ms).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of the backoff randomized symmetrically
+	// around it (0.2 = ±20%, the default). Negative disables jitter.
+	Jitter float64
+
+	// BreakerFailures is the number of consecutive failed attempts against
+	// one site that opens its circuit breaker. Zero means the default (5);
+	// negative disables the breaker.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects attempts before
+	// letting one half-open trial through. Zero means the default (500ms).
+	BreakerCooldown time.Duration
+
+	// Seed makes backoff jitter deterministic for reproducible chaos runs.
+	Seed int64
+}
+
+// WithDefaults resolves the zero-means-default fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 2 * time.Second
+	}
+	if p.AttemptTimeout < 0 {
+		p.AttemptTimeout = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.BreakerFailures == 0 {
+		p.BreakerFailures = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number retry (0-based: the delay
+// between the first failure and the second attempt), capped exponential
+// with jitter drawn from rng (nil rng means no jitter).
+func (p RetryPolicy) Backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < retry && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 && rng != nil {
+		// Symmetric jitter: d * (1 ± Jitter).
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed: attempts flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: attempts are rejected without touching the site.
+	BreakerOpen
+	// BreakerHalfOpen: one trial attempt is in flight; its outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+var breakerNames = map[BreakerState]string{
+	BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+}
+
+// String names the state.
+func (s BreakerState) String() string { return breakerNames[s] }
+
+// Breaker is one site's circuit breaker. BreakerFailures consecutive failed
+// attempts open it; while open, Allow rejects attempts without touching the
+// site; after BreakerCooldown one half-open trial is admitted, and its
+// outcome closes the breaker or re-opens it for another cooldown.
+type Breaker struct {
+	mu       sync.Mutex
+	pol      RetryPolicy
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+
+	transitions int64
+	onChange    func(from, to BreakerState)
+}
+
+// NewBreaker creates a closed breaker under the (already defaulted) policy.
+func NewBreaker(pol RetryPolicy, onChange func(from, to BreakerState)) *Breaker {
+	return &Breaker{pol: pol, onChange: onChange}
+}
+
+func (b *Breaker) to(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	from := b.state
+	b.state = s
+	b.transitions++
+	if b.onChange != nil {
+		b.onChange(from, s)
+	}
+}
+
+// Allow reports whether an attempt may proceed now. In the open state it
+// rejects until the cooldown elapses, then admits exactly one half-open
+// trial (the caller that got true); further callers are rejected until the
+// trial reports Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.pol.BreakerCooldown {
+			b.to(BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// Success records a successful attempt: the failure streak resets and a
+// half-open trial closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.to(BreakerClosed)
+}
+
+// Failure records a failed attempt; enough consecutive failures (or any
+// failed half-open trial) open the breaker.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.pol.BreakerFailures < 0 {
+		return
+	}
+	if b.state == BreakerHalfOpen || b.fails >= b.pol.BreakerFailures {
+		b.openedAt = now
+		b.to(BreakerOpen)
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Transitions returns how many state changes the breaker has made.
+func (b *Breaker) Transitions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// BreakerSet is the per-site breaker registry of one query execution (or of
+// a longer-lived serving tier, if callers share it across queries).
+type BreakerSet struct {
+	pol RetryPolicy
+	// OnTransition, when set before any breaker is created, observes every
+	// state change of every breaker in the set.
+	OnTransition func(site int, from, to BreakerState)
+
+	mu sync.Mutex
+	m  map[int]*Breaker
+}
+
+// NewBreakerSet creates an empty set under the (already defaulted) policy.
+func NewBreakerSet(pol RetryPolicy) *BreakerSet {
+	return &BreakerSet{pol: pol, m: map[int]*Breaker{}}
+}
+
+// For returns (creating on first use) the breaker guarding a site.
+func (s *BreakerSet) For(site int) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[site]
+	if !ok {
+		var onChange func(from, to BreakerState)
+		if cb := s.OnTransition; cb != nil {
+			onChange = func(from, to BreakerState) { cb(site, from, to) }
+		}
+		b = NewBreaker(s.pol, onChange)
+		s.m[site] = b
+	}
+	return b
+}
+
+// States snapshots every site's breaker position.
+func (s *BreakerSet) States() map[int]BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]BreakerState, len(s.m))
+	for site, b := range s.m {
+		out[site] = b.State()
+	}
+	return out
+}

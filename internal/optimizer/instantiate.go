@@ -175,7 +175,7 @@ func (in *instantiator) op(o exec.Op) (exec.Op, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &exec.Ship{Name: v.Name, Child: child, Link: v.Link, Point: in.point(v.Point)}, nil
+		return &exec.Ship{Name: v.Name, Child: child, Link: v.Link, Point: in.point(v.Point), Table: v.Table, Site: v.Site}, nil
 
 	default:
 		return nil, fmt.Errorf("optimizer: cannot instantiate operator %T", o)

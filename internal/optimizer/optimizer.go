@@ -68,6 +68,7 @@ type component struct {
 	est      float64         // estimated output rows
 	distinct map[int]float64 // global col id -> distinct estimate
 	points   []*exec.Point   // injection points inside this subtree
+	tables   []string        // base tables feeding this subtree
 }
 
 func (c *component) mappingFor(cols []int) (map[int]int, bool) {
@@ -110,6 +111,7 @@ func (o *builder) newPoint(name string, b *plan.Block, comp *component, stateful
 		Bank:           exec.NewFilterBank(),
 		Stateful:       stateful,
 		Site:           site,
+		Tables:         append([]string(nil), comp.tables...),
 		EstRows:        comp.est,
 		DomainDistinct: dom,
 	}
@@ -238,8 +240,11 @@ func (o *builder) buildRel(b *plan.Block, ri int, rel *plan.Rel, used []bool, na
 			Rows:        rel.Table.Rows,
 			Sch:         rel.Schema,
 			Delay:       delay,
+			Table:       rel.Table.Name,
+			Site:        rel.Site,
 			BytesPerSec: o.cfg.ScanBytesPerSec,
 		}
+		comp.tables = []string{rel.Table.Name}
 		comp.est = float64(rel.Table.NumRows())
 		for i, c := range rel.Schema.Cols {
 			comp.distinct[rel.Offset+i] = float64(rel.Table.Distinct(c.Name))
@@ -253,6 +258,7 @@ func (o *builder) buildRel(b *plan.Block, ri int, rel *plan.Rel, used []bool, na
 		comp.op = sub.op
 		comp.est = sub.est
 		comp.points = sub.points
+		comp.tables = sub.tables
 		for i := 0; i < rel.Schema.Len(); i++ {
 			comp.distinct[rel.Offset+i] = subOutputDistinct(rel.Sub, i, sub)
 		}
@@ -283,7 +289,11 @@ func (o *builder) buildRel(b *plan.Block, ri int, rel *plan.Rel, used []bool, na
 	if rel.Site != 0 && o.cfg.Topology != nil {
 		link := o.cfg.Topology.LinkBetween(rel.Site, 0)
 		pt := o.newPoint(name+".ship", b, comp, false, rel.Site)
-		comp.op = &exec.Ship{Name: name, Child: comp.op, Link: link, Point: pt}
+		ship := &exec.Ship{Name: name, Child: comp.op, Link: link, Point: pt, Site: rel.Site}
+		if len(comp.tables) > 0 {
+			ship.Table = comp.tables[0]
+		}
+		comp.op = ship
 		comp.points = append(comp.points, pt)
 	}
 	return comp, nil
@@ -392,6 +402,7 @@ func (o *builder) buildJoin(b *plan.Block, l, r *component, used []bool, name st
 		merged.distinct[g] = d
 	}
 	merged.est = l.est * r.est * sel
+	merged.tables = append(append([]string(nil), l.tables...), r.tables...)
 	if merged.est < 1 {
 		merged.est = 1
 	}
@@ -568,6 +579,7 @@ func (o *builder) newPointForOutput(b *plan.Block, comp *component, name string)
 		Schema:         comp.op.Schema(),
 		Bank:           exec.NewFilterBank(),
 		Stateful:       true,
+		Tables:         append([]string(nil), comp.tables...),
 		EstRows:        comp.est,
 		DomainDistinct: make([]float64, len(outEq)),
 	}

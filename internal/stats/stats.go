@@ -24,6 +24,9 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// reset zeroes the counter (registry pooling; no concurrent users).
+func (c *Counter) reset() { c.v.Store(0) }
+
 // Gauge tracks a current value and its high-water mark.
 type Gauge struct {
 	cur  atomic.Int64
@@ -67,7 +70,26 @@ type OpStats struct {
 	StateRows  Counter // tuples buffered into operator state
 	StateBytes Gauge   // bytes of buffered state (current/peak)
 
+	Attempts    Counter // remote interactions attempted (first tries + retries)
+	Retries     Counter // re-attempts after a failed remote interaction
+	WastedBytes Counter // modeled bytes consumed by attempts that failed
+
 	parts []PartStats // per-partition state counters; nil for unpartitioned ops
+}
+
+// reset returns the block to its zero state for reuse (registry pooling).
+func (o *OpStats) reset() {
+	o.Name, o.Class = "", ""
+	o.In.reset()
+	o.Out.reset()
+	o.Pruned.reset()
+	o.StateRows.reset()
+	o.StateBytes.cur.Store(0)
+	o.StateBytes.peak.Store(0)
+	o.Attempts.reset()
+	o.Retries.reset()
+	o.WastedBytes.reset()
+	o.parts = nil
 }
 
 // SetPartitions sizes the per-partition counter blocks. Partitioned
@@ -104,27 +126,70 @@ func (o *OpStats) PartitionSkew() (maxRows, meanRows int64) {
 
 // Registry aggregates the OpStats of one query execution.
 type Registry struct {
-	mu  sync.Mutex
-	ops []*OpStats
+	mu   sync.Mutex
+	ops  []*OpStats
+	free []*OpStats // retired blocks awaiting reuse (registry pooling)
 
-	FilterBytes   Counter // memory spent on AIP summary structures
-	FiltersMade   Counter // AIP sets constructed
-	FiltersUsed   Counter // filter injections performed
-	NetworkBytes  Counter // bytes shipped across simulated links
-	FilterNetWork Counter // of which, AIP filter payloads
+	FilterBytes        Counter // memory spent on AIP summary structures
+	FiltersMade        Counter // AIP sets constructed
+	FiltersUsed        Counter // filter injections performed
+	NetworkBytes       Counter // bytes shipped across simulated links
+	FilterNetWork      Counter // of which, AIP filter payloads
+	BreakerTransitions Counter // circuit-breaker state changes across sites
 }
 
 // NewRegistry creates an empty stats registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+var registryPool = sync.Pool{New: func() any { return &Registry{} }}
+
+// GetRegistry returns a pooled, zeroed registry. Pair with Release once no
+// goroutine can touch the registry or any OpStats handed out from it — the
+// engine's pooled-stats mode waits for every operator goroutine to exit
+// before releasing. Saves the per-query allocation of the registry and its
+// OpStats blocks on hot serving paths.
+func GetRegistry() *Registry { return registryPool.Get().(*Registry) }
+
+// Release resets the registry and returns it to the pool. The caller must
+// guarantee exclusive access: no operator may still hold an OpStats from it.
+func (r *Registry) Release() {
+	r.Reset()
+	registryPool.Put(r)
+}
+
+// Reset clears all counters and retires the operator blocks for reuse by
+// later NewOp calls. Callers must have exclusive access.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	for _, op := range r.ops {
+		op.reset()
+	}
+	r.free = append(r.free, r.ops...)
+	r.ops = r.ops[:0]
+	r.mu.Unlock()
+	r.FilterBytes.reset()
+	r.FiltersMade.reset()
+	r.FiltersUsed.reset()
+	r.NetworkBytes.reset()
+	r.FilterNetWork.reset()
+	r.BreakerTransitions.reset()
+}
+
 // NewOp registers and returns a stats block for a named operator. The
 // operator class is derived from the conventional "kind:name" form.
 func (r *Registry) NewOp(name string) *OpStats {
-	op := &OpStats{Name: name}
+	r.mu.Lock()
+	var op *OpStats
+	if n := len(r.free); n > 0 {
+		op = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		op = &OpStats{}
+	}
+	op.Name = name
 	if i := strings.IndexByte(name, ':'); i > 0 {
 		op.Class = name[:i]
 	}
-	r.mu.Lock()
 	r.ops = append(r.ops, op)
 	r.mu.Unlock()
 	return op
@@ -181,6 +246,25 @@ func (r *Registry) TotalPruned() int64 {
 	return total
 }
 
+// TotalRetries sums remote-interaction re-attempts across operators.
+func (r *Registry) TotalRetries() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.Retries.Load()
+	}
+	return total
+}
+
+// TotalWastedBytes sums the modeled bytes consumed by failed remote
+// attempts across operators — bandwidth the recovery layer burned.
+func (r *Registry) TotalWastedBytes() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.WastedBytes.Load()
+	}
+	return total
+}
+
 // Report renders a per-operator table, sorted by name, for debugging and
 // the CLI's -v mode.
 func (r *Registry) Report() string {
@@ -193,11 +277,22 @@ func (r *Registry) Report() string {
 			mx, mean := op.PartitionSkew()
 			parts = fmt.Sprintf("P=%d max/mean=%d/%d", n, mx, mean)
 		}
+		if a := op.Attempts.Load(); a > 0 {
+			if parts != "" {
+				parts += " "
+			}
+			parts += fmt.Sprintf("attempts=%d retries=%d wasted=%dB",
+				a, op.Retries.Load(), op.WastedBytes.Load())
+		}
 		out += fmt.Sprintf("%-40s %10d %10d %10d %12d %s\n",
 			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak(), parts)
 	}
 	out += fmt.Sprintf("filters: made=%d used=%d bytes=%d; network bytes=%d (filters %d)\n",
 		r.FiltersMade.Load(), r.FiltersUsed.Load(), r.FilterBytes.Load(),
 		r.NetworkBytes.Load(), r.FilterNetWork.Load())
+	if t := r.BreakerTransitions.Load() + r.TotalRetries(); t > 0 {
+		out += fmt.Sprintf("recovery: retries=%d wasted-bytes=%d breaker-transitions=%d\n",
+			r.TotalRetries(), r.TotalWastedBytes(), r.BreakerTransitions.Load())
+	}
 	return out
 }

@@ -16,6 +16,21 @@
 // letting its deadline expire) drains every operator goroutine promptly and
 // surfaces context.Canceled / context.DeadlineExceeded from the query.
 //
+// Sources can be unreliable. Options.Faults injects deterministic, seeded
+// failures (transient errors, drops, stalls, mid-flight cuts) into remote
+// links and delayed scans; every remote interaction then runs under
+// Options.Retry — bounded retries with capped exponential backoff and
+// jitter, per-attempt timeouts, and a per-site circuit breaker — without
+// changing the answer: a query that completes under faults returns exactly
+// the fault-free result. When a source stays dead through the whole retry
+// budget, Options.OnSourceFailure picks the contract: FailOnSourceError
+// (default) fails the query with a typed *SourceError naming the table,
+// site, attempts, and cause; PartialOnSourceError completes the query
+// without the dead source's tuples, with Result.IncompleteTables (and
+// Rows.IncompleteTables, mid-stream) stating exactly what is missing —
+// degraded results are annotated, never silently wrong. Recovery work is
+// accounted in Result.Retries / WastedBytes / BreakerTransitions.
+//
 // Quick start — blocking execution:
 //
 //	cat := sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.01})
@@ -114,8 +129,38 @@ type Topology = network.Topology
 // Link models one network connection.
 type Link = network.Link
 
-// DelayConfig reproduces the paper's slow-source model.
+// DelayConfig reproduces the paper's slow-source model, extended with
+// bursty pauses and fault injection for chaos testing.
 type DelayConfig = exec.DelayConfig
+
+// FaultProfile parameterizes deterministic fault injection: per-interaction
+// drop / stall / transient-error / cut-after-N-bytes probabilities drawn
+// from a seed, so chaos runs reproduce exactly.
+type FaultProfile = network.FaultProfile
+
+// RetryPolicy bounds the recovery machinery for remote and flaky sources:
+// bounded retries, capped exponential backoff with jitter, per-attempt
+// timeouts, and per-site circuit breakers. Zero fields mean defaults.
+type RetryPolicy = network.RetryPolicy
+
+// FailureMode selects what a query does when a source stays dead after
+// recovery is exhausted.
+type FailureMode = exec.FailureMode
+
+// Failure modes for Options.OnSourceFailure.
+const (
+	// FailOnSourceError (default): the query fails with a *SourceError.
+	FailOnSourceError = exec.FailOnSourceError
+	// PartialOnSourceError: the query completes without the dead source's
+	// remaining tuples; Result.IncompleteTables names what is missing.
+	PartialOnSourceError = exec.PartialOnSourceError
+)
+
+// SourceError is the typed failure of a source that stayed dead through the
+// recovery policy: it names the table, its site, how many attempts were
+// made, and the final cause. Queries running with FailOnSourceError surface
+// it from Query / Rows.Err (unwrap with errors.As).
+type SourceError = exec.SourceError
 
 // SummaryKind selects the AIP-set representation (Bloom or hash set).
 type SummaryKind = core.SummaryKind
@@ -177,6 +222,26 @@ type Options struct {
 	// disk-streamed experiments did. Zero leaves scans unpaced.
 	SourceBytesPerSec int64
 
+	// Faults injects deterministic failures into the unreliable parts of
+	// the query: the default topology's links (when Topology is nil) and
+	// the scans of DelayedTables (unless Delay.Fault is already set). An
+	// explicitly provided Topology keeps its own per-link fault profiles.
+	// nil runs reliably.
+	Faults *FaultProfile
+
+	// Retry bounds the recovery policy applied to every remote or flaky
+	// interaction: bounded retries with capped exponential backoff and
+	// jitter, per-attempt timeouts, and per-site circuit breakers. Zero
+	// fields mean the defaults (3 retries, 2s attempt timeout, 10ms–500ms
+	// backoff ±20%, breaker at 5 consecutive failures with 500ms cooldown).
+	Retry RetryPolicy
+
+	// OnSourceFailure selects fail-fast (FailOnSourceError, the default:
+	// the query fails with a typed *SourceError) or graceful degradation
+	// (PartialOnSourceError: the query completes without the dead source's
+	// tuples and Result.IncompleteTables says what is missing).
+	OnSourceFailure FailureMode
+
 	// Parallelism is the radix-partition fan-out of the stateful operators
 	// (hash join, aggregation, distinct): how many cores a single operator
 	// can saturate. Zero means GOMAXPROCS; the executor rounds it down to a
@@ -192,17 +257,27 @@ type Options struct {
 }
 
 func (o Options) delay() *exec.DelayConfig {
-	if o.Delay != nil {
-		return o.Delay
+	d := o.Delay
+	if d == nil {
+		d = &exec.DelayConfig{Initial: 100 * time.Millisecond, EveryN: 1000, Pause: 5 * time.Millisecond}
 	}
-	return &exec.DelayConfig{Initial: 100 * time.Millisecond, EveryN: 1000, Pause: 5 * time.Millisecond}
+	if o.Faults != nil && d.Fault == nil {
+		dd := *d
+		dd.Fault = o.Faults
+		return &dd
+	}
+	return d
 }
 
 func (o Options) topology() *network.Topology {
 	if o.Topology != nil {
 		return o.Topology
 	}
-	return network.NewTopology(&network.Link{BytesPerSec: network.Mbps(100), Latency: time.Millisecond})
+	return network.NewTopology(&network.Link{
+		BytesPerSec: network.Mbps(100),
+		Latency:     time.Millisecond,
+		Faults:      o.Faults,
+	})
 }
 
 // Result is the outcome of one query execution.
@@ -232,9 +307,29 @@ type Result struct {
 	// NetworkBytes counts simulated network traffic.
 	NetworkBytes int64
 
-	// Stats exposes the full per-operator registry.
+	// Retries counts remote-interaction re-attempts the recovery layer
+	// made; WastedBytes is the simulated bandwidth consumed by attempts
+	// that failed; BreakerTransitions counts circuit-breaker state changes
+	// across all sites. All zero for a fault-free run.
+	Retries            int64
+	WastedBytes        int64
+	BreakerTransitions int64
+
+	// IncompleteTables lists the sources this result is missing (only under
+	// OnSourceFailure: PartialOnSourceError): one SourceError per dead
+	// table, sorted by table name. Empty means the result is complete.
+	IncompleteTables []*SourceError
+
+	// Stats exposes the full per-operator registry. It is nil when the
+	// engine runs with EngineConfig.PooledStats (the registry is recycled
+	// when the cursor finishes); the scalar counters above are always
+	// populated.
 	Stats *stats.Registry
 }
+
+// Complete reports whether the result covers every source (no tables were
+// abandoned under PartialOnSourceError).
+func (r *Result) Complete() bool { return len(r.IncompleteTables) == 0 }
 
 // DefaultPlanCacheSize is the default capacity (in plans) of the engine's
 // LRU plan cache.
@@ -257,15 +352,24 @@ type EngineConfig struct {
 	// further callers block in admission until a slot frees (or their
 	// context is cancelled). Zero means unlimited.
 	MaxConcurrentQueries int
+
+	// PooledStats recycles the per-query stats registry (and its
+	// per-operator counter blocks) through a pool instead of allocating
+	// them per execution, removing a fixed per-query cost on hot serving
+	// paths. In pooled mode Result.Stats is nil — the registry is reclaimed
+	// once the cursor finishes, after every operator goroutine has exited —
+	// while the scalar Result counters are still populated.
+	PooledStats bool
 }
 
 // Engine executes queries against a catalog. It is safe for concurrent use:
 // many goroutines may Query/QueryStream/Prepare on one engine at once, with
 // admission bounded by EngineConfig.MaxConcurrentQueries.
 type Engine struct {
-	cat   *catalog.Catalog
-	cache *planCache    // nil when disabled
-	sem   chan struct{} // nil when unlimited
+	cat    *catalog.Catalog
+	cache  *planCache    // nil when disabled
+	sem    chan struct{} // nil when unlimited
+	pooled bool          // recycle per-query stats registries
 }
 
 // NewEngine creates an engine over the catalog with the default config.
@@ -273,7 +377,7 @@ func NewEngine(cat *Catalog) *Engine { return NewEngineWithConfig(cat, EngineCon
 
 // NewEngineWithConfig creates an engine with explicit limits.
 func NewEngineWithConfig(cat *Catalog, cfg EngineConfig) *Engine {
-	e := &Engine{cat: cat}
+	e := &Engine{cat: cat, pooled: cfg.PooledStats}
 	size := cfg.PlanCacheSize
 	if size == 0 {
 		size = DefaultPlanCacheSize

@@ -102,7 +102,12 @@ func planKey(sql string, opts Options) string {
 		sort.Strings(names)
 		sb.WriteString(strings.Join(names, ","))
 		d := opts.delay()
-		fmt.Fprintf(&sb, "@%v/%d/%v", d.Initial, d.EveryN, d.Pause)
+		fmt.Fprintf(&sb, "@%v/%d/%v/%d/%v", d.Initial, d.EveryN, d.Pause, d.BurstEveryN, d.BurstPause)
+		if d.Fault != nil {
+			// The fault profile is baked into the compiled scans; its full
+			// value keys the plan so different chaos profiles never share.
+			fmt.Fprintf(&sb, "!%+v", *d.Fault)
+		}
 	}
 	sb.WriteByte(0)
 	if len(opts.RemoteTables) > 0 {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/network"
 	"repro/internal/stats"
 )
 
@@ -79,13 +80,32 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 	}
 
 	reg := stats.NewRegistry()
-	// Controllers are per-run: they hold per-query filter bookkeeping and
-	// write into this execution's registry.
-	ctl := e.controller(opts, p, reg)
+	if e.pooled {
+		reg = stats.GetRegistry()
+	}
 
-	ectx := exec.NewContext(reg, ctl)
+	ectx := exec.NewContext(reg, nil)
 	ectx.Parallelism = opts.Parallelism
 	ectx.PipelineDepth = opts.PipelineDepth
+
+	// Recovery: per-query breaker set (transitions feed the registry) plus
+	// the retry policy and failure mode from the options.
+	breakers := network.NewBreakerSet(opts.Retry.WithDefaults())
+	breakers.OnTransition = func(site int, from, to network.BreakerState) {
+		reg.BreakerTransitions.Inc()
+	}
+	ectx.Recovery = exec.Recovery{
+		Policy:   opts.Retry,
+		Breakers: breakers,
+		Mode:     opts.OnSourceFailure,
+	}
+
+	// Controllers are per-run: they hold per-query filter bookkeeping and
+	// write into this execution's registry. Built after the context so
+	// their filter shipments can run under its recovery policy.
+	ctl := e.controller(opts, p, reg, ectx)
+	ectx.Ctl = ctl
+
 	for _, pt := range inst.Points {
 		ectx.Register(pt)
 	}
@@ -111,6 +131,7 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 			out:       ch,
 			ectx:      ectx,
 			reg:       reg,
+			pooled:    e.pooled,
 			start:     start,
 			stopWatch: stopWatch,
 			release:   release,
@@ -124,6 +145,7 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 		out:       out,
 		ectx:      ectx,
 		reg:       reg,
+		pooled:    e.pooled,
 		start:     start,
 		stopWatch: stopWatch,
 		release:   release,
@@ -132,7 +154,7 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 
 // controller builds the per-execution AIP controller (nil for
 // Baseline/Magic). Strategy validity was checked by start.
-func (e *Engine) controller(opts Options, p *enginePlan, reg *stats.Registry) exec.Controller {
+func (e *Engine) controller(opts Options, p *enginePlan, reg *stats.Registry, ectx *exec.Context) exec.Controller {
 	switch opts.Strategy {
 	case FeedForward, CostBased:
 		copts := core.Options{
@@ -144,6 +166,12 @@ func (e *Engine) controller(opts Options, p *enginePlan, reg *stats.Registry) ex
 		}
 		if opts.Cost != nil {
 			copts.Cost = *opts.Cost
+		}
+		if p.topo != nil {
+			// Remote filter shipments run under the query's recovery
+			// policy (retries, per-attempt timeouts, site breakers) and
+			// account their attempts on a dedicated operator row.
+			copts.ShipFilter = ectx.FilterShipper(reg.NewOp("ship:aip-filters"))
 		}
 		if opts.Strategy == FeedForward {
 			return core.NewFeedForward(copts)
@@ -177,10 +205,11 @@ var errRowsClosed = errors.New("sip: rows closed")
 // and releases the engine's admission slot; it is safe to call at any time
 // and more than once. A Rows is not safe for concurrent use.
 type Rows struct {
-	sch  *Schema
-	out  <-chan exec.Batch
-	ectx *exec.Context
-	reg  *stats.Registry
+	sch    *Schema
+	out    <-chan exec.Batch
+	ectx   *exec.Context
+	reg    *stats.Registry
+	pooled bool // recycle reg once the cursor finishes
 
 	start     time.Time
 	stopWatch func()
@@ -228,9 +257,17 @@ func (r *Rows) Next() bool {
 func (r *Rows) Row() Row { return r.row }
 
 // Err returns the terminal error: context.Canceled or
-// context.DeadlineExceeded when the bound context fired, nil after normal
+// context.DeadlineExceeded when the bound context fired, a *SourceError
+// when a source stayed dead under FailOnSourceError, nil after normal
 // exhaustion or a consumer-initiated Close.
 func (r *Rows) Err() error { return r.err }
+
+// IncompleteTables lists the sources the query has given up on so far
+// (OnSourceFailure: PartialOnSourceError), one SourceError per dead table,
+// sorted by table. During streaming the list can still grow; after
+// exhaustion or Close it is final and matches Result.IncompleteTables.
+// Empty means the rows delivered so far cover every source.
+func (r *Rows) IncompleteTables() []*SourceError { return r.ectx.IncompleteSources() }
 
 // Close cancels the query if it is still running, drains every operator
 // goroutine, and releases the engine admission slot. Always returns nil;
@@ -304,17 +341,31 @@ func (r *Rows) finish() {
 		r.err = err
 	}
 	reg := r.reg
+	if r.pooled {
+		// Quiescence before recycling: every operator goroutine must have
+		// exited before the registry (whose counters they write) is reset
+		// and reused by another query.
+		r.ectx.Wait()
+	}
 	r.res = &Result{
-		Schema:          r.sch,
-		Duration:        dur,
-		PeakStateBytes:  reg.PeakStateBytes(),
-		FiltersCreated:  reg.FiltersMade.Load(),
-		FiltersInjected: reg.FiltersUsed.Load(),
-		TuplesPruned:    reg.TotalPruned(),
-		TuplesProcessed: reg.TotalIn(),
-		TuplesScanned:   reg.TotalScanned(),
-		NetworkBytes:    reg.NetworkBytes.Load(),
-		Stats:           reg,
+		Schema:             r.sch,
+		Duration:           dur,
+		PeakStateBytes:     reg.PeakStateBytes(),
+		FiltersCreated:     reg.FiltersMade.Load(),
+		FiltersInjected:    reg.FiltersUsed.Load(),
+		TuplesPruned:       reg.TotalPruned(),
+		TuplesProcessed:    reg.TotalIn(),
+		TuplesScanned:      reg.TotalScanned(),
+		NetworkBytes:       reg.NetworkBytes.Load(),
+		Retries:            reg.TotalRetries(),
+		WastedBytes:        reg.TotalWastedBytes(),
+		BreakerTransitions: reg.BreakerTransitions.Load(),
+		IncompleteTables:   r.ectx.IncompleteSources(),
+		Stats:              reg,
+	}
+	if r.pooled {
+		r.res.Stats = nil
+		reg.Release()
 	}
 }
 
