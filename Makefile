@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench benchdiff verify
+.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench benchdiff verify
 
 all: build
 
@@ -24,11 +24,12 @@ bench:
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
 
 # test-race: the executor's concurrency tests (partitioned join/agg
-# determinism, cancellation), the scalar-vs-vectorized expression
-# differential tests, and the network fault/breaker tests under the race
-# detector.
+# determinism, cancellation, the morsel scheduler differentials), the
+# work-stealing pool's park/steal races, the scalar-vs-vectorized
+# expression differential tests, and the network fault/breaker tests under
+# the race detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/core ./internal/expr ./internal/network .
+	$(GO) test -race ./internal/exec ./internal/sched ./internal/core ./internal/expr ./internal/network .
 
 # chaos: the full fault-injection matrix (seeds × fault profiles ×
 # Fail/Partial × strategies) plus the recovery smoke tests, under the race
@@ -56,6 +57,13 @@ exprbench:
 # PR's entry.
 stmtbench:
 	$(GO) run ./cmd/sipbench -stmtbench
+
+# schedbench: measure the chan-vs-morsel scheduler comparison (P=1 head to
+# head plus the morsel pool's P ∈ {1,2,4,8} scaling curve) and record it on
+# the latest BENCH_joins.json entry. Run after joinbench so the section
+# lands on this PR's entry.
+schedbench:
+	$(GO) run ./cmd/sipbench -schedbench
 
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.

@@ -11,11 +11,15 @@
 // Both recorded rates are checked per strategy: input_tuples_per_sec (the
 // plan-shape-independent volume) and operator_tuples_per_sec. The
 // expression microbench section (sipbench -exprbench) is gated the same
-// way: scalar and vectorized tuples/s per shape. Entries with fewer than
+// way: scalar and vectorized tuples/s per shape; so is the scheduler
+// section (sipbench -schedbench), which additionally carries an intra-entry
+// gate — morsel within tolerance of chan at P=1. Entries with fewer than
 // two data points pass trivially, as do strategy names present in only one
-// entry. Entries measured on machines with different core counts are
-// compared anyway but flagged, since parallel-join throughput scales with
-// the machine.
+// entry. Entries recorded on different machines (the machine string
+// includes core count and CPU model) are printed for reference but do not
+// gate: throughput across different silicon is not a regression signal.
+// Intra-entry gates, which compare cells measured in the same run, always
+// apply.
 package main
 
 import (
@@ -49,6 +53,12 @@ type stmtCell struct {
 	PreparedQPS float64 `json:"prepared_queries_per_sec"`
 }
 
+type schedCell struct {
+	Scheduler         string  `json:"scheduler"`
+	Parallelism       int     `json:"parallelism"`
+	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
+}
+
 type entry struct {
 	Generated       string         `json:"generated"`
 	Machine         string         `json:"machine"`
@@ -56,6 +66,7 @@ type entry struct {
 	ParallelScaling []scalingCell  `json:"parallel_scaling"`
 	ExprMicrobench  []exprCell     `json:"expr_microbench"`
 	StmtMicrobench  []stmtCell     `json:"stmt_microbench"`
+	SchedBench      []schedCell    `json:"sched_bench"`
 }
 
 type trajectory struct {
@@ -83,8 +94,14 @@ func main() {
 		return
 	}
 	prev, cur := tr.Entries[len(tr.Entries)-2], tr.Entries[len(tr.Entries)-1]
-	if prev.Machine != "" && cur.Machine != "" && prev.Machine != cur.Machine {
-		fmt.Printf("benchdiff: note: machines differ (%q vs %q), throughput comparison is approximate\n",
+	// Throughput on different silicon is not comparable: when the machine
+	// string changes between entries the PR-over-PR diffs are printed for
+	// reference but do not gate (the intra-entry scheduler floor still
+	// does). The string includes the CPU model where available, so
+	// same-image runs on a new host are caught, not just core-count changes.
+	sameMachine := prev.Machine == "" || cur.Machine == "" || prev.Machine == cur.Machine
+	if !sameMachine {
+		fmt.Printf("benchdiff: note: machines differ (%q vs %q); cross-entry throughput shown for reference only\n",
 			prev.Machine, cur.Machine)
 	}
 
@@ -94,18 +111,31 @@ func main() {
 	}
 
 	failed := false
-	check := func(strategy, metric string, old, new float64) {
+	// gated compares against the previous entry (suspended across machine
+	// changes); intra flags regressions within the current entry alone and
+	// always gates.
+	diff := func(gating bool, strategy, metric string, old, new float64) {
 		if old <= 0 || new <= 0 {
 			return // metric absent in one of the entries (pre-split layout)
 		}
 		change := new/old - 1
 		status := "ok"
 		if change < -*tolerance {
-			status = "REGRESSION"
-			failed = true
+			if gating {
+				status = "REGRESSION"
+				failed = true
+			} else {
+				status = "machine-changed"
+			}
 		}
 		fmt.Printf("%-14s %-24s %14.0f -> %14.0f  %+6.1f%%  %s\n",
 			strategy, metric, old, new, change*100, status)
+	}
+	check := func(strategy, metric string, old, new float64) {
+		diff(sameMachine, strategy, metric, old, new)
+	}
+	intra := func(strategy, metric string, old, new float64) {
+		diff(true, strategy, metric, old, new)
 	}
 	for _, c := range cur.Strategies {
 		p, ok := prevBy[c.Strategy]
@@ -157,6 +187,42 @@ func main() {
 			check("stmt:"+c.Name, "cached_queries_per_sec", p.CachedQPS, c.CachedQPS)
 			check("stmt:"+c.Name, "prepared_queries_per_sec", p.PreparedQPS, c.PreparedQPS)
 		}
+	}
+	// Scheduler benchmark (sipbench -schedbench). Two gates: per
+	// (scheduler, P) cell against the previous entry — same-machine only,
+	// like parallel_scaling, since the curve is core-bound — and an
+	// intra-entry floor that holds even on the section's first appearance:
+	// the morsel pool at P=1 must stay within tolerance of the chan
+	// pipeline at P=1, so the work-stealing path never ships with a
+	// single-core overhead regression hidden behind its scaling wins.
+	if prev.Machine == cur.Machine {
+		prevSched := map[string]schedCell{}
+		for _, c := range prev.SchedBench {
+			prevSched[fmt.Sprintf("%s/%d", c.Scheduler, c.Parallelism)] = c
+		}
+		for _, c := range cur.SchedBench {
+			if p, ok := prevSched[fmt.Sprintf("%s/%d", c.Scheduler, c.Parallelism)]; ok {
+				check(fmt.Sprintf("sched %s P=%d", c.Scheduler, c.Parallelism),
+					"input_tuples_per_sec", p.InputTuplesPerSec, c.InputTuplesPerSec)
+			}
+		}
+	} else if len(cur.SchedBench) > 0 {
+		fmt.Println("benchdiff: note: sched_bench not compared across different machines")
+	}
+	var chanP1, morselP1 float64
+	for _, c := range cur.SchedBench {
+		if c.Parallelism != 1 {
+			continue
+		}
+		switch c.Scheduler {
+		case "chan":
+			chanP1 = c.InputTuplesPerSec
+		case "morsel":
+			morselP1 = c.InputTuplesPerSec
+		}
+	}
+	if chanP1 > 0 && morselP1 > 0 {
+		intra("sched morsel-vs-chan", "P=1 input_tuples_per_sec", chanP1, morselP1)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs entry %s\n",

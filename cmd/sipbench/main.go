@@ -8,6 +8,7 @@
 //	sipbench -figure 13 -sf 0.1 -reps 5
 //	sipbench -query Q2A -strategy Feed-forward -v
 //	sipbench -joinbench                # write BENCH_joins.json
+//	sipbench -schedbench               # record the chan-vs-morsel section
 //
 // Output is the same series the paper's figures plot: per query, one
 // running-time (or intermediate-state) value per execution strategy, with
@@ -42,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	sip "repro"
@@ -66,15 +68,16 @@ func main() {
 		summary  = flag.Bool("summary", true, "print shape summary after each figure")
 		pipej    = flag.Int("pipedepth", 0, "per-edge channel buffer in batches (0 = executor default)")
 
-		joinbench = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
-		exprbench = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
-		stmtbench = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
-		benchout  = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench")
-		overwrite = flag.Bool("overwrite", false, "let -exprbench/-stmtbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
+		joinbench  = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
+		exprbench  = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
+		stmtbench  = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
+		schedbench = flag.Bool("schedbench", false, "run the chan-vs-morsel scheduler benchmark and record it in -benchout")
+		benchout   = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench")
+		overwrite  = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
 	)
 	flag.Parse()
 
-	if *joinbench || *exprbench || *stmtbench {
+	if *joinbench || *exprbench || *stmtbench || *schedbench {
 		if *joinbench {
 			if err := runJoinBench(*benchout, *reps); err != nil {
 				fatal(err)
@@ -87,6 +90,11 @@ func main() {
 		}
 		if *stmtbench {
 			if err := runStmtBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
+		}
+		if *schedbench {
+			if err := runSchedBench(*benchout, *reps, *overwrite); err != nil {
 				fatal(err)
 			}
 		}
@@ -200,8 +208,29 @@ type benchEntry struct {
 	ParallelScaling []scalingBench  `json:"parallel_scaling,omitempty"`
 }
 
+// machineString identifies the measuring machine, including the CPU model
+// when the platform exposes it: identical core counts on different silicon
+// produce throughput numbers that must not be diffed against each other,
+// and benchdiff keys its same-machine-only gates on this string.
 func machineString() string {
-	return fmt.Sprintf("%d-core %s/%s %s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH, runtime.Version())
+	s := fmt.Sprintf("%d-core %s/%s %s", runtime.NumCPU(), runtime.GOOS, runtime.GOARCH, runtime.Version())
+	if model := cpuModel(); model != "" {
+		s += " (" + model + ")"
+	}
+	return s
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // runJoinBench measures every strategy on the join-heavy query plus the

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// The scheduler benchmark compares the two execution schedulers head to
+// head on the partitioned join's Unique shape (scalingN tuples per side,
+// one match per tuple — the same shape the parallel_scaling section
+// measures):
+//
+//   - chan at P=1: the goroutine-per-operator pipeline, the engine default
+//     and the baseline every PR's trajectory has recorded so far.
+//   - morsel at P ∈ {1,2,4,8}: the work-stealing pool, whose scaling curve
+//     is the point of the morsel path and whose P=1 cost is its overhead
+//     floor (task dispatch + inboxes instead of channel sends).
+//
+// Each cell records the machine's core count: the curve flattens at
+// P > cores, so a cell is only interpretable next to that number. The
+// section is recorded on the latest BENCH_joins.json entry ("sched_bench");
+// `make benchdiff` gates it PR-over-PR per (scheduler, P) cell and — intra
+// entry, so it holds even on the section's first appearance — requires
+// morsel to stay within tolerance of chan at P=1.
+
+type schedBenchCell struct {
+	Scheduler         string  `json:"scheduler"`
+	Parallelism       int     `json:"parallelism"`
+	Cores             int     `json:"cores"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
+	SpeedupVsP1       float64 `json:"speedup_vs_p1"` // vs the same scheduler's P=1 cell
+}
+
+func runSchedBench(outPath string, reps int, overwrite bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	lrows := make([]types.Tuple, scalingN)
+	rrows := make([]types.Tuple, scalingN)
+	for i := 0; i < scalingN; i++ {
+		lrows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i))}
+		rrows[i] = types.Tuple{types.Int(int64(scalingN - 1 - i)), types.Int(int64(i))}
+	}
+	sch := func(b string) *types.Schema {
+		return types.NewSchema(
+			types.Column{Table: b, Name: "a", Kind: types.KindInt},
+			types.Column{Table: b, Name: b, Kind: types.KindInt},
+		)
+	}
+	run := func(scheduler string, p int) int {
+		l := &exec.Scan{Name: "l", Rows: lrows, Sch: sch("x")}
+		r := &exec.Scan{Name: "r", Rows: rrows, Sch: sch("y")}
+		j := exec.NewHashJoin("sched", l, r, []int{0}, []int{0}, nil)
+		ctx := exec.NewContext(stats.NewRegistry(), nil)
+		ctx.Parallelism = p
+		ctx.Scheduler = scheduler
+		rows, err := exec.Run(ctx, j)
+		if err != nil {
+			fatal(err)
+		}
+		return len(rows)
+	}
+	measure := func(scheduler string, p int) (time.Duration, error) {
+		run(scheduler, p) // warm-up
+		times := make([]time.Duration, reps)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if rows := run(scheduler, p); rows != scalingN {
+				return 0, fmt.Errorf("schedbench %s P=%d produced %d rows, want %d",
+					scheduler, p, rows, scalingN)
+			}
+			times[i] = time.Since(start)
+		}
+		sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+		return times[len(times)/2], nil
+	}
+
+	type level struct {
+		scheduler string
+		p         int
+	}
+	levels := []level{{exec.SchedulerChan, 1}, {exec.SchedulerMorsel, 1},
+		{exec.SchedulerMorsel, 2}, {exec.SchedulerMorsel, 4}, {exec.SchedulerMorsel, 8}}
+	cores := runtime.NumCPU()
+	var cells []schedBenchCell
+	p1 := map[string]float64{} // per scheduler: its P=1 rate, for SpeedupVsP1
+	for _, lv := range levels {
+		med, err := measure(lv.scheduler, lv.p)
+		if err != nil {
+			return err
+		}
+		cell := schedBenchCell{
+			Scheduler:         lv.scheduler,
+			Parallelism:       lv.p,
+			Cores:             cores,
+			NsPerOp:           med.Nanoseconds(),
+			InputTuplesPerSec: float64(2*scalingN) / med.Seconds(),
+		}
+		if base, ok := p1[lv.scheduler]; ok {
+			cell.SpeedupVsP1 = cell.InputTuplesPerSec / base
+		} else {
+			p1[lv.scheduler] = cell.InputTuplesPerSec
+			cell.SpeedupVsP1 = 1
+		}
+		cells = append(cells, cell)
+		fmt.Printf("sched %-6s P=%d %12v/op %12.0f input-tuples/sec %5.2fx (%d cores)\n",
+			lv.scheduler, lv.p, time.Duration(cell.NsPerOp).Round(time.Microsecond),
+			cell.InputTuplesPerSec, cell.SpeedupVsP1, cores)
+	}
+	return recordBenchSection(outPath, "sched_bench", cells, overwrite)
+}

@@ -10,6 +10,7 @@
 //	sipquery -strategy Cost-based -sf 0.05 -sql "..."
 //	sipquery -explain -sql "..."
 //	sipquery -timeout 5s -sql "..."
+//	sipquery -sched morsel -sql "..."
 //	sipquery -remote partsupp=1 -fault-transient 0.1 -partial -sql "..."
 //	echo "SELECT ..." | sipquery
 //
@@ -44,6 +45,7 @@ func main() {
 		delayed  = flag.String("delay", "", "comma-separated tables to delay per the paper's §VI-B model")
 		stats    = flag.Bool("stats", false, "print per-operator statistics")
 		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no deadline)")
+		sched    = flag.String("sched", "", "execution scheduler: chan (default) | morsel")
 
 		remote = flag.String("remote", "", "comma-separated table=site placements, e.g. partsupp=1 (site > 0)")
 
@@ -112,7 +114,8 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	opts := sip.Options{Strategy: strat, Retry: sip.RetryPolicy{MaxRetries: *retries, AttemptTimeout: *attemptTimeout}}
+	opts := sip.Options{Strategy: strat, Scheduler: *sched,
+		Retry: sip.RetryPolicy{MaxRetries: *retries, AttemptTimeout: *attemptTimeout}}
 	if *delayed != "" {
 		opts.DelayedTables = strings.Split(*delayed, ",")
 	}

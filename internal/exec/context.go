@@ -128,6 +128,19 @@ type Controller interface {
 // this, scatter/channel overhead dominates any added concurrency.
 const MaxPartitions = 64
 
+// Scheduler values for Context.Scheduler.
+const (
+	// SchedulerChan is the channel engine: one goroutine per operator per
+	// partition, glued by buffered channels. The default.
+	SchedulerChan = "chan"
+	// SchedulerMorsel is the morsel-driven work-stealing engine
+	// (internal/sched): a per-query worker pool runs the plan as small
+	// push-style tasks, scans range-split across workers, and stateless
+	// stages fuse into the producing task. Plans the morsel compiler does
+	// not support transparently fall back to the chan engine.
+	SchedulerMorsel = "morsel"
+)
+
 // Context carries per-query runtime state shared by all operators.
 type Context struct {
 	Stats *stats.Registry
@@ -144,7 +157,22 @@ type Context struct {
 	// channel (pipeline edges and partition scatter channels). Deeper
 	// buffers absorb producer/consumer rate jitter at the cost of more
 	// in-flight batches; zero or negative means DefaultPipelineDepth.
+	//
+	// This is a chan-scheduler knob: the morsel engine has no internal
+	// channels (operators fuse into tasks and partition handoff is an
+	// unbounded actor inbox drained as fast as workers allow) and uses
+	// PipelineDepth only for the root output edge feeding the consumer.
 	PipelineDepth int
+
+	// Scheduler selects the execution engine: SchedulerChan (default,
+	// also for "") or SchedulerMorsel. See StartPlan.
+	Scheduler string
+
+	// Load optionally reports the engine's concurrent-query load; the
+	// morsel scheduler divides its worker-pool size by it so a saturated
+	// server degrades parallelism instead of oversubscribing goroutines.
+	// Nil means a dedicated query.
+	Load func() int
 
 	// Recovery configures retries, timeouts, circuit breaking, and the
 	// failure mode for unreliable sources. The zero value uses the default
@@ -347,6 +375,20 @@ type Op interface {
 	Start(ctx *Context) <-chan Batch
 }
 
+// StartPlan launches a plan under the context's selected scheduler and
+// returns the root output channel. SchedulerMorsel compiles the plan onto
+// the work-stealing pool; plans it cannot run (unsupported operators,
+// worker-id overflow) fall back to the chan engine, so the result stream
+// is identical either way.
+func StartPlan(ctx *Context, root Op) <-chan Batch {
+	if ctx.Scheduler == SchedulerMorsel {
+		if out, ok := startMorsel(ctx, root); ok {
+			return out
+		}
+	}
+	return root.Start(ctx)
+}
+
 // Run executes a plan to completion and collects all output tuples. When
 // the context was cancelled (Cancel, CancelCause, or a bound standard
 // context firing) the possibly-truncated rows are returned alongside the
@@ -356,7 +398,7 @@ func Run(ctx *Context, root Op) ([]types.Tuple, error) {
 	if ctx.Ctl != nil {
 		ctx.Ctl.Begin()
 	}
-	rows := Collect(root.Start(ctx))
+	rows := Collect(StartPlan(ctx, root))
 	if ctx.Ctl != nil {
 		ctx.Ctl.End()
 	}

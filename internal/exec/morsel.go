@@ -1,0 +1,1448 @@
+package exec
+
+// This file is the morsel-driven execution path (Context.Scheduler =
+// SchedulerMorsel): instead of one goroutine per operator per partition
+// glued by channels, the plan is compiled into a chain of push-style
+// state machines (mChain) driven by a work-stealing worker pool
+// (internal/sched). One exec.Batch is one morsel.
+//
+//   - Scans range-split their table into morselScanRows chunks, each a
+//     pool task, so a single big scan uses every worker (the chan
+//     engine's one-goroutine-per-scan bottleneck disappears). Delayed,
+//     paced, or fault-injected scans stay sequential — their pacing and
+//     deterministic fault-draw sequence depend on flush order — and run
+//     on a dedicated goroutine with a pseudo worker id, so a sleeping
+//     source never occupies a pool worker.
+//   - Filter / Project / Ship fuse into the producing task: a scan chunk
+//     pushes its batches straight through them with no handoff.
+//   - The partitioned stateful operators (join, aggregation, distinct)
+//     keep the chan engine's radix layout, but the per-partition scatter
+//     channels become actor inboxes: a producing task enqueues a scatter
+//     and, if the partition has no active drain, schedules one as a pool
+//     task. The CAS claim serializes each partition (preserving the
+//     exactly-once ticket argument and the one-writer-per-slot OnStore
+//     contract) while letting any worker run the drain.
+//   - Pipeline-breaker barriers (input completion, PointDone, the §VI-A
+//     short-circuit, partial-result teardown) are task-count barriers:
+//     pending = 1 router hold + in-flight scatters, and completion runs
+//     exactly once when the count reaches zero after the upstream done
+//     cascade released the hold — the same protocol the chan join uses,
+//     generalized to every partitioned operator.
+//
+// The done cascade fires on normal completion and on partial-mode source
+// abandonment (matching the chan engine, where a truncated-but-uncancelled
+// input channel closing counts as completed input), and never under
+// cancellation: a push returns false only when the query is cancelled, so
+// "push returned false implies ctx.Err() != nil" holds everywhere and no
+// barrier can publish partial AIP state as complete.
+//
+// Plans containing operators this compiler does not know, or whose
+// worker-id space would exceed MaxPartitions, transparently fall back to
+// the chan engine.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// morselScanRows is the range-split granule of parallel scans: small
+// enough that a table splits across workers, large enough that per-task
+// overhead is amortized over many batches.
+const morselScanRows = 1024
+
+// mChain is one compiled operator stage. push delivers one batch from
+// pool worker (or pseudo-worker) w, consuming it; it returns false only
+// when the query has been cancelled. done signals that one upstream input
+// has delivered its last batch; every push of that input happens-before
+// its done. Implementations must tolerate concurrent push calls from
+// different worker ids.
+type mChain interface {
+	push(w int, b Batch) bool
+	done(w int)
+}
+
+// morselRun is the shared state of one morsel-scheduled execution.
+type morselRun struct {
+	ctx  *Context
+	pool *sched.Pool
+	nw   int // worker-id space: pool workers + sequential-source pseudo ids
+	out  chan Batch
+
+	rootDone chan struct{}
+	rootOnce sync.Once
+
+	seqWg   sync.WaitGroup
+	nextSeq int // next pseudo-worker id (starts at the pool size)
+
+	starts []func() // per-scan launch closures, run after the pool starts
+}
+
+// morselSurvey is the first compile pass: operator support check, scan
+// classification, and total base-table cardinality for the worker clamp.
+type morselSurvey struct {
+	seq  int   // sequential sources (delayed / paced / fault-injected)
+	rows int64 // total base-table rows
+}
+
+// scanSequential reports whether a scan must run as a single ordered
+// stream: pacing and delay model flush boundaries, and the deterministic
+// fault injector draws one decision per flush, so range-splitting such a
+// scan would change the failure sequence a seed reproduces.
+func scanSequential(s *Scan) bool {
+	return s.Delay != nil || s.BytesPerSec > 0
+}
+
+func surveyMorsel(op Op, sv *morselSurvey) bool {
+	switch o := op.(type) {
+	case *Scan:
+		if scanSequential(o) {
+			sv.seq++
+		}
+		sv.rows += int64(len(o.Rows))
+		return true
+	case *Filter:
+		return surveyMorsel(o.Child, sv)
+	case *Project:
+		return surveyMorsel(o.Child, sv)
+	case *Ship:
+		return surveyMorsel(o.Child, sv)
+	case *HashJoin:
+		return surveyMorsel(o.Left, sv) && surveyMorsel(o.Right, sv)
+	case *HashAgg:
+		return surveyMorsel(o.Child, sv)
+	case *Distinct:
+		return surveyMorsel(o.Child, sv)
+	default:
+		return false
+	}
+}
+
+// startMorsel compiles and launches root on the work-stealing pool. It
+// reports false when the plan cannot run on the morsel path (unknown
+// operator, worker-id space overflow); the caller falls back to the chan
+// engine.
+//
+// The pool size is adaptive: Parallelism (GOMAXPROCS by default), clamped
+// by the plan's total base-table cardinality exactly like the partition
+// fan-out, then divided by the engine's concurrent-query load (Context.
+// Load) so a saturated server runs more queries with fewer workers each
+// instead of oversubscribing goroutines.
+func startMorsel(ctx *Context, root Op) (<-chan Batch, bool) {
+	var sv morselSurvey
+	if !surveyMorsel(root, &sv) {
+		return nil, false
+	}
+	w := ctx.partitions()
+	w = clampPartitions(w, float64(sv.rows))
+	if ctx.Load != nil {
+		if l := ctx.Load(); l > 1 {
+			w /= l
+			if w < 1 {
+				w = 1
+			}
+		}
+	}
+	if w+sv.seq > MaxPartitions {
+		// Worker ids double as OnStore slots, which are capped at
+		// MaxPartitions; an absurdly wide plan keeps the chan engine.
+		return nil, false
+	}
+	r := &morselRun{
+		ctx:      ctx,
+		pool:     sched.New(w),
+		out:      make(chan Batch, ctx.pipeDepth()),
+		rootDone: make(chan struct{}),
+	}
+	r.nextSeq = r.pool.Workers()
+	r.nw = r.pool.Workers() + sv.seq
+	r.build(root, &mSink{run: r})
+	r.pool.Start(ctx.Spawn)
+	for _, f := range r.starts {
+		f()
+	}
+	// Supervisor: tear the pool down once the root's completion barrier
+	// fires or the query is cancelled. Workers blocked on the root edge
+	// always select on the cancel channel, so Wait terminates; the output
+	// channel closes only after every producer has provably exited.
+	ctx.Spawn(func() {
+		select {
+		case <-r.rootDone:
+		case <-ctx.Cancelled():
+		}
+		r.pool.Stop()
+		r.pool.Wait()
+		r.seqWg.Wait()
+		st := r.pool.Stats()
+		ctx.Stats.RecordSched(st.Workers, st.Morsels, st.Steals, st.Parks, st.Unparks, st.Busy)
+		close(r.out)
+	})
+	return r.out, true
+}
+
+// build compiles op and its inputs onto the chain ending at down.
+// surveyMorsel vetted the tree, so the type switch is exhaustive.
+func (r *morselRun) build(op Op, down mChain) {
+	switch o := op.(type) {
+	case *Scan:
+		r.buildScan(o, down)
+	case *Filter:
+		r.build(o.Child, newMFilter(r, o, down))
+	case *Project:
+		r.build(o.Child, newMProject(r, o, down))
+	case *Ship:
+		r.build(o.Child, newMShip(r, o, down))
+	case *HashJoin:
+		m := newMJoin(r, o, down)
+		r.build(o.Left, &mJoinSide{j: m, side: 0})
+		r.build(o.Right, &mJoinSide{j: m, side: 1})
+	case *HashAgg:
+		r.build(o.Child, newMAgg(r, o, down))
+	case *Distinct:
+		r.build(o.Child, newMDistinct(r, o, down))
+	default:
+		panic("exec: operator escaped the morsel survey")
+	}
+}
+
+// mSink is the chain terminator: batches go to the run's output channel,
+// and the root done cascade fires the completion barrier.
+type mSink struct{ run *morselRun }
+
+func (s *mSink) push(w int, b Batch) bool { return send(s.run.ctx, s.run.out, b) }
+
+func (s *mSink) done(w int) {
+	s.run.rootOnce.Do(func() { close(s.run.rootDone) })
+}
+
+// mInbox is a partition's actor inbox: producers enqueue scatters from
+// any worker, and a CAS claim guarantees at most one drain owns the
+// partition state at a time. The drain releases the claim only after
+// re-checking the queue, so an enqueue that lost the CAS race is always
+// observed by the active drain or re-claims itself.
+type mInbox struct {
+	running atomic.Int32
+	mu      sync.Mutex
+	queue   []*scatter
+}
+
+// put enqueues sb; true means the caller won the claim and must schedule
+// a drain.
+func (ib *mInbox) put(sb *scatter) bool {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, sb)
+	ib.mu.Unlock()
+	return ib.running.CompareAndSwap(0, 1)
+}
+
+// drainLoop runs process over queued scatters until the inbox is empty,
+// then releases the claim. process returns false to abandon the drain
+// (cancellation); the claim is then kept forever, parking the partition.
+func (ib *mInbox) drainLoop(process func(*scatter) bool) {
+	for {
+		ib.mu.Lock()
+		q := ib.queue
+		ib.queue = nil
+		ib.mu.Unlock()
+		if len(q) == 0 {
+			ib.running.Store(0)
+			ib.mu.Lock()
+			n := len(ib.queue)
+			ib.mu.Unlock()
+			if n == 0 || !ib.running.CompareAndSwap(0, 1) {
+				return
+			}
+			continue
+		}
+		for _, sb := range q {
+			if !process(sb) {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+// mScanRange is a range-split parallel scan of a plain (unpaced,
+// fault-free) table: each morselScanRows chunk is one pool task, and the
+// last chunk to finish fires the done cascade.
+type mScanRange struct {
+	run       *morselRun
+	s         *Scan
+	op        *stats.OpStats
+	down      mChain
+	remaining atomic.Int64
+	partial   bool // PartialOnSourceError: stop when the table is abandoned
+}
+
+func (r *morselRun) buildScan(s *Scan, down mChain) {
+	op := r.ctx.Stats.NewOp("scan:" + s.Name)
+	if scanSequential(s) {
+		wid := r.nextSeq
+		r.nextSeq++
+		r.starts = append(r.starts, func() {
+			r.seqWg.Add(1)
+			r.ctx.Spawn(func() {
+				defer r.seqWg.Done()
+				r.runSeqScan(wid, s, op, down)
+			})
+		})
+		return
+	}
+	node := &mScanRange{
+		run: r, s: s, op: op, down: down,
+		partial: r.ctx.Recovery.Mode == PartialOnSourceError && s.Table != "",
+	}
+	n := len(s.Rows)
+	chunks := (n + morselScanRows - 1) / morselScanRows
+	if chunks < 1 {
+		chunks = 1 // empty table: one task, just to run the done cascade
+	}
+	node.remaining.Store(int64(chunks))
+	r.starts = append(r.starts, func() {
+		for c := 0; c < chunks; c++ {
+			lo := c * morselScanRows
+			hi := lo + morselScanRows
+			if hi > n {
+				hi = n
+			}
+			r.pool.Submit(func(w int) { node.runChunk(w, lo, hi) })
+		}
+	})
+}
+
+func (n *mScanRange) runChunk(w, lo, hi int) {
+	ctx := n.run.ctx
+	if ctx.Err() == nil && !(n.partial && ctx.SourceAbandoned(n.s.Table)) {
+		ok := true
+		batch := GetBatch()
+		flush := func() bool {
+			nn := int64(len(batch.Tuples))
+			if nn == 0 {
+				return true
+			}
+			if !n.down.push(w, batch) {
+				batch = Batch{}
+				return false
+			}
+			n.op.Out.Add(nn)
+			batch = GetBatch()
+			return true
+		}
+		for _, t := range n.s.Rows[lo:hi] {
+			batch.Tuples = append(batch.Tuples, t)
+			if len(batch.Tuples) == BatchSize && !flush() {
+				ok = false
+				break
+			}
+		}
+		if ok && flush() {
+			PutBatch(batch)
+		}
+	}
+	// The last chunk fires the cascade — including after a partial-mode
+	// abandonment (truncated input still completes, as in the chan engine)
+	// but never under cancellation.
+	if n.remaining.Add(-1) == 0 && ctx.Err() == nil {
+		n.down.done(w)
+	}
+}
+
+// runSeqScan is the sequential-source body: a line-for-line counterpart
+// of Scan.Start's goroutine (same flush boundaries, pacing, and fault
+// draws, so a seeded failure sequence reproduces identically on both
+// schedulers), pushing into the chain instead of a channel. It runs on a
+// dedicated goroutine — a source sleeping out its delay or backoff never
+// occupies a pool worker — under pseudo-worker id wid.
+func (r *morselRun) runSeqScan(wid int, s *Scan, op *stats.OpStats, down mChain) {
+	ctx := r.ctx
+	var inj *network.FaultInjector
+	var ret *retrier
+	if s.Delay != nil && s.Delay.Fault.Active() {
+		inj = s.Delay.Fault.Injector("scan:" + s.Name)
+		ret = newRetrier(ctx, op, s.Site, "scan:"+s.Name)
+	}
+	partialMode := ctx.Recovery.Mode == PartialOnSourceError && s.Table != ""
+	defer func() {
+		// Every uncancelled exit — exhausted input, partial-mode
+		// abandonment, partial-mode source failure — completes the input.
+		if ctx.Err() == nil {
+			down.done(wid)
+		}
+	}()
+	if s.Delay != nil && s.Delay.Initial > 0 {
+		select {
+		case <-time.After(s.Delay.Initial):
+		case <-ctx.Cancelled():
+			return
+		}
+	}
+	batch := GetBatch()
+	count := 0
+	var cumBytes int64
+	start := time.Now()
+	readAttempt := func(stop <-chan struct{}) error {
+		switch k := inj.Next(); k {
+		case network.FaultNone:
+			return nil
+		case network.FaultStall:
+			<-stop
+			return network.ErrCancelled // timeout converts this to ErrAttemptTimeout
+		default:
+			return &network.FaultError{Kind: k}
+		}
+	}
+	flush := func(last bool) bool {
+		if len(batch.Tuples) == 0 {
+			if last {
+				PutBatch(batch)
+			}
+			return true
+		}
+		if partialMode && ctx.SourceAbandoned(s.Table) {
+			PutBatch(batch)
+			batch = Batch{}
+			return false
+		}
+		if ret != nil {
+			if err := ret.do(readAttempt); err != nil {
+				PutBatch(batch)
+				batch = Batch{}
+				if !errors.Is(err, network.ErrCancelled) {
+					ctx.FailSource(&SourceError{
+						Table: s.Table, Site: s.Site,
+						Attempts: ret.attempts, Cause: err,
+					})
+				}
+				return false
+			}
+		}
+		n := int64(len(batch.Tuples))
+		if !down.push(wid, batch) {
+			batch = Batch{}
+			return false
+		}
+		op.Out.Add(n)
+		if s.BytesPerSec > 0 {
+			target := time.Duration(float64(cumBytes) / float64(s.BytesPerSec) * float64(time.Second))
+			if debt := target - time.Since(start); debt > 2*time.Millisecond {
+				select {
+				case <-time.After(debt):
+				case <-ctx.Cancelled():
+					return false
+				}
+			}
+		}
+		if last {
+			batch = Batch{}
+		} else {
+			batch = GetBatch()
+		}
+		return true
+	}
+	for _, t := range s.Rows {
+		batch.Tuples = append(batch.Tuples, t)
+		count++
+		if s.BytesPerSec > 0 {
+			cumBytes += int64(t.MemSize())
+		}
+		if s.Delay != nil && s.Delay.EveryN > 0 && count%s.Delay.EveryN == 0 {
+			if !flush(false) {
+				return
+			}
+			select {
+			case <-time.After(s.Delay.Pause):
+			case <-ctx.Cancelled():
+				return
+			}
+			continue
+		}
+		if s.Delay != nil && s.Delay.BurstEveryN > 0 && count%s.Delay.BurstEveryN == 0 {
+			if !flush(false) {
+				return
+			}
+			select {
+			case <-time.After(s.Delay.BurstPause):
+			case <-ctx.Cancelled():
+				return
+			}
+			continue
+		}
+		if len(batch.Tuples) == BatchSize {
+			if !flush(false) {
+				return
+			}
+		}
+	}
+	flush(true)
+}
+
+// ---------------------------------------------------------------------------
+// Fused stateless stages
+
+// mFilter narrows each batch's selection vector in place (the chan
+// Filter's body, fused into the producing task). Compiled predicates
+// carry scratch, so one kernel per worker id.
+type mFilter struct {
+	down  mChain
+	op    *stats.OpStats
+	preds []*expr.Compiled
+}
+
+func newMFilter(r *morselRun, f *Filter, down mChain) *mFilter {
+	n := &mFilter{down: down, op: r.ctx.Stats.NewOp("filter:" + f.Name)}
+	n.preds = make([]*expr.Compiled, r.nw)
+	for i := range n.preds {
+		n.preds[i] = expr.Compile(f.Pred)
+	}
+	return n
+}
+
+func (f *mFilter) push(w int, b Batch) bool {
+	f.op.In.Add(int64(b.Len()))
+	pred := f.preds[w]
+	var sel []int32
+	if b.Sel != nil {
+		sel = pred.EvalBool(b.Tuples, b.Sel, b.Sel)
+	} else {
+		sel = pred.EvalBool(b.Tuples, identSel(len(b.Tuples)), getSel())
+	}
+	b.Sel = sel
+	if len(sel) == 0 {
+		PutBatch(b)
+		return true
+	}
+	n := int64(len(sel))
+	if !f.down.push(w, b) {
+		return false
+	}
+	f.op.Out.Add(n)
+	return true
+}
+
+func (f *mFilter) done(w int) { f.down.done(w) }
+
+// mProject evaluates output expressions batch-at-a-time into arena rows
+// (the chan Project's body), with per-worker kernels and scratch.
+type mProject struct {
+	down  mChain
+	op    *stats.OpStats
+	width int
+	ws    []mProjectWorker
+}
+
+type mProjectWorker struct {
+	compiled []*expr.Compiled
+	arena    rowArena
+	col      []types.Value
+	rows     []types.Tuple
+}
+
+func newMProject(r *morselRun, p *Project, down mChain) *mProject {
+	n := &mProject{down: down, op: r.ctx.Stats.NewOp("project:" + p.Name), width: len(p.Exprs)}
+	n.ws = make([]mProjectWorker, r.nw)
+	for i := range n.ws {
+		c := make([]*expr.Compiled, len(p.Exprs))
+		for j, e := range p.Exprs {
+			c[j] = expr.Compile(e)
+		}
+		n.ws[i].compiled = c
+	}
+	return n
+}
+
+func (p *mProject) push(w int, b Batch) bool {
+	ws := &p.ws[w]
+	sel := b.Live()
+	n := len(sel)
+	p.op.In.Add(int64(n))
+	if n == 0 {
+		PutBatch(b)
+		return true
+	}
+	ws.rows = ws.rows[:0]
+	for k := 0; k < n; k++ {
+		ws.rows = append(ws.rows, ws.arena.alloc(p.width))
+	}
+	ws.col = growVals(ws.col, len(b.Tuples))
+	for j, c := range ws.compiled {
+		c.EvalBatch(b.Tuples, sel, ws.col)
+		for k, lane := range sel {
+			ws.rows[k][j] = ws.col[lane]
+		}
+	}
+	res := GetBatch()
+	res.Tuples = append(res.Tuples, ws.rows...)
+	PutBatch(b)
+	if !p.down.push(w, res) {
+		return false
+	}
+	p.op.Out.Add(int64(n))
+	return true
+}
+
+func (p *mProject) done(w int) { p.down.done(w) }
+
+// mShip is the chan Ship fused into the producing task. A mutex
+// serializes pushes: the simulated link models one wire, the retrier is
+// single-stream, and serializing keeps the per-link fault-draw sequence
+// well-defined. Under partial-mode source failure the stage keeps
+// accepting (and dropping) input — the chan engine's drain — until the
+// upstream done cascade completes the stream.
+type mShip struct {
+	run  *morselRun
+	s    *Ship
+	down mChain
+	op   *stats.OpStats
+
+	mu         sync.Mutex
+	ret        *retrier
+	bankHasher types.Hasher
+	abandoned  bool
+}
+
+func newMShip(r *morselRun, s *Ship, down mChain) *mShip {
+	n := &mShip{run: r, s: s, down: down, op: r.ctx.Stats.NewOp("ship:" + s.Name)}
+	if s.Link != nil && s.Link.Faults.Active() {
+		n.ret = newRetrier(r.ctx, n.op, s.Site, "ship:"+s.Name)
+	}
+	return n
+}
+
+func (m *mShip) push(w int, b Batch) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ctx := m.run.ctx
+	if m.abandoned {
+		PutBatch(b)
+		return true
+	}
+	nIn := int64(b.Len())
+	var pruned int64
+	nbytes := 0
+	var kept []int32
+	if b.Sel != nil {
+		kept = b.Sel[:0]
+	} else {
+		kept = getSel()
+	}
+	for _, l := range b.Live() {
+		t := b.Tuples[l]
+		if m.s.Point != nil && !m.s.Point.Bank.ProbeHashed(t, nil, 0, nil, &m.bankHasher) {
+			pruned++
+			continue
+		}
+		kept = append(kept, l)
+		nbytes += t.MemSize()
+	}
+	m.op.In.Add(nIn)
+	m.op.Pruned.Add(pruned)
+	if m.s.Point != nil {
+		m.s.Point.received.Add(nIn)
+	}
+	b.Sel = kept
+	if len(kept) > 0 && m.s.Link != nil {
+		var err error
+		if m.ret != nil {
+			err = m.ret.do(func(stop <-chan struct{}) error {
+				aerr := m.s.Link.Transfer(nbytes, stop)
+				var fe *network.FaultError
+				if errors.As(aerr, &fe) && fe.Sent > 0 {
+					m.op.WastedBytes.Add(int64(fe.Sent))
+				}
+				return aerr
+			})
+		} else {
+			err = m.s.Link.Transfer(nbytes, ctx.Cancelled())
+		}
+		if err != nil {
+			if errors.Is(err, network.ErrCancelled) {
+				return false
+			}
+			attempts := 1
+			if m.ret != nil {
+				attempts = m.ret.attempts
+			}
+			ctx.FailSource(&SourceError{
+				Table: m.s.Table, Site: m.s.Site,
+				Attempts: attempts, Cause: err,
+			})
+			PutBatch(b)
+			if ctx.Recovery.Mode != PartialOnSourceError {
+				return false // query is being cancelled with the SourceError
+			}
+			m.abandoned = true
+			return true
+		}
+		ctx.Stats.NetworkBytes.Add(int64(nbytes))
+	}
+	if len(kept) == 0 {
+		PutBatch(b)
+		return true
+	}
+	n := int64(len(kept))
+	if !m.down.push(w, b) {
+		return false
+	}
+	m.op.Out.Add(n)
+	return true
+}
+
+func (m *mShip) done(w int) {
+	// Mirrors the chan Ship: the point completes even after a partial-mode
+	// abandonment (the stream is done; its state was already marked
+	// incomplete by FailSource).
+	if m.s.Point != nil {
+		m.s.Point.done.Store(true)
+		m.run.ctx.pointDone(m.s.Point)
+	}
+	m.down.done(w)
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+
+// mJoinInput is the side-level barrier state of one join input — the chan
+// engine's joinInput with the router hold generalized to many concurrent
+// pushing tasks.
+type mJoinInput struct {
+	side  int
+	keys  []int
+	point *Point
+	op    *stats.OpStats
+
+	// pending is 1 (the input hold, released by the upstream done cascade)
+	// plus in-flight scatters. It reaches zero exactly once, after the
+	// input's last probe.
+	pending atomic.Int64
+	routed  atomic.Bool
+	done    atomic.Bool
+}
+
+// mJoinPart is one radix partition: tables, ticket counter, and the
+// drain-side scratch, all owned by whichever task holds the inbox claim.
+type mJoinPart struct {
+	inbox  mInbox
+	tables [2]joinTable
+	ticket uint64
+
+	matches []types.Tuple
+	arena   rowArena
+	resC    *expr.Compiled
+}
+
+// mJoinRoute is one worker id's routing scratch. A worker runs one push
+// at a time, and every push flushes its buffered scatters before
+// returning, so the buffers never mix sides.
+type mJoinRoute struct {
+	keyHasher  types.Hasher
+	bankHasher types.Hasher
+	bufs       []*scatter
+}
+
+type mJoin struct {
+	run   *morselRun
+	down  mChain
+	P     int
+	shift uint
+
+	parts  []*mJoinPart
+	inputs [2]*mJoinInput
+	route  []mJoinRoute
+
+	sidesDone atomic.Int32
+}
+
+func newMJoin(r *morselRun, j *HashJoin, down mChain) *mJoin {
+	P := r.ctx.partitions()
+	P = clampPartitions(P, pointEstRows(j.LPoint)+pointEstRows(j.RPoint))
+	lop := r.ctx.Stats.NewOp("join:" + j.Name + ".left")
+	rop := r.ctx.Stats.NewOp("join:" + j.Name + ".right")
+	lop.SetPartitions(P)
+	rop.SetPartitions(P)
+	m := &mJoin{run: r, down: down, P: P, shift: partShift(P)}
+	m.inputs[0] = &mJoinInput{side: 0, keys: j.LKeys, point: j.LPoint, op: lop}
+	m.inputs[1] = &mJoinInput{side: 1, keys: j.RKeys, point: j.RPoint, op: rop}
+	m.inputs[0].pending.Store(1)
+	m.inputs[1].pending.Store(1)
+	m.parts = make([]*mJoinPart, P)
+	for p := range m.parts {
+		pt := &mJoinPart{resC: expr.Compile(j.Residual)}
+		for s, in := range m.inputs {
+			if in.point != nil {
+				pt.tables[s].reserve(int(in.point.EstRows) / P)
+			}
+		}
+		m.parts[p] = pt
+	}
+	m.route = make([]mJoinRoute, r.nw)
+	for i := range m.route {
+		m.route[i].bufs = make([]*scatter, P)
+	}
+	return m
+}
+
+// mJoinSide binds one input side to the two-input join node.
+type mJoinSide struct {
+	j    *mJoin
+	side int
+}
+
+func (s *mJoinSide) push(w int, b Batch) bool { return s.j.pushSide(w, s.side, b) }
+func (s *mJoinSide) done(w int)               { s.j.sideDone(w, s.side) }
+
+// pushSide is the router phase, run inline in the producing task: AIP
+// probe, hash-once key encoding, scatter buffering, and per-partition
+// enqueue. Each enqueued scatter counts against the side's pending
+// barrier before the drain is scheduled.
+func (m *mJoin) pushSide(w, side int, b Batch) bool {
+	in := m.inputs[side]
+	rs := &m.route[w]
+	sel := b.Live()
+	nIn := int64(len(sel))
+	var pruned int64
+	for _, l := range sel {
+		t := b.Tuples[l]
+		h, key := rs.keyHasher.KeyCols(t, in.keys)
+		if in.point != nil && !in.point.Bank.ProbeHashed(t, in.keys, h, key, &rs.bankHasher) {
+			pruned++
+			continue
+		}
+		p := int(h >> m.shift)
+		buf := rs.bufs[p]
+		if buf == nil {
+			buf = getScatter(side)
+			rs.bufs[p] = buf
+		}
+		buf.add(t, h, key)
+		// The chan router owns working-set slot 0; here each worker id is
+		// its own serialized slot (a worker runs one task at a time).
+		if in.point != nil && in.point.OnStore != nil {
+			in.point.OnStore(w, t)
+		}
+	}
+	in.op.In.Add(nIn)
+	in.op.Pruned.Add(pruned)
+	if in.point != nil {
+		in.point.received.Add(nIn)
+	}
+	PutBatch(b)
+	for p, sb := range rs.bufs {
+		if sb == nil {
+			continue
+		}
+		rs.bufs[p] = nil
+		in.pending.Add(1)
+		if m.parts[p].inbox.put(sb) {
+			p := p
+			m.run.pool.SubmitFrom(w, func(dw int) {
+				m.parts[p].inbox.drainLoop(func(sb *scatter) bool {
+					return m.processScatter(dw, p, sb)
+				})
+			})
+		}
+	}
+	return m.run.ctx.Err() == nil
+}
+
+// processScatter is the chan join worker's body for one scatter: ticketed
+// insert (unless the other side completed — the §VI-A short-circuit),
+// probe, arena-backed emission through the residual, stats, release.
+func (m *mJoin) processScatter(dw, p int, sb *scatter) bool {
+	pt := m.parts[p]
+	own, other := m.inputs[sb.side], m.inputs[1-sb.side]
+	ownT, otherT := &pt.tables[sb.side], &pt.tables[1-sb.side]
+	n := len(sb.tuples)
+	base := pt.ticket
+	pt.ticket += uint64(n)
+
+	var stored, storedBytes int64
+	if !other.done.Load() {
+		for i, t := range sb.tuples {
+			ownT.insert(sb.hashes[i], sb.key(i), t, base+uint64(i)+1)
+			stored++
+			storedBytes += int64(t.MemSize())
+		}
+	} else if own.point != nil {
+		own.point.stateIncomplete.Store(true)
+	}
+
+	outBatch := GetBatch()
+	emit := func() bool {
+		if len(outBatch.Tuples) == 0 {
+			return true
+		}
+		if pt.resC != nil {
+			outBatch.Sel = pt.resC.EvalBool(outBatch.Tuples, identSel(len(outBatch.Tuples)), getSel())
+			if len(outBatch.Sel) == 0 {
+				PutBatch(outBatch)
+				outBatch = GetBatch()
+				return true
+			}
+		}
+		nn := int64(outBatch.Len())
+		if !m.down.push(dw, outBatch) {
+			outBatch = Batch{}
+			return false
+		}
+		own.op.Out.Add(nn)
+		outBatch = GetBatch()
+		return true
+	}
+	ownIsLeft := sb.side == 0
+	ok := true
+scan:
+	for i, t := range sb.tuples {
+		pt.matches = otherT.probe(sb.hashes[i], sb.key(i), base+uint64(i)+1, pt.matches[:0])
+		for _, mt := range pt.matches {
+			var row types.Tuple
+			if ownIsLeft {
+				row = pt.arena.concat(t, mt)
+			} else {
+				row = pt.arena.concat(mt, t)
+			}
+			outBatch.Tuples = append(outBatch.Tuples, row)
+			if len(outBatch.Tuples) == BatchSize && !emit() {
+				ok = false
+				break scan
+			}
+		}
+	}
+	if ok {
+		ok = emit()
+	}
+	if !ok {
+		// Cancelled mid-emission: abandon without releasing, exactly like
+		// the chan worker returning — the barrier never fires and no
+		// partial state is published.
+		return false
+	}
+	PutBatch(outBatch)
+
+	own.op.StateRows.Add(stored)
+	own.op.StateBytes.Add(storedBytes)
+	pp := own.op.Part(p)
+	pp.Rows.Add(stored)
+	pp.Bytes.Add(storedBytes)
+	if own.point != nil {
+		own.point.stored.Add(stored)
+	}
+	putScatter(sb)
+	m.release(dw, own)
+	return true
+}
+
+// release drops one pending reference; the barrier fires exactly once,
+// after the input's last probe.
+func (m *mJoin) release(w int, in *mJoinInput) {
+	if in.pending.Add(-1) == 0 && in.routed.Load() {
+		m.finish(w, in)
+	}
+}
+
+// sideDone is the upstream done cascade arriving at one input: it marks
+// the input fully routed and releases the hold.
+func (m *mJoin) sideDone(w, side int) {
+	if m.run.ctx.Err() != nil {
+		return
+	}
+	in := m.inputs[side]
+	in.routed.Store(true)
+	m.release(w, in)
+}
+
+// finish completes one input: publish the immutable per-partition state
+// to the AIP point, enable the other side's short-circuit, and — once
+// both inputs are done, after which nothing can emit — cascade done.
+func (m *mJoin) finish(w int, in *mJoinInput) {
+	in.done.Store(true)
+	if in.point != nil {
+		side := in.side
+		parts := m.parts
+		in.point.setStateIter(func(emit func(types.Tuple) bool) {
+			for _, pt := range parts {
+				for i := range pt.tables[side].entries {
+					if !emit(pt.tables[side].entries[i].t) {
+						return
+					}
+				}
+			}
+		})
+		in.point.done.Store(true)
+		m.run.ctx.pointDone(in.point)
+	}
+	if m.sidesDone.Add(1) == 2 && m.run.ctx.Err() == nil {
+		m.down.done(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregation
+
+// mAggRoute is one worker id's routing scratch for the aggregation.
+type mAggRoute struct {
+	keyHasher  types.Hasher
+	bankHasher types.Hasher
+	compiled   []*expr.Compiled
+	gcols2     [][]types.Value
+	gvals      types.Tuple
+	keep       []int32
+	bufs       []*scatter
+}
+
+// mAggPart is one partition of the group state plus its fold scratch,
+// owned by the inbox claimant.
+type mAggPart struct {
+	inbox   mInbox
+	idx     types.KeyTable
+	groups  []groupState
+	accs    accAllocator
+	gvals   types.Tuple
+	argC    []*expr.Compiled
+	argCols [][]types.Value
+}
+
+type mAgg struct {
+	run   *morselRun
+	h     *HashAgg
+	down  mChain
+	op    *stats.OpStats
+	P     int
+	shift uint
+	gcols []int
+
+	parts []*mAggPart
+	route []mAggRoute
+
+	pending       atomic.Int64
+	routed        atomic.Bool
+	remainingEmit atomic.Int64
+}
+
+func newMAgg(r *morselRun, h *HashAgg, down mChain) *mAgg {
+	P := r.ctx.partitions()
+	P = clampPartitions(P, pointEstRows(h.Point))
+	op := r.ctx.Stats.NewOp("agg:" + h.Name)
+	op.SetPartitions(P)
+	m := &mAgg{run: r, h: h, down: down, op: op, P: P, shift: partShift(P)}
+	m.pending.Store(1)
+	m.gcols = make([]int, len(h.GroupBy))
+	for i := range m.gcols {
+		m.gcols[i] = i
+	}
+	m.parts = make([]*mAggPart, P)
+	for p := range m.parts {
+		pt := &mAggPart{
+			accs:    accAllocator{width: len(h.Aggs)},
+			gvals:   make(types.Tuple, len(h.GroupBy)),
+			argC:    make([]*expr.Compiled, len(h.Aggs)),
+			argCols: make([][]types.Value, len(h.Aggs)),
+		}
+		for k := range h.Aggs {
+			pt.argC[k] = expr.Compile(h.Aggs[k].Arg) // nil Arg compiles to nil
+		}
+		m.parts[p] = pt
+	}
+	m.route = make([]mAggRoute, r.nw)
+	for i := range m.route {
+		rt := &m.route[i]
+		rt.compiled = make([]*expr.Compiled, len(h.GroupBy))
+		for j, g := range h.GroupBy {
+			rt.compiled[j] = expr.Compile(g)
+		}
+		rt.gcols2 = make([][]types.Value, len(h.GroupBy))
+		rt.gvals = make(types.Tuple, len(h.GroupBy))
+		rt.bufs = make([]*scatter, P)
+	}
+	return m
+}
+
+func (m *mAgg) push(w int, b Batch) bool {
+	rt := &m.route[w]
+	sel := b.Live()
+	nIn := int64(len(sel))
+	var pruned int64
+	rt.keep = rt.keep[:0]
+	if m.h.Point != nil && m.h.Point.Bank.Len() > 0 {
+		for _, l := range sel {
+			if !m.h.Point.Bank.ProbeHashed(b.Tuples[l], nil, 0, nil, &rt.bankHasher) {
+				pruned++
+				continue
+			}
+			rt.keep = append(rt.keep, l)
+		}
+	} else {
+		rt.keep = append(rt.keep, sel...)
+	}
+	for i, c := range rt.compiled {
+		rt.gcols2[i] = growVals(rt.gcols2[i], len(b.Tuples))
+		c.EvalBatch(b.Tuples, rt.keep, rt.gcols2[i])
+	}
+	for _, l := range rt.keep {
+		for i := range rt.compiled {
+			rt.gvals[i] = rt.gcols2[i][l]
+		}
+		kh, key := rt.keyHasher.KeyCols(rt.gvals, m.gcols)
+		p := int(kh >> m.shift)
+		buf := rt.bufs[p]
+		if buf == nil {
+			buf = getScatter(0)
+			rt.bufs[p] = buf
+		}
+		buf.add(b.Tuples[l], kh, key)
+	}
+	m.op.In.Add(nIn)
+	m.op.Pruned.Add(pruned)
+	if m.h.Point != nil {
+		m.h.Point.received.Add(nIn)
+	}
+	PutBatch(b)
+	m.flushRoute(w, rt)
+	return m.run.ctx.Err() == nil
+}
+
+func (m *mAgg) flushRoute(w int, rt *mAggRoute) {
+	for p, sb := range rt.bufs {
+		if sb == nil {
+			continue
+		}
+		rt.bufs[p] = nil
+		m.pending.Add(1)
+		if m.parts[p].inbox.put(sb) {
+			p := p
+			m.run.pool.SubmitFrom(w, func(dw int) {
+				m.parts[p].inbox.drainLoop(func(sb *scatter) bool {
+					m.fold(dw, p, sb)
+					return true
+				})
+			})
+		}
+	}
+}
+
+// fold is the chan agg worker's body for one scatter: vectorized argument
+// columns, KeyTable insert, group creation with OnStore, accumulator
+// updates, stats, release.
+func (m *mAgg) fold(dw, p int, sb *scatter) {
+	pt := m.parts[p]
+	var newGroups, newBytes int64
+	n := len(sb.tuples)
+	ident := identSel(n)
+	for k, c := range pt.argC {
+		if c == nil {
+			continue
+		}
+		pt.argCols[k] = growVals(pt.argCols[k], n)
+		c.EvalBatch(sb.tuples, ident, pt.argCols[k])
+	}
+	for i, t := range sb.tuples {
+		id, added := pt.idx.Insert(sb.hashes[i], sb.key(i))
+		if added {
+			for k, g := range m.h.GroupBy {
+				pt.gvals[k] = g.Eval(t)
+			}
+			pt.groups = append(pt.groups, groupState{groupVals: pt.gvals.Clone(), accs: pt.accs.alloc()})
+			newGroups++
+			newBytes += int64(pt.gvals.MemSize()) + int64(48*len(m.h.Aggs))
+			// Partition index as the OnStore slot: the inbox claim
+			// serializes it (one drain at a time owns the partition).
+			if m.h.Point != nil && m.h.Point.OnStore != nil {
+				m.h.Point.OnStore(p, pt.groups[id].groupVals)
+			}
+		}
+		gs := &pt.groups[id]
+		for k := range m.h.Aggs {
+			var v types.Value
+			if pt.argC[k] != nil {
+				v = pt.argCols[k][i]
+			}
+			gs.accs[k].add(m.h.Aggs[k].Func, v)
+		}
+	}
+	m.op.StateRows.Add(newGroups)
+	m.op.StateBytes.Add(newBytes)
+	pp := m.op.Part(p)
+	pp.Rows.Add(newGroups)
+	pp.Bytes.Add(newBytes)
+	if m.h.Point != nil {
+		m.h.Point.stored.Add(newGroups)
+	}
+	putScatter(sb)
+	m.release(dw)
+}
+
+func (m *mAgg) release(w int) {
+	if m.pending.Add(-1) == 0 && m.routed.Load() {
+		m.finalize(w)
+	}
+}
+
+func (m *mAgg) done(w int) {
+	if m.run.ctx.Err() != nil {
+		return
+	}
+	m.routed.Store(true)
+	m.release(w)
+}
+
+// finalize runs once, after the last fold of a fully routed input: the
+// blocking aggregation's pipeline-breaker barrier. It publishes the AIP
+// state and fans the result emission out as one task per partition; the
+// last emission task cascades done.
+func (m *mAgg) finalize(w int) {
+	total := 0
+	for _, pt := range m.parts {
+		total += len(pt.groups)
+	}
+	// SQL semantics: a global aggregate over empty input yields one row.
+	// Appended before the state iterator is published, as in the chan
+	// finisher: once the point is Done the group state is immutable.
+	if total == 0 && len(m.h.GroupBy) == 0 {
+		m.parts[0].groups = append(m.parts[0].groups, groupState{accs: make([]aggAcc, len(m.h.Aggs))})
+	}
+	if m.h.Point != nil {
+		parts := m.parts
+		m.h.Point.setStateIter(func(emit func(types.Tuple) bool) {
+			for _, pt := range parts {
+				for i := range pt.groups {
+					if !emit(pt.groups[i].groupVals) {
+						return
+					}
+				}
+			}
+		})
+		m.h.Point.done.Store(true)
+		m.run.ctx.pointDone(m.h.Point)
+	}
+	m.remainingEmit.Store(int64(m.P))
+	for p := range m.parts {
+		p := p
+		m.run.pool.SubmitFrom(w, func(dw int) { m.emitPart(dw, p) })
+	}
+}
+
+func (m *mAgg) emitPart(dw, p int) {
+	pt := m.parts[p]
+	var arena rowArena
+	batch := GetBatch()
+	flush := func() bool {
+		if len(batch.Tuples) == 0 {
+			return true
+		}
+		n := int64(len(batch.Tuples))
+		if !m.down.push(dw, batch) {
+			batch = Batch{}
+			return false
+		}
+		m.op.Out.Add(n)
+		batch = GetBatch()
+		return true
+	}
+	for gi := range pt.groups {
+		gs := &pt.groups[gi]
+		row := arena.alloc(len(gs.groupVals) + len(m.h.Aggs))
+		copy(row, gs.groupVals)
+		for i := range m.h.Aggs {
+			argKind := types.KindFloat
+			if m.h.Aggs[i].Arg != nil {
+				argKind = m.h.Aggs[i].Arg.Kind()
+			}
+			row[len(gs.groupVals)+i] = gs.accs[i].result(m.h.Aggs[i].Func, argKind)
+		}
+		batch.Tuples = append(batch.Tuples, row)
+		if len(batch.Tuples) == BatchSize && !flush() {
+			return
+		}
+	}
+	if !flush() {
+		return
+	}
+	PutBatch(batch)
+	if m.remainingEmit.Add(-1) == 0 && m.run.ctx.Err() == nil {
+		m.down.done(dw)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+
+// mDistRoute is one worker id's routing scratch for distinct.
+type mDistRoute struct {
+	keyHasher  types.Hasher
+	bankHasher types.Hasher
+	bufs       []*scatter
+}
+
+// mDistinctPart is one partition of the seen-set.
+type mDistinctPart struct {
+	inbox mInbox
+	idx   types.KeyTable
+	seen  []types.Tuple
+}
+
+type mDistinct struct {
+	run     *morselRun
+	d       *Distinct
+	down    mChain
+	op      *stats.OpStats
+	P       int
+	shift   uint
+	allCols []int
+
+	parts []*mDistinctPart
+	route []mDistRoute
+
+	pending atomic.Int64
+	routed  atomic.Bool
+}
+
+func newMDistinct(r *morselRun, d *Distinct, down mChain) *mDistinct {
+	P := r.ctx.partitions()
+	P = clampPartitions(P, pointEstRows(d.Point))
+	op := r.ctx.Stats.NewOp("distinct:" + d.Name)
+	op.SetPartitions(P)
+	m := &mDistinct{run: r, d: d, down: down, op: op, P: P, shift: partShift(P)}
+	m.pending.Store(1)
+	m.allCols = make([]int, d.Child.Schema().Len())
+	for i := range m.allCols {
+		m.allCols[i] = i
+	}
+	m.parts = make([]*mDistinctPart, P)
+	for p := range m.parts {
+		m.parts[p] = &mDistinctPart{}
+	}
+	m.route = make([]mDistRoute, r.nw)
+	for i := range m.route {
+		m.route[i].bufs = make([]*scatter, P)
+	}
+	return m
+}
+
+func (m *mDistinct) push(w int, b Batch) bool {
+	rt := &m.route[w]
+	sel := b.Live()
+	nIn := int64(len(sel))
+	var pruned int64
+	for _, l := range sel {
+		t := b.Tuples[l]
+		kh, key := rt.keyHasher.KeyCols(t, m.allCols)
+		if m.d.Point != nil && !m.d.Point.Bank.ProbeHashed(t, m.allCols, kh, key, &rt.bankHasher) {
+			pruned++
+			continue
+		}
+		p := int(kh >> m.shift)
+		buf := rt.bufs[p]
+		if buf == nil {
+			buf = getScatter(0)
+			rt.bufs[p] = buf
+		}
+		buf.add(t, kh, key)
+	}
+	m.op.In.Add(nIn)
+	m.op.Pruned.Add(pruned)
+	if m.d.Point != nil {
+		m.d.Point.received.Add(nIn)
+	}
+	PutBatch(b)
+	for p, sb := range rt.bufs {
+		if sb == nil {
+			continue
+		}
+		rt.bufs[p] = nil
+		m.pending.Add(1)
+		if m.parts[p].inbox.put(sb) {
+			p := p
+			m.run.pool.SubmitFrom(w, func(dw int) {
+				m.parts[p].inbox.drainLoop(func(sb *scatter) bool {
+					return m.dedup(dw, p, sb)
+				})
+			})
+		}
+	}
+	return m.run.ctx.Err() == nil
+}
+
+// dedup is the chan distinct worker's body for one scatter: first
+// occurrences are cloned into the seen-set (OnStore on the partition
+// slot) and forwarded immediately — distinct stays pipelined.
+func (m *mDistinct) dedup(dw, p int, sb *scatter) bool {
+	pt := m.parts[p]
+	var stored, storedBytes int64
+	fresh := GetBatch()
+	for i, t := range sb.tuples {
+		if _, added := pt.idx.Insert(sb.hashes[i], sb.key(i)); added {
+			pt.seen = append(pt.seen, t.Clone())
+			stored++
+			storedBytes += int64(t.MemSize())
+			if m.d.Point != nil && m.d.Point.OnStore != nil {
+				m.d.Point.OnStore(p, t)
+			}
+			fresh.Tuples = append(fresh.Tuples, t)
+		}
+	}
+	m.op.StateRows.Add(stored)
+	m.op.StateBytes.Add(storedBytes)
+	pp := m.op.Part(p)
+	pp.Rows.Add(stored)
+	pp.Bytes.Add(storedBytes)
+	if m.d.Point != nil {
+		m.d.Point.stored.Add(stored)
+	}
+	if len(fresh.Tuples) == 0 {
+		PutBatch(fresh)
+	} else {
+		n := int64(len(fresh.Tuples))
+		if !m.down.push(dw, fresh) {
+			// Cancelled: abandon without release (the chan engine's failed
+			// flag) so the partial seen-state is never published.
+			return false
+		}
+		m.op.Out.Add(n)
+	}
+	putScatter(sb)
+	m.release(dw)
+	return true
+}
+
+func (m *mDistinct) release(w int) {
+	if m.pending.Add(-1) == 0 && m.routed.Load() {
+		m.finalize(w)
+	}
+}
+
+func (m *mDistinct) done(w int) {
+	if m.run.ctx.Err() != nil {
+		return
+	}
+	m.routed.Store(true)
+	m.release(w)
+}
+
+func (m *mDistinct) finalize(w int) {
+	if m.d.Point != nil {
+		parts := m.parts
+		m.d.Point.setStateIter(func(emit func(types.Tuple) bool) {
+			for _, pt := range parts {
+				for _, t := range pt.seen {
+					if !emit(t) {
+						return
+					}
+				}
+			}
+		})
+		m.d.Point.done.Store(true)
+		m.run.ctx.pointDone(m.d.Point)
+	}
+	if m.run.ctx.Err() == nil {
+		m.down.done(w)
+	}
+}

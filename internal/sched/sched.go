@@ -1,0 +1,311 @@
+// Package sched is the morsel-driven work-stealing scheduler behind the
+// exec engine's "morsel" path (Context.Scheduler), in the style of HyPer's
+// morsel model: instead of one goroutine per operator per partition glued
+// by channels, a per-query pool of worker goroutines runs small tasks, each
+// of which pushes one morsel (one exec.Batch, BatchSize tuples) through a
+// fused operator chain or drains one operator partition's inbox.
+//
+// # Task contract
+//
+// A Task is one unit of work: run one operator partition over one morsel
+// (or one range chunk of a scan). Tasks receive the integer id of the
+// worker executing them; operator code uses that id to index per-worker
+// scratch state (compiled expression kernels, hashers, row arenas), so a
+// task may run on any worker but never runs concurrently with itself.
+// Tasks must not block indefinitely on anything but query cancellation:
+// the only blocking point in the engine's task bodies is the root output
+// edge, whose send always selects on the query's cancel channel.
+//
+// # Queues and stealing
+//
+// Each worker owns a local deque: the owner pushes and pops at the tail
+// (LIFO — a drain task scheduled by the morsel just produced is the
+// cache-hottest work available), while idle workers steal single tasks
+// from the head (FIFO — the oldest task is the least likely to be in any
+// cache and the most likely to represent a large unit of pending work).
+// Tasks submitted from outside the pool (scan range chunks, sequential
+// source goroutines) go to a shared injector queue consumed FIFO. A worker
+// looks for work in order: local tail, injector head, steal from victims.
+//
+// # Parking
+//
+// A worker that finds no work parks on a private channel and costs
+// nothing until woken. The park protocol is lost-wakeup-free: producers
+// enqueue the task, increment the pending-task count, and then wake one
+// parked worker; a parker re-checks the pending count (and the stop flag)
+// under the park lock before sleeping, so a submission that raced with
+// the park decision is always observed either by the re-check or by the
+// wake that follows the count increment.
+//
+// # Barriers and exactly-once
+//
+// The pool itself provides no ordering between tasks; the exec layer
+// builds its pipeline-breaker barriers (input completion, AIP PointDone,
+// the paper's §VI-A short-circuit, partial-result teardown) from atomic
+// task counters: every enqueued partition message increments a per-input
+// pending counter and every completed drain decrements it, so "input
+// done" fires exactly once, after the input's last probe, regardless of
+// which workers ran the drains or in what interleaving. Per-partition
+// state is serialized not by the pool but by a single-claimant inbox
+// (CAS-guarded drain) in the exec layer, which preserves the chan
+// engine's exactly-once-per-partition emission argument: equal keys land
+// in one partition, one drain at a time owns that partition's tables and
+// ticket counter, and a probing tuple emits only smaller-ticket matches.
+//
+// Stop abandons queued tasks; the exec layer only stops the pool after
+// the root's completion barrier fired (queue provably empty) or the query
+// was cancelled (remaining work is moot and every task body checks the
+// cancel channel).
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one schedulable unit of work. worker is the id of the pool
+// worker executing it (0..Workers-1), used to index per-worker scratch.
+type Task func(worker int)
+
+// workerQ is one worker's deque. The owner pushes/pops the tail; thieves
+// take one task from the head. A plain mutex is fine at morsel
+// granularity: a task processes ~BatchSize tuples, so queue operations
+// are orders of magnitude rarer than tuple operations.
+type workerQ struct {
+	mu sync.Mutex
+	q  []Task
+}
+
+// Pool is a work-stealing worker pool for one query execution.
+type Pool struct {
+	workers []workerQ
+
+	injectMu sync.Mutex
+	inject   []Task
+
+	// pending counts submitted-but-not-yet-dequeued tasks. It may read
+	// transiently negative (a task can be dequeued between its enqueue and
+	// its count increment); the park re-check only needs "> 0" to be
+	// eventually true while work is queued.
+	pending atomic.Int64
+
+	stopping atomic.Bool // fast-path mirror of stopped for the run loop
+
+	parkMu  sync.Mutex
+	parked  []chan struct{}
+	stopped bool
+
+	wg sync.WaitGroup
+
+	morsels atomic.Int64
+	steals  atomic.Int64
+	parks   atomic.Int64
+	unparks atomic.Int64
+	busy    []atomic.Int64 // per worker: nanoseconds spent running tasks
+}
+
+// New creates a pool with the given number of workers (floored at 1).
+// Start must be called before any task runs.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{
+		workers: make([]workerQ, workers),
+		busy:    make([]atomic.Int64, workers),
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Start launches the worker goroutines through spawn (the exec layer
+// passes Context.Spawn so pooled-stats quiescence can account for them).
+func (p *Pool) Start(spawn func(func())) {
+	p.wg.Add(len(p.workers))
+	for w := range p.workers {
+		w := w
+		spawn(func() {
+			defer p.wg.Done()
+			p.run(w)
+		})
+	}
+}
+
+// Submit enqueues a task on the shared injector queue. Safe from any
+// goroutine.
+func (p *Pool) Submit(t Task) {
+	p.injectMu.Lock()
+	p.inject = append(p.inject, t)
+	p.injectMu.Unlock()
+	p.pending.Add(1)
+	p.wake()
+}
+
+// SubmitFrom enqueues a task from worker w's own context: pool workers
+// push their local deque's tail (LIFO, cache-hot), while pseudo-worker
+// ids at or beyond the pool size (sequential source goroutines) fall back
+// to the injector.
+func (p *Pool) SubmitFrom(w int, t Task) {
+	if w < 0 || w >= len(p.workers) {
+		p.Submit(t)
+		return
+	}
+	wq := &p.workers[w]
+	wq.mu.Lock()
+	wq.q = append(wq.q, t)
+	wq.mu.Unlock()
+	p.pending.Add(1)
+	p.wake()
+}
+
+// Stop makes every worker exit once it finishes its current task,
+// abandoning any still-queued tasks, and wakes all parked workers. Safe
+// to call more than once.
+func (p *Pool) Stop() {
+	p.stopping.Store(true)
+	p.parkMu.Lock()
+	p.stopped = true
+	parked := p.parked
+	p.parked = nil
+	p.parkMu.Unlock()
+	for _, ch := range parked {
+		close(ch)
+	}
+}
+
+// Wait blocks until every worker goroutine has exited (after Stop).
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stats is a snapshot of the pool's scheduling counters.
+type Stats struct {
+	Workers int
+	Morsels int64           // tasks executed
+	Steals  int64           // tasks taken from another worker's deque
+	Parks   int64           // times a worker went to sleep
+	Unparks int64           // times a sleeping worker was woken for work
+	Busy    []time.Duration // per worker: time spent running tasks
+}
+
+// Stats snapshots the counters. Call after Wait for exact totals.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Workers: len(p.workers),
+		Morsels: p.morsels.Load(),
+		Steals:  p.steals.Load(),
+		Parks:   p.parks.Load(),
+		Unparks: p.unparks.Load(),
+		Busy:    make([]time.Duration, len(p.busy)),
+	}
+	for i := range p.busy {
+		s.Busy[i] = time.Duration(p.busy[i].Load())
+	}
+	return s
+}
+
+// run is one worker's main loop: dequeue, execute, park when dry.
+func (p *Pool) run(w int) {
+	for {
+		if p.stopping.Load() {
+			return
+		}
+		t := p.dequeue(w)
+		if t == nil {
+			if !p.park() {
+				return
+			}
+			continue
+		}
+		start := time.Now()
+		t(w)
+		p.busy[w].Add(int64(time.Since(start)))
+		p.morsels.Add(1)
+	}
+}
+
+// dequeue finds the next task for worker w: local tail, then injector
+// head, then a single steal from the first non-empty victim. Returns nil
+// when no work is visible.
+func (p *Pool) dequeue(w int) Task {
+	wq := &p.workers[w]
+	wq.mu.Lock()
+	if n := len(wq.q); n > 0 {
+		t := wq.q[n-1]
+		wq.q[n-1] = nil
+		wq.q = wq.q[:n-1]
+		wq.mu.Unlock()
+		p.pending.Add(-1)
+		return t
+	}
+	wq.mu.Unlock()
+
+	p.injectMu.Lock()
+	if len(p.inject) > 0 {
+		t := p.inject[0]
+		p.inject[0] = nil
+		p.inject = p.inject[1:]
+		p.injectMu.Unlock()
+		p.pending.Add(-1)
+		return t
+	}
+	p.injectMu.Unlock()
+
+	for i := 1; i < len(p.workers); i++ {
+		vq := &p.workers[(w+i)%len(p.workers)]
+		vq.mu.Lock()
+		if len(vq.q) > 0 {
+			t := vq.q[0]
+			vq.q[0] = nil
+			vq.q = vq.q[1:]
+			vq.mu.Unlock()
+			p.pending.Add(-1)
+			p.steals.Add(1)
+			return t
+		}
+		vq.mu.Unlock()
+	}
+	return nil
+}
+
+// park puts the calling worker to sleep until woken. It returns false
+// when the pool is stopped (the worker must exit) and true when the
+// worker should retry dequeuing.
+func (p *Pool) park() bool {
+	p.parkMu.Lock()
+	if p.stopped {
+		p.parkMu.Unlock()
+		return false
+	}
+	// Re-check under the park lock: a producer that incremented pending
+	// before we got here would otherwise have had no parked worker to
+	// wake (its wake ran against an empty parked list).
+	if p.pending.Load() > 0 {
+		p.parkMu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	p.parked = append(p.parked, ch)
+	p.parks.Add(1)
+	p.parkMu.Unlock()
+	<-ch
+	p.parkMu.Lock()
+	stopped := p.stopped
+	p.parkMu.Unlock()
+	return !stopped
+}
+
+// wake rouses one parked worker, if any.
+func (p *Pool) wake() {
+	p.parkMu.Lock()
+	var ch chan struct{}
+	if n := len(p.parked); n > 0 {
+		ch = p.parked[n-1]
+		p.parked = p.parked[:n-1]
+		p.unparks.Add(1)
+	}
+	p.parkMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}

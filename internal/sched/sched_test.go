@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startPool spawns the pool on plain goroutines and returns a stopper.
+func startPool(p *Pool) func() {
+	p.Start(func(f func()) { go f() })
+	return func() {
+		p.Stop()
+		p.Wait()
+	}
+}
+
+// drainTo busy-waits until the counter reaches want (tasks are async).
+func drainTo(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want %d", c.Load(), want)
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		stop := startPool(p)
+		var ran atomic.Int64
+		const n = 10_000
+		for i := 0; i < n; i++ {
+			p.Submit(func(w int) { ran.Add(1) })
+		}
+		drainTo(t, &ran, n)
+		stop()
+		if got := p.Stats().Morsels; got != n {
+			t.Fatalf("workers=%d: Morsels = %d, want %d", workers, got, n)
+		}
+	}
+}
+
+func TestPoolWorkerIDsInRange(t *testing.T) {
+	p := New(4)
+	stop := startPool(p)
+	defer stop()
+	var bad atomic.Int64
+	var ran atomic.Int64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p.Submit(func(w int) {
+			if w < 0 || w >= 4 {
+				bad.Add(1)
+			}
+			ran.Add(1)
+		})
+	}
+	drainTo(t, &ran, n)
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestPoolStealing pins the work-stealing path: worker 0's deque is loaded
+// with quick tasks plus one blocking task at the LIFO tail. Worker 0 pops
+// the blocker and stalls, so every quick task that completes while it is
+// blocked must have been stolen by another worker.
+func TestPoolStealing(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		p.SubmitFrom(0, func(w int) { ran.Add(1) })
+	}
+	release := make(chan struct{})
+	p.SubmitFrom(0, func(w int) { <-release }) // tail: worker 0 pops this first
+	stop := startPool(p)
+	defer stop()
+	drainTo(t, &ran, n) // all quick tasks done while one worker is blocked
+	close(release)
+	if p.Stats().Steals == 0 {
+		t.Fatal("no steals recorded with a single loaded deque and 3 idle workers")
+	}
+}
+
+// TestPoolSubmitFromPseudoWorker: ids at or beyond the pool size go through
+// the injector rather than indexing a deque (the sequential-source path).
+func TestPoolSubmitFromPseudoWorker(t *testing.T) {
+	p := New(2)
+	stop := startPool(p)
+	defer stop()
+	var ran atomic.Int64
+	p.SubmitFrom(2, func(w int) { ran.Add(1) })  // first pseudo id
+	p.SubmitFrom(-1, func(w int) { ran.Add(1) }) // defensive: invalid id
+	drainTo(t, &ran, 2)
+}
+
+// TestPoolParkWake: workers park when idle and are woken by later
+// submissions; no task is lost across the idle period.
+func TestPoolParkWake(t *testing.T) {
+	p := New(2)
+	stop := startPool(p)
+	defer stop()
+	var ran atomic.Int64
+	p.Submit(func(w int) { ran.Add(1) })
+	drainTo(t, &ran, 1)
+	// Give the workers a moment to go idle and park.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Parks == 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	for i := 0; i < 100; i++ {
+		p.Submit(func(w int) { ran.Add(1) })
+	}
+	drainTo(t, &ran, 101)
+	if st := p.Stats(); st.Parks == 0 {
+		t.Fatalf("no park transitions recorded across an idle period: %+v", st)
+	}
+}
+
+// TestPoolSubmitDuringParkRace hammers the submit/park race: tiny task
+// bursts separated by idle gaps, so submissions constantly land while
+// workers are deciding to park. A lost wakeup would hang drainTo.
+func TestPoolSubmitDuringParkRace(t *testing.T) {
+	p := New(4)
+	stop := startPool(p)
+	defer stop()
+	var ran atomic.Int64
+	var want int64
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			p.Submit(func(w int) { ran.Add(1) })
+			want++
+		}
+		drainTo(t, &ran, want)
+	}
+}
+
+func TestPoolStopAbandonsQueuedTasks(t *testing.T) {
+	p := New(1)
+	var ran atomic.Int64
+	// Not started: everything stays queued.
+	for i := 0; i < 10; i++ {
+		p.Submit(func(w int) { ran.Add(1) })
+	}
+	p.Stop()
+	p.Start(func(f func()) { go f() })
+	p.Wait() // workers observe stopped and exit without draining
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("stopped pool ran %d tasks", got)
+	}
+}
+
+func TestPoolBusyAccounting(t *testing.T) {
+	p := New(2)
+	stop := startPool(p)
+	var ran atomic.Int64
+	p.Submit(func(w int) {
+		time.Sleep(5 * time.Millisecond)
+		ran.Add(1)
+	})
+	drainTo(t, &ran, 1)
+	stop()
+	st := p.Stats()
+	var total time.Duration
+	for _, d := range st.Busy {
+		total += d
+	}
+	if total < 5*time.Millisecond {
+		t.Fatalf("busy time %v does not cover the 5ms task", total)
+	}
+	if len(st.Busy) != 2 || st.Workers != 2 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+}
+
+func TestNewFloorsWorkers(t *testing.T) {
+	if got := New(0).Workers(); got != 1 {
+		t.Fatalf("New(0).Workers() = %d, want 1", got)
+	}
+	if got := New(-3).Workers(); got != 1 {
+		t.Fatalf("New(-3).Workers() = %d, want 1", got)
+	}
+}

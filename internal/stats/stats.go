@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a concurrency-safe monotonic counter.
@@ -136,6 +137,19 @@ type Registry struct {
 	NetworkBytes       Counter // bytes shipped across simulated links
 	FilterNetWork      Counter // of which, AIP filter payloads
 	BreakerTransitions Counter // circuit-breaker state changes across sites
+
+	// Work-stealing scheduler counters (morsel engine only; all zero on
+	// the chan path). Morsels/steals/parks sit next to the per-partition
+	// skew counters so steal storms and idle workers are visible in the
+	// same report as radix skew.
+	SchedMorsels Counter // pool tasks executed
+	SchedSteals  Counter // tasks taken from another worker's deque
+	SchedParks   Counter // worker park (sleep) transitions
+	SchedUnparks Counter // worker wakeups for new work
+
+	schedMu      sync.Mutex
+	schedWorkers int
+	schedBusy    []time.Duration // per pool worker: time spent running tasks
 }
 
 // NewRegistry creates an empty stats registry.
@@ -173,6 +187,35 @@ func (r *Registry) Reset() {
 	r.NetworkBytes.reset()
 	r.FilterNetWork.reset()
 	r.BreakerTransitions.reset()
+	r.SchedMorsels.reset()
+	r.SchedSteals.reset()
+	r.SchedParks.reset()
+	r.SchedUnparks.reset()
+	r.schedMu.Lock()
+	r.schedWorkers = 0
+	r.schedBusy = nil
+	r.schedMu.Unlock()
+}
+
+// RecordSched publishes one execution's work-stealing pool counters. The
+// exec layer calls it once, after the pool has fully quiesced.
+func (r *Registry) RecordSched(workers int, morsels, steals, parks, unparks int64, busy []time.Duration) {
+	r.SchedMorsels.Add(morsels)
+	r.SchedSteals.Add(steals)
+	r.SchedParks.Add(parks)
+	r.SchedUnparks.Add(unparks)
+	r.schedMu.Lock()
+	r.schedWorkers = workers
+	r.schedBusy = append([]time.Duration(nil), busy...)
+	r.schedMu.Unlock()
+}
+
+// SchedBusy returns the last recorded pool width and per-worker busy
+// times (nil when the execution ran on the chan scheduler).
+func (r *Registry) SchedBusy() (workers int, busy []time.Duration) {
+	r.schedMu.Lock()
+	defer r.schedMu.Unlock()
+	return r.schedWorkers, append([]time.Duration(nil), r.schedBusy...)
 }
 
 // NewOp registers and returns a stats block for a named operator. The
@@ -293,6 +336,16 @@ func (r *Registry) Report() string {
 	if t := r.BreakerTransitions.Load() + r.TotalRetries(); t > 0 {
 		out += fmt.Sprintf("recovery: retries=%d wasted-bytes=%d breaker-transitions=%d\n",
 			r.TotalRetries(), r.TotalWastedBytes(), r.BreakerTransitions.Load())
+	}
+	if r.SchedMorsels.Load() > 0 {
+		w, busy := r.SchedBusy()
+		var bs []string
+		for _, d := range busy {
+			bs = append(bs, d.Round(time.Microsecond).String())
+		}
+		out += fmt.Sprintf("sched: workers=%d morsels=%d steals=%d parks=%d unparks=%d busy=[%s]\n",
+			w, r.SchedMorsels.Load(), r.SchedSteals.Load(),
+			r.SchedParks.Load(), r.SchedUnparks.Load(), strings.Join(bs, " "))
 	}
 	return out
 }

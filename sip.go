@@ -57,12 +57,24 @@
 //
 //	stmt, err := eng.Prepare(ctx, `SELECT n_name FROM nation WHERE n_nationkey = ?`)
 //	res, err := stmt.Query(ctx, sip.Int(7))
+//
+// Two execution schedulers are available (Options.Scheduler). The default
+// "chan" engine runs one goroutine per operator per partition, glued by
+// buffered channels. The "morsel" engine runs the same plan on a per-query
+// work-stealing worker pool (internal/sched): scans range-split into
+// morsels so one big table uses every core, stateless operators fuse into
+// the producing task, and partitioned operators hand off through actor
+// inboxes instead of channels. Both produce identical results; the pool
+// width follows Options.Parallelism (GOMAXPROCS by default), clamped by
+// the plan's cardinality estimate and degraded under concurrent-query
+// load instead of oversubscribing goroutines.
 package sip
 
 import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -243,18 +255,37 @@ type Options struct {
 	OnSourceFailure FailureMode
 
 	// Parallelism is the radix-partition fan-out of the stateful operators
-	// (hash join, aggregation, distinct): how many cores a single operator
-	// can saturate. Zero means GOMAXPROCS; the executor rounds it down to a
-	// power of two. One reproduces the single-owner data path exactly.
+	// (hash join, aggregation, distinct) and, under the morsel scheduler,
+	// the worker-pool width: how many cores one query can saturate. Zero
+	// means runtime.GOMAXPROCS(0); the executor rounds it down to a power
+	// of two, caps it at 64, and clamps it by the optimizer's cardinality
+	// estimate so tiny inputs skip the fan-out overhead. The morsel pool
+	// additionally degrades under MaxConcurrentQueries admission load
+	// (width divided by the number of running queries, floored at one)
+	// instead of oversubscribing goroutines. One reproduces the
+	// single-owner data path exactly.
 	Parallelism int
 
 	// PipelineDepth is the per-edge channel buffer in batches (pipeline
 	// edges and partition scatter channels). Zero means the executor's
 	// default (exec.DefaultPipelineDepth); deeper buffers absorb rate
 	// jitter between producers and consumers at the cost of more
-	// in-flight batches.
+	// in-flight batches. Chan scheduler only: the morsel engine has no
+	// internal channels and uses it just for the root output edge.
 	PipelineDepth int
+
+	// Scheduler selects the execution engine: SchedulerChan (default, one
+	// goroutine per operator per partition) or SchedulerMorsel (work-
+	// stealing worker pool with range-split parallel scans). Results are
+	// identical; plans the morsel compiler cannot run fall back to chan.
+	Scheduler string
 }
+
+// Scheduler values for Options.Scheduler.
+const (
+	SchedulerChan   = exec.SchedulerChan
+	SchedulerMorsel = exec.SchedulerMorsel
+)
 
 func (o Options) delay() *exec.DelayConfig {
 	d := o.Delay
@@ -366,10 +397,11 @@ type EngineConfig struct {
 // many goroutines may Query/QueryStream/Prepare on one engine at once, with
 // admission bounded by EngineConfig.MaxConcurrentQueries.
 type Engine struct {
-	cat    *catalog.Catalog
-	cache  *planCache    // nil when disabled
-	sem    chan struct{} // nil when unlimited
-	pooled bool          // recycle per-query stats registries
+	cat     *catalog.Catalog
+	cache   *planCache    // nil when disabled
+	sem     chan struct{} // nil when unlimited
+	pooled  bool          // recycle per-query stats registries
+	running atomic.Int64  // queries currently executing (adaptive parallelism)
 }
 
 // NewEngine creates an engine over the catalog with the default config.

@@ -83,9 +83,11 @@ func (e *Engine) plan(sql string, opts Options) (*enginePlan, error) {
 }
 
 // planKey fingerprints the option fields that change the compiled plan
-// (placement, rewrite, pacing); runtime-only knobs (FPR, summary kind,
-// parallelism, pipeline depth, cost-model constants) are deliberately
-// excluded so they share one cached plan.
+// (placement, rewrite, pacing) plus the scheduler knobs (Scheduler and the
+// Parallelism input to the adaptive-P clamp), so cached plans never cross
+// scheduler modes; the remaining runtime-only knobs (FPR, summary kind,
+// pipeline depth, cost-model constants) are deliberately excluded so they
+// share one cached plan.
 func planKey(sql string, opts Options) string {
 	var sb strings.Builder
 	sb.WriteString(sql)
@@ -124,6 +126,8 @@ func planKey(sql string, opts Options) string {
 	}
 	sb.WriteByte(0)
 	fmt.Fprintf(&sb, "%d", opts.SourceBytesPerSec)
+	sb.WriteByte(0)
+	fmt.Fprintf(&sb, "%s/%d", opts.Scheduler, opts.Parallelism)
 	return sb.String()
 }
 

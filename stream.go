@@ -59,18 +59,31 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 	default:
 		return nil, fmt.Errorf("sip: unknown strategy %d", opts.Strategy)
 	}
+	switch opts.Scheduler {
+	case "", SchedulerChan, SchedulerMorsel:
+	default:
+		return nil, fmt.Errorf("sip: unknown scheduler %q", opts.Scheduler)
+	}
 
 	// Admission: block until an execution slot frees or the caller gives up.
-	release := func() {}
+	// The running counter feeds the morsel scheduler's adaptive parallelism
+	// (pool width degrades under load instead of oversubscribing).
 	if e.sem != nil {
 		select {
 		case e.sem <- struct{}{}:
-			var once sync.Once
-			sem := e.sem
-			release = func() { once.Do(func() { <-sem }) }
 		case <-ctx.Done():
 			return nil, context.Cause(ctx)
 		}
+	}
+	e.running.Add(1)
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			e.running.Add(-1)
+			if e.sem != nil {
+				<-e.sem
+			}
+		})
 	}
 
 	inst, err := p.built.Instantiate(args)
@@ -87,6 +100,8 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 	ectx := exec.NewContext(reg, nil)
 	ectx.Parallelism = opts.Parallelism
 	ectx.PipelineDepth = opts.PipelineDepth
+	ectx.Scheduler = opts.Scheduler
+	ectx.Load = func() int { return int(e.running.Load()) }
 
 	// Recovery: per-query breaker set (transitions feed the registry) plus
 	// the retry policy and failure mode from the options.
@@ -138,7 +153,7 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 		}, nil
 	}
 
-	out := inst.Root.Start(ectx)
+	out := exec.StartPlan(ectx, inst.Root)
 
 	return &Rows{
 		sch:       p.schema,
