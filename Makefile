@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench benchdiff verify
+.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench filterbench benchdiff verify
 
 all: build
 
@@ -26,10 +26,11 @@ bench:
 # test-race: the executor's concurrency tests (partitioned join/agg
 # determinism, cancellation, the morsel scheduler differentials), the
 # work-stealing pool's park/steal races, the scalar-vs-vectorized
-# expression differential tests, and the network fault/breaker tests under
-# the race detector.
+# expression differential tests, the network fault/breaker tests, and the
+# blocked-filter / striped-Partial merge-exactness differentials under the
+# race detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/sched ./internal/core ./internal/expr ./internal/network .
+	$(GO) test -race ./internal/exec ./internal/sched ./internal/core ./internal/expr ./internal/network ./internal/bloom ./internal/filter .
 
 # chaos: the full fault-injection matrix (seeds × fault profiles ×
 # Fail/Partial × strategies) plus the recovery smoke tests, under the race
@@ -64,6 +65,13 @@ stmtbench:
 # lands on this PR's entry.
 schedbench:
 	$(GO) run ./cmd/sipbench -schedbench
+
+# filterbench: measure the blocked-vs-flat Bloom filter kernels (build,
+# merge, probe rates plus the P=8 working-set bytes) and record them on the
+# latest BENCH_joins.json entry. Run after joinbench so the section lands on
+# this PR's entry.
+filterbench:
+	$(GO) run ./cmd/sipbench -filterbench
 
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.

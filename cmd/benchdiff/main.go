@@ -59,6 +59,14 @@ type schedCell struct {
 	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
 }
 
+type filterCell struct {
+	Name              string  `json:"name"`
+	BuildTuplesPerSec float64 `json:"build_tuples_per_sec"`
+	MergeTuplesPerSec float64 `json:"merge_tuples_per_sec"`
+	ProbeTuplesPerSec float64 `json:"probe_tuples_per_sec"`
+	WorkingSetBytesP8 int64   `json:"working_set_bytes_p8"`
+}
+
 type entry struct {
 	Generated       string         `json:"generated"`
 	Machine         string         `json:"machine"`
@@ -67,6 +75,7 @@ type entry struct {
 	ExprMicrobench  []exprCell     `json:"expr_microbench"`
 	StmtMicrobench  []stmtCell     `json:"stmt_microbench"`
 	SchedBench      []schedCell    `json:"sched_bench"`
+	FilterBench     []filterCell   `json:"filter_bench"`
 }
 
 type trajectory struct {
@@ -223,6 +232,76 @@ func main() {
 	}
 	if chanP1 > 0 && morselP1 > 0 {
 		intra("sched morsel-vs-chan", "P=1 input_tuples_per_sec", chanP1, morselP1)
+	}
+	// Filter benchmark (sipbench -filterbench). Cross-entry: the three
+	// kernel rates per variant, same-machine only. Intra-entry, always
+	// gating: the blocked-batch probe site must never fall below the live
+	// flat-scalar site, must stay at least 1.5× above the frozen pre-PR
+	// probe site (probe-site-pr6 — the recorded entries show ~2-2.5×; the
+	// floor leaves noise margin so a noisy shared runner cannot spuriously
+	// block an unrelated PR), and its P=8 working set must stay at or below
+	// 1/4 of the flat full-geometry copies — enforced even on the section's
+	// first appearance. The flat-scalar floor is 1×, not higher: the same
+	// shared-encode fast path that feeds the batch kernel also feeds the
+	// scalar site, so their gap measures batching alone.
+	if prev.Machine == cur.Machine {
+		prevFilter := map[string]filterCell{}
+		for _, c := range prev.FilterBench {
+			prevFilter[c.Name] = c
+		}
+		for _, c := range cur.FilterBench {
+			if p, ok := prevFilter[c.Name]; ok {
+				check("filter:"+c.Name, "build_tuples_per_sec", p.BuildTuplesPerSec, c.BuildTuplesPerSec)
+				check("filter:"+c.Name, "probe_tuples_per_sec", p.ProbeTuplesPerSec, c.ProbeTuplesPerSec)
+				check("filter:"+c.Name, "merge_tuples_per_sec", p.MergeTuplesPerSec, c.MergeTuplesPerSec)
+			}
+		}
+	} else if len(cur.FilterBench) > 0 {
+		fmt.Println("benchdiff: note: filter_bench not compared across different machines")
+	}
+	var flatF, blockedF, pr6F filterCell
+	for _, c := range cur.FilterBench {
+		switch c.Name {
+		case "flat-scalar":
+			flatF = c
+		case "blocked-batch":
+			blockedF = c
+		case "probe-site-pr6":
+			pr6F = c
+		}
+	}
+	if flatF.ProbeTuplesPerSec > 0 && blockedF.ProbeTuplesPerSec > 0 {
+		ratio := blockedF.ProbeTuplesPerSec / flatF.ProbeTuplesPerSec
+		status := "ok"
+		if ratio < 1 {
+			status = "FLOOR VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-14s %-24s %14.0f vs %11.0f  %5.2fx  %s\n",
+			"filter intra", "blocked>=flat probe", flatF.ProbeTuplesPerSec,
+			blockedF.ProbeTuplesPerSec, ratio, status)
+	}
+	if pr6F.ProbeTuplesPerSec > 0 && blockedF.ProbeTuplesPerSec > 0 {
+		ratio := blockedF.ProbeTuplesPerSec / pr6F.ProbeTuplesPerSec
+		status := "ok"
+		if ratio < 1.5 {
+			status = "FLOOR VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-14s %-24s %14.0f vs %11.0f  %5.2fx  %s\n",
+			"filter intra", "batch>=1.5x pr6 site", pr6F.ProbeTuplesPerSec,
+			blockedF.ProbeTuplesPerSec, ratio, status)
+	}
+	if flatF.WorkingSetBytesP8 > 0 && blockedF.WorkingSetBytesP8 > 0 {
+		ratio := float64(flatF.WorkingSetBytesP8) / float64(blockedF.WorkingSetBytesP8)
+		status := "ok"
+		if ratio < 4 {
+			status = "FLOOR VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-14s %-24s %14d vs %11d  %5.2fx  %s\n",
+			"filter intra", "ws@P=8 <= flat/4 bytes", flatF.WorkingSetBytesP8,
+			blockedF.WorkingSetBytesP8, ratio, status)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs entry %s\n",

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/exec"
+	"repro/internal/filter"
+	"repro/internal/types"
+)
+
+// The filter benchmark compares the AIP summary paths head to head at an
+// equal false-positive budget (the paper's 5%), on three axes:
+//
+//   - build: inserting filterBenchN pre-hashed keys through the scalar
+//     (flat, blocked) or batch (blocked-batch) insert kernels.
+//   - probe: a half-present/half-absent tuple stream pushed through the
+//     PROBE SITE each engine configuration actually runs — the flat-scalar
+//     cell is the tuple-at-a-time site (one Hasher.KeyCols encode+hash and
+//     one FilterBank.ProbeHashed interface dispatch per tuple), the
+//     blocked-batch cell is the batch site (FilterBank.ProbeBatch: one
+//     batched encode pass, one dispatch, and one two-pass probe kernel per
+//     4096-tuple window). blocked-scalar isolates the layout change alone:
+//     the raw blocked kernel probed one precomputed hash at a time.
+//   - merge + working set at P=8: the per-slot working sets a partitioned
+//     producer maintains, folded into the one published summary. Flat slots
+//     are full-geometry copies (union compatibility); blocked slots are
+//     bloom.Partial working sets whose stripes allocate lazily. Keys are
+//     routed to slots by the top bits of their hash — exactly the
+//     executor's radix partitioning — which is what clusters each slot's
+//     block addresses into a contiguous stripe range.
+//
+// The probe-site-pr6 cell reconstructs the probe site as it shipped in
+// the previous entry (pre-PR byte-at-a-time key encode, tuple-at-a-time
+// ProbeHashed): the batch path's end-to-end speedup is measured against
+// it, because the shared encode fast path this PR added speeds the live
+// scalar site too — flat-scalar vs blocked-batch therefore isolates the
+// batching win alone, while pr6 vs blocked-batch is the full site-level
+// gain (~2-2.5× on the reference box).
+//
+// The section is recorded on the latest BENCH_joins.json entry
+// ("filter_bench"); `make benchdiff` gates it PR-over-PR per (variant,
+// metric) cell and — intra entry, so it holds even on the section's first
+// appearance — enforces the blocked-batch floors: probe rate never below
+// flat-scalar and at least 1.5× the frozen pr6 site, and P=8 working-set
+// bytes at most 1/4 of the flat copies.
+
+// filterBenchN sizes the benchmark filters well past L2 at the flat
+// geometry (~2.5MB at the 5% budget) so the probe numbers include each
+// layout's real cache footprint, not just its arithmetic.
+const filterBenchN = 1 << 22
+
+// filterBenchP is the simulated partition fan-out of the working-set
+// measurement.
+const filterBenchP = 8
+
+// filterBenchWindow is the probe-site batch width, matching the executor's
+// chunk size order of magnitude.
+const filterBenchWindow = 4096
+
+type filterBenchCell struct {
+	Name              string  `json:"name"`
+	Keys              int     `json:"keys"`
+	FilterBytes       int64   `json:"filter_bytes"`
+	BuildTuplesPerSec float64 `json:"build_tuples_per_sec"`
+	ProbeTuplesPerSec float64 `json:"probe_tuples_per_sec"`
+	MergeTuplesPerSec float64 `json:"merge_tuples_per_sec,omitempty"`
+	WorkingSetBytesP8 int64   `json:"working_set_bytes_p8,omitempty"`
+	FPRMeasured       float64 `json:"fpr_measured"`
+}
+
+// medianOf runs fn reps times and returns the median duration.
+func medianOf(reps int, fn func()) time.Duration {
+	times := make([]time.Duration, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+	return times[len(times)/2]
+}
+
+func runFilterBench(outPath string, reps int, overwrite bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	const n = filterBenchN
+	const fpr = bloom.DefaultFPR
+	keyCols := []int{0}
+
+	// Present keys are the int64s 0..n-1; the probe stream interleaves
+	// present keys (even lanes) with fresh keys (odd lanes — the absent
+	// half measures the FPR and the short-circuit path). Hashes are the
+	// canonical key-encoding hashes the engine routes and probes on.
+	presentHash := make([]uint64, n)
+	var kb []byte
+	for i := range presentHash {
+		kb = types.Tuple{types.Int(int64(i))}.AppendKeyCols(kb[:0], keyCols)
+		presentHash[i] = types.Hash64(kb, 0)
+	}
+	probeTuples := make([]types.Tuple, n)
+	probeHash := make([]uint64, n)
+	absent := 0
+	for i := range probeTuples {
+		v := int64(i / 2)
+		if i%2 == 1 {
+			v = int64(n + i)
+			absent++
+		}
+		probeTuples[i] = types.Tuple{types.Int(v)}
+		kb = probeTuples[i].AppendKeyCols(kb[:0], keyCols)
+		probeHash[i] = types.Hash64(kb, 0)
+	}
+	// Slot assignment by the hash's top bits, matching the executor's
+	// radix partition routing.
+	slotOf := func(h uint64) int { return int(h >> 61) }
+
+	flatBits := bloom.BitsFor(n, fpr)
+	blockedBits := bloom.BlockedBitsFor(n, fpr)
+	blockedK := bloom.BlockedKFor(n, blockedBits)
+
+	var cells []filterBenchCell
+	record := func(c filterBenchCell) {
+		cells = append(cells, c)
+		fmt.Printf("filter %-14s %8.2e build/s %8.2e probe/s", c.Name,
+			c.BuildTuplesPerSec, c.ProbeTuplesPerSec)
+		if c.MergeTuplesPerSec > 0 {
+			fmt.Printf(" %8.2e merge/s %8.2f MB ws@P=%d", c.MergeTuplesPerSec,
+				float64(c.WorkingSetBytesP8)/(1<<20), filterBenchP)
+		}
+		fmt.Printf("  fpr=%.4f %6.2f MB\n", c.FPRMeasured, float64(c.FilterBytes)/(1<<20))
+	}
+
+	// ---- flat-scalar: the classic one-hash filter behind the
+	// tuple-at-a-time probe site — Hasher.KeyCols then FilterBank.ProbeHashed
+	// once per tuple, full-geometry per-slot copies on the build side.
+	{
+		var f *bloom.Filter
+		build := medianOf(reps, func() {
+			f = bloom.NewWithBits(flatBits, 0)
+			for _, h := range presentHash {
+				f.AddHash(h)
+			}
+		})
+		bank := exec.NewFilterBank()
+		bank.Attach(keyCols, filter.Bloom{F: f})
+		var hasher types.Hasher
+		hits := 0
+		probe := medianOf(reps, func() {
+			hits = 0
+			for _, t := range probeTuples {
+				h, key := hasher.KeyCols(t, keyCols)
+				if bank.ProbeHashed(t, keyCols, h, key, &hasher) {
+					hits++
+				}
+			}
+		})
+		copies := make([]*bloom.Filter, filterBenchP)
+		var ws int64
+		for i := range copies {
+			copies[i] = bloom.NewWithBits(flatBits, 0)
+			ws += int64(copies[i].SizeBytes())
+		}
+		for _, h := range presentHash {
+			copies[slotOf(h)].AddHash(h)
+		}
+		merge := medianOf(reps, func() {
+			dst := bloom.NewWithBits(flatBits, 0)
+			for _, c := range copies {
+				if err := dst.UnionWith(c); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		record(filterBenchCell{
+			Name:              "flat-scalar",
+			Keys:              n,
+			FilterBytes:       int64(f.SizeBytes()),
+			BuildTuplesPerSec: n / build.Seconds(),
+			ProbeTuplesPerSec: float64(len(probeTuples)) / probe.Seconds(),
+			MergeTuplesPerSec: n / merge.Seconds(),
+			WorkingSetBytesP8: ws,
+			FPRMeasured:       float64(hits-n/2) / float64(absent),
+		})
+	}
+
+	// ---- probe-site-pr6: the probe site as it shipped in the previous
+	// entry, reconstructed as a frozen baseline — per-tuple byte-at-a-time
+	// key encoding (the pre-PR Value.AppendKey loop, preserved verbatim
+	// below), Hash64 over the buffered bytes, then tuple-at-a-time
+	// ProbeHashed against the flat filter. The live flat-scalar cell above
+	// rides the shared encode fast path this PR added engine-wide, so it
+	// tracks the scalar site as it now is; this cell pins what the site
+	// cost before the PR, which is what the batch path's end-to-end
+	// speedup is measured against PR-over-PR.
+	{
+		oldAppendKey := func(dst []byte, v int64) []byte {
+			dst = append(dst, 0x01)
+			u := uint64(v)
+			return append(dst,
+				byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+				byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+		}
+		f := bloom.NewWithBits(flatBits, 0)
+		for _, h := range presentHash {
+			f.AddHash(h)
+		}
+		bank := exec.NewFilterBank()
+		bank.Attach(keyCols, filter.Bloom{F: f})
+		var scratch types.Hasher
+		var buf []byte
+		hits := 0
+		probe := medianOf(reps, func() {
+			hits = 0
+			for _, t := range probeTuples {
+				v, _ := t[0].AsInt()
+				buf = oldAppendKey(buf[:0], v)
+				h := types.Hash64(buf, 0)
+				if bank.ProbeHashed(t, keyCols, h, buf, &scratch) {
+					hits++
+				}
+			}
+		})
+		record(filterBenchCell{
+			Name:              "probe-site-pr6",
+			Keys:              n,
+			FilterBytes:       int64(f.SizeBytes()),
+			BuildTuplesPerSec: 0,
+			ProbeTuplesPerSec: float64(len(probeTuples)) / probe.Seconds(),
+			FPRMeasured:       float64(hits-n/2) / float64(absent),
+		})
+	}
+
+	// ---- blocked-scalar: the cache-line-blocked layout probed one
+	// precomputed hash at a time, outside any probe site; isolates the
+	// layout change from the batch-site change.
+	{
+		var f *bloom.Blocked
+		build := medianOf(reps, func() {
+			f = bloom.NewBlockedWithGeometry(blockedBits, blockedK, 0)
+			for _, h := range presentHash {
+				f.AddHash(h)
+			}
+		})
+		hits := 0
+		probe := medianOf(reps, func() {
+			hits = 0
+			for _, h := range probeHash {
+				if f.ProbeHash(h) {
+					hits++
+				}
+			}
+		})
+		record(filterBenchCell{
+			Name:              "blocked-scalar",
+			Keys:              n,
+			FilterBytes:       int64(f.SizeBytes()),
+			BuildTuplesPerSec: n / build.Seconds(),
+			ProbeTuplesPerSec: float64(len(probeHash)) / probe.Seconds(),
+			FPRMeasured:       float64(hits-n/2) / float64(absent),
+		})
+	}
+
+	// ---- blocked-batch: the batch probe site (FilterBank.ProbeBatch with
+	// a per-worker ProbeScratch) over the blocked layout, plus striped
+	// Partial working sets — the configuration the engine runs by default.
+	{
+		var f *bloom.Blocked
+		build := medianOf(reps, func() {
+			f = bloom.NewBlockedWithGeometry(blockedBits, blockedK, 0)
+			f.AddHashBatch(presentHash)
+		})
+		bank := exec.NewFilterBank()
+		bank.Attach(keyCols, filter.Blocked{F: f})
+		var sc exec.ProbeScratch
+		sel := make([]int32, filterBenchWindow)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		out := make([]int32, 0, len(sel))
+		hits := 0
+		probe := medianOf(reps, func() {
+			hits = 0
+			for start := 0; start < len(probeTuples); start += len(sel) {
+				c := len(probeTuples) - start
+				if c > len(sel) {
+					c = len(sel)
+				}
+				out = bank.ProbeBatch(probeTuples[start:start+c], keyCols, sel[:c], out[:0], &sc)
+				hits += len(out)
+			}
+		})
+		partials := make([]*bloom.Partial, filterBenchP)
+		for i := range partials {
+			partials[i] = bloom.NewPartial(blockedBits, blockedK, 0)
+		}
+		for _, h := range presentHash {
+			partials[slotOf(h)].AddHash(h)
+		}
+		var ws int64
+		for _, p := range partials {
+			ws += int64(p.SizeBytes())
+		}
+		merge := medianOf(reps, func() {
+			dst := bloom.NewBlockedWithGeometry(blockedBits, blockedK, 0)
+			for _, p := range partials {
+				if err := p.MergeInto(dst); err != nil {
+					fatal(err)
+				}
+			}
+		})
+		record(filterBenchCell{
+			Name:              "blocked-batch",
+			Keys:              n,
+			FilterBytes:       int64(f.SizeBytes()),
+			BuildTuplesPerSec: n / build.Seconds(),
+			ProbeTuplesPerSec: float64(len(probeTuples)) / probe.Seconds(),
+			MergeTuplesPerSec: n / merge.Seconds(),
+			WorkingSetBytesP8: ws,
+			FPRMeasured:       float64(hits-n/2) / float64(absent),
+		})
+	}
+
+	return recordBenchSection(outPath, "filter_bench", cells, overwrite)
+}

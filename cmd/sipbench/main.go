@@ -9,6 +9,7 @@
 //	sipbench -query Q2A -strategy Feed-forward -v
 //	sipbench -joinbench                # write BENCH_joins.json
 //	sipbench -schedbench               # record the chan-vs-morsel section
+//	sipbench -filterbench              # record the blocked-vs-flat filter section
 //
 // Output is the same series the paper's figures plot: per query, one
 // running-time (or intermediate-state) value per execution strategy, with
@@ -71,13 +72,14 @@ func main() {
 		joinbench  = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
 		exprbench  = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
 		stmtbench  = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
-		schedbench = flag.Bool("schedbench", false, "run the chan-vs-morsel scheduler benchmark and record it in -benchout")
-		benchout   = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench")
-		overwrite  = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
+		schedbench  = flag.Bool("schedbench", false, "run the chan-vs-morsel scheduler benchmark and record it in -benchout")
+		filterbench = flag.Bool("filterbench", false, "run the blocked-vs-flat Bloom filter benchmark and record it in -benchout")
+		benchout    = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench / -filterbench")
+		overwrite   = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench/-filterbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
 	)
 	flag.Parse()
 
-	if *joinbench || *exprbench || *stmtbench || *schedbench {
+	if *joinbench || *exprbench || *stmtbench || *schedbench || *filterbench {
 		if *joinbench {
 			if err := runJoinBench(*benchout, *reps); err != nil {
 				fatal(err)
@@ -95,6 +97,11 @@ func main() {
 		}
 		if *schedbench {
 			if err := runSchedBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
+		}
+		if *filterbench {
+			if err := runFilterBench(*benchout, *reps, *overwrite); err != nil {
 				fatal(err)
 			}
 		}

@@ -206,6 +206,13 @@ func main() {
 	fmt.Printf("\n%d row(s) in %v; state peak %.2f MB; %d filter(s), %d tuple(s) pruned\n",
 		n, time.Since(start).Round(time.Millisecond),
 		float64(res.PeakStateBytes)/(1<<20), res.FiltersCreated, res.TuplesPruned)
+	// Filter-memory accounting is diagnostic detail: keep the default
+	// footer identical across strategies (scripts diff it) and only print
+	// it alongside the full report.
+	if *stats && (res.FilterBytes > 0 || res.PeakFilterWorkingBytes > 0) {
+		fmt.Printf("filter memory: %.2f KB total, %.2f KB working-set peak\n",
+			float64(res.FilterBytes)/(1<<10), float64(res.PeakFilterWorkingBytes)/(1<<10))
+	}
 	if res.Retries > 0 || res.BreakerTransitions > 0 || res.WastedBytes > 0 {
 		fmt.Printf("recovery: %d retr%s, %d breaker transition(s), %d wasted byte(s)\n",
 			res.Retries, plural(res.Retries, "y", "ies"), res.BreakerTransitions, res.WastedBytes)

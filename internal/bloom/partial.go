@@ -1,0 +1,220 @@
+// Partial: a memory-frugal per-slot builder for one Blocked filter.
+//
+// The Feed-Forward controller gives every producer slot (partition worker)
+// a private working set so insertions need no synchronization, then merges
+// the slots when the point completes. Giving each of P slots a full copy of
+// the final geometry costs P× the filter's footprint even when a slot only
+// ever sees a handful of keys. Partial fixes that with two stages:
+//
+//  1. A size-doubling log: an open-addressed set of the raw 64-bit key
+//     hashes, starting at 64 entries (512 bytes) and doubling on a 3/4
+//     load factor. Small slots never leave this stage.
+//  2. Stripes of the final geometry, entered once the log would outgrow
+//     max(1 KB, final/8) bytes: the block range is cut into up to 64
+//     stripes and each stripe's words are allocated only when a key lands
+//     in it. Because the block index is monotone in the high hash bits —
+//     the same bits that drive radix partitioning — a partition-confined
+//     slot touches one contiguous run of blocks and allocates ~1/P of the
+//     geometry, so P striped slots together cost about ONE full filter
+//     instead of P.
+//
+// MergeInto is exact: a key's final (block, bits) are pure functions of its
+// hash, so replaying the log or ORing stripes at their block offsets yields
+// bit-for-bit the filter direct insertion would have built.
+package bloom
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+const (
+	partialLogInit   = 64 // initial log capacity (entries)
+	partialLogMin    = 1 << 10
+	partialMaxStripe = 64 // stripes the final geometry is cut into
+)
+
+// Partial accumulates one slot's insertions for a Blocked filter of the
+// given final geometry. It is not concurrency-safe: the executor serializes
+// all calls for one slot (the OnStore contract).
+type Partial struct {
+	nblocks uint64
+	k       uint32
+	seed    uint64
+
+	// Stage 1: open-addressed log of distinct key hashes. hasZero covers
+	// the one hash that collides with the empty-slot sentinel.
+	log     []uint64
+	logN    int
+	hasZero bool
+
+	// Stage 2: lazily allocated stripes of the final block range.
+	stripes      [][]uint64
+	stripeBlocks uint64 // blocks per stripe (last stripe may be short)
+
+	inserts int // every AddHash call, duplicates included (matches Blocked.n)
+	bytes   int // currently allocated filter bytes (log + stripes)
+}
+
+// NewPartial creates a slot working set whose MergeInto target is
+// NewBlockedWithGeometry(nbits, k, seed). Geometry is normalized exactly
+// like NewBlockedWithGeometry so the two always agree.
+func NewPartial(nbits uint64, k uint32, seed uint64) *Partial {
+	if nbits < BlockBits {
+		nbits = BlockBits
+	}
+	nblocks := (nbits + BlockBits - 1) / BlockBits
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxBlockedK {
+		k = MaxBlockedK
+	}
+	p := &Partial{
+		nblocks: nblocks,
+		k:       k,
+		seed:    seed,
+		log:     make([]uint64, partialLogInit),
+	}
+	p.bytes = len(p.log) * 8
+	return p
+}
+
+// AddHash records a key by its precomputed hash (types.Hash64 of the
+// canonical key encoding with seed 0).
+func (p *Partial) AddHash(h uint64) {
+	p.inserts++
+	if p.stripes != nil {
+		p.addStriped(h)
+		return
+	}
+	if h == 0 {
+		if !p.hasZero {
+			p.hasZero = true
+			p.logN++
+		}
+		return
+	}
+	mask := uint64(len(p.log) - 1)
+	i := h & mask
+	for {
+		v := p.log[i]
+		if v == h {
+			return
+		}
+		if v == 0 {
+			p.log[i] = h
+			p.logN++
+			break
+		}
+		i = (i + 1) & mask
+	}
+	if p.logN*4 >= len(p.log)*3 {
+		p.growLog()
+	}
+}
+
+// growLog doubles the log, converting to stripes once the doubled log
+// would cost more than an eighth of the final geometry (small geometries
+// convert past a 1 KB floor so tiny filters don't thrash between stages).
+func (p *Partial) growLog() {
+	limit := int(p.nblocks) * (BlockBits / 8) / 8
+	if limit < partialLogMin {
+		limit = partialLogMin
+	}
+	if len(p.log)*2*8 > limit {
+		p.convert()
+		return
+	}
+	old := p.log
+	p.log = make([]uint64, len(old)*2)
+	p.bytes += len(p.log)*8 - len(old)*8
+	mask := uint64(len(p.log) - 1)
+	for _, h := range old {
+		if h == 0 {
+			continue
+		}
+		i := h & mask
+		for p.log[i] != 0 {
+			i = (i + 1) & mask
+		}
+		p.log[i] = h
+	}
+}
+
+// convert switches to stage 2, replaying every logged hash into stripes.
+func (p *Partial) convert() {
+	p.stripeBlocks = (p.nblocks + partialMaxStripe - 1) / partialMaxStripe
+	nstripes := (p.nblocks + p.stripeBlocks - 1) / p.stripeBlocks
+	p.stripes = make([][]uint64, nstripes)
+	old := p.log
+	p.log = nil
+	p.bytes -= len(old) * 8
+	for _, h := range old {
+		if h != 0 {
+			p.addStriped(h)
+		}
+	}
+	if p.hasZero {
+		p.addStriped(0)
+	}
+}
+
+func (p *Partial) addStriped(h uint64) {
+	block := ((h >> 32) * p.nblocks) >> 32
+	s := block / p.stripeBlocks
+	st := p.stripes[s]
+	if st == nil {
+		blocks := p.stripeBlocks
+		if rem := p.nblocks - s*p.stripeBlocks; rem < blocks {
+			blocks = rem
+		}
+		st = make([]uint64, blocks*blockWords)
+		p.stripes[s] = st
+		p.bytes += len(st) * 8
+	}
+	base := (block - s*p.stripeBlocks) * blockWords
+	w, mask := blockedMask(types.Mix64(h, p.seed^blockedSalt), p.k)
+	st[base+w] |= mask
+}
+
+// Len returns the number of AddHash calls recorded (duplicates included),
+// matching what Blocked.Len would report after the same insertions.
+func (p *Partial) Len() int { return p.inserts }
+
+// SizeBytes returns the currently allocated working-set bytes — the
+// number the striped design exists to shrink.
+func (p *Partial) SizeBytes() int { return p.bytes }
+
+// MergeInto ORs the slot's accumulated keys into dst, which must have the
+// geometry the Partial was created for. The result is bit-identical to
+// having called dst.AddHash for every AddHash the Partial received.
+func (p *Partial) MergeInto(dst *Blocked) error {
+	if dst == nil || dst.nblocks != p.nblocks || dst.k != p.k || dst.seed != p.seed {
+		return fmt.Errorf("bloom: cannot merge partial (%d blocks, k=%d, seed=%d) into mismatched filter",
+			p.nblocks, p.k, p.seed)
+	}
+	if p.stripes == nil {
+		for _, h := range p.log {
+			if h != 0 {
+				dst.setHash(h)
+			}
+		}
+		if p.hasZero {
+			dst.setHash(0)
+		}
+	} else {
+		for s, st := range p.stripes {
+			if st == nil {
+				continue
+			}
+			base := uint64(s) * p.stripeBlocks * blockWords
+			for i, w := range st {
+				dst.words[base+uint64(i)] |= w
+			}
+		}
+	}
+	dst.n += p.inserts
+	return nil
+}

@@ -35,31 +35,42 @@ type FeedForward struct {
 // workingSet is one producer's incrementally built AIP set, sharded by the
 // executor's partition slots: OnStore(slot, t) feeds slot-private summaries
 // (each slot has exactly one writer goroutine, so the per-tuple path takes
-// no lock), and PointDone merges the slots — bitwise OR for Bloom filters,
-// bucket union for hash sets — into the published summary. discarded is
-// flipped when interest drops to zero; in-flight writers observe it and
-// stop cheaply.
+// no lock), and PointDone merges the slots — striped/replayed merge for
+// blocked Bloom partials, bitwise OR for flat Bloom filters, bucket union
+// for hash sets — into the published summary. discarded is flipped when
+// interest drops to zero; in-flight writers observe it and stop cheaply.
 //
-// Memory: a slot's Bloom filter must be full-sized (union compatibility
-// requires equal geometry), so a producer running at partition fan-out P
-// holds up to P copies of the working filter until PointDone. That is the
-// price of a lock-free state-build phase that scales with P; hash-set
-// slots grow only with their content.
+// Memory: under the blocked variant a slot holds a bloom.Partial — a
+// size-doubling key-hash log that converts to lazily-allocated block
+// stripes — so a producer running at partition fan-out P pays for what its
+// slots actually saw, not P full-geometry copies; the exact merge into the
+// class geometry happens once, at PointDone. The flat variant keeps the
+// original full-sized per-slot copies (union compatibility requires equal
+// geometry) and serves as the memory baseline the benchmarks compare
+// against. Hash-set slots grow only with their content. bytes tracks the
+// working memory currently allocated across slots, released from the
+// owning operator's FilterWorking gauge when the set is merged or
+// discarded.
 type workingSet struct {
-	class int
-	col   int    // state-schema column holding the attribute
-	bits  uint64 // Bloom geometry shared by every slot (merge-compatible)
-	exact bool   // hash-set slots instead of Bloom slots
+	class   int
+	col     int    // state-schema column holding the attribute
+	bits    uint64 // Bloom geometry shared by every slot (merge-compatible)
+	k       uint32 // blocked in-block probe count
+	blocked bool   // blocked Bloom partial slots
+	exact   bool   // hash-set slots instead of Bloom slots
 
 	discarded atomic.Bool
+	bytes     atomic.Int64
 	slots     [exec.MaxPartitions]atomic.Pointer[slotSet]
 }
 
 // slotSet is one partition slot's private summary plus its key-encoding
 // scratch. Only the owning partition goroutine touches it before the merge;
 // the atomic slot pointer publishes it to the merger (every OnStore call
-// happens-before PointDone).
+// happens-before PointDone). Exactly one of pb/bf/hs is set, per the
+// working set's variant.
 type slotSet struct {
+	pb  *bloom.Partial
 	bf  *bloom.Filter
 	hs  *filter.HashSet
 	buf []byte
@@ -77,9 +88,13 @@ func (ws *workingSet) slot(i int) (ss *slotSet, bytesAdded int) {
 		return ss, 0
 	}
 	ss = &slotSet{}
-	if ws.exact {
+	switch {
+	case ws.exact:
 		ss.hs = filter.NewHashSet(ffSlotBuckets)
-	} else {
+	case ws.blocked:
+		ss.pb = bloom.NewPartial(ws.bits, ws.k, 0)
+		bytesAdded = ss.pb.SizeBytes()
+	default:
 		ss.bf = bloom.NewWithBits(ws.bits, 0)
 		bytesAdded = ss.bf.SizeBytes()
 	}
@@ -91,7 +106,8 @@ func (ws *workingSet) slot(i int) (ss *slotSet, bytesAdded int) {
 type ffClassState struct {
 	interest int // live consumer points
 	working  map[*exec.Point]*workingSet
-	merged   *bloom.Filter // intersection of published Bloom sets
+	merged   *bloom.Filter  // intersection of published flat Bloom sets
+	mergedB  *bloom.Blocked // intersection of published blocked Bloom sets
 	// attached tracks the summary currently injected per consumer point so
 	// a stronger merge can replace it in place.
 	attached map[*exec.Point]filter.Summary
@@ -114,7 +130,7 @@ func (f *FeedForward) RegisterPoint(p *exec.Point) {
 func (f *FeedForward) Begin() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.classes = analyze(f.points, f.opts.fpr())
+	f.classes = analyze(f.points, f.opts.fpr(), f.opts.Variant)
 
 	producedBy := map[*exec.Point][]*workingSet{}
 	for id, ci := range f.classes {
@@ -136,7 +152,11 @@ func (f *FeedForward) Begin() {
 				continue
 			}
 			seenProducer[pr.point] = true
-			ws := &workingSet{class: id, col: pr.col, bits: ci.bits, exact: f.opts.Kind == SummaryHashSet}
+			ws := &workingSet{
+				class: id, col: pr.col, bits: ci.bits, k: ci.k,
+				blocked: f.opts.Kind != SummaryHashSet && f.opts.Variant == BlockedBloom,
+				exact:   f.opts.Kind == SummaryHashSet,
+			}
 			st.working[pr.point] = ws
 			producedBy[pr.point] = append(producedBy[pr.point], ws)
 		}
@@ -152,21 +172,35 @@ func (f *FeedForward) Begin() {
 		// and PointDone merges the slots. The key is still encoded and
 		// hashed once per (tuple, attribute), then fed to the summary by
 		// hash.
+		p := p
 		p.OnStore = func(slot int, t types.Tuple) {
 			for _, ws := range sets {
 				if ws.discarded.Load() {
 					continue
 				}
 				ss, added := ws.slot(slot)
-				if added > 0 {
-					f.opts.Stats.FilterBytes.Add(int64(added))
-				}
 				ss.buf = t[ws.col].AppendKey(ss.buf[:0])
 				h := types.Hash64(ss.buf, 0)
-				if ss.bf != nil {
+				switch {
+				case ss.pb != nil:
+					// The partial's log doubles and its stripes allocate
+					// lazily; account the growth as it happens so the
+					// working-set gauge tracks real allocation, not the
+					// full class geometry.
+					before := ss.pb.SizeBytes()
+					ss.pb.AddHash(h)
+					added += ss.pb.SizeBytes() - before
+				case ss.bf != nil:
 					ss.bf.AddHash(h)
-				} else {
+				default:
 					ss.hs.AddHash(h, ss.buf)
+				}
+				if added > 0 {
+					f.opts.Stats.FilterBytes.Add(int64(added))
+					ws.bytes.Add(int64(added))
+					if op := p.Op; op != nil {
+						op.FilterWorking.Add(int64(added))
+					}
 				}
 			}
 		}
@@ -174,11 +208,13 @@ func (f *FeedForward) Begin() {
 }
 
 // mergeSlots folds a retired working set's partition slots into one
-// summary: bitwise OR for Bloom slots (same geometry by construction),
-// bucket union for hash-set slots. A producer that stored nothing still
-// yields an empty summary — a completed empty input legitimately prunes
-// everything downstream.
-func (ws *workingSet) mergeSlots() (*bloom.Filter, *filter.HashSet) {
+// summary: stripe/replay merge of blocked partials into one full-geometry
+// blocked filter, bitwise OR for flat Bloom slots (same geometry by
+// construction), bucket union for hash-set slots. A producer that stored
+// nothing still yields an empty summary — a completed empty input
+// legitimately prunes everything downstream. Exactly one return value is
+// non-nil.
+func (ws *workingSet) mergeSlots() (*bloom.Filter, *bloom.Blocked, *filter.HashSet) {
 	if ws.exact {
 		var merged *filter.HashSet
 		for i := range ws.slots {
@@ -199,7 +235,21 @@ func (ws *workingSet) mergeSlots() (*bloom.Filter, *filter.HashSet) {
 		if merged == nil {
 			merged = filter.NewHashSet(ffSlotBuckets)
 		}
-		return nil, merged
+		return nil, nil, merged
+	}
+	if ws.blocked {
+		// The full class geometry is allocated exactly once, here — this is
+		// the moment P striped partials become one union-compatible filter.
+		merged := bloom.NewBlockedWithGeometry(ws.bits, ws.k, 0)
+		for i := range ws.slots {
+			ss := ws.slots[i].Load()
+			if ss == nil {
+				continue
+			}
+			// Same geometry by construction; the error cannot fire.
+			_ = ss.pb.MergeInto(merged)
+		}
+		return nil, merged, nil
 	}
 	var merged *bloom.Filter
 	for i := range ws.slots {
@@ -218,7 +268,7 @@ func (ws *workingSet) mergeSlots() (*bloom.Filter, *filter.HashSet) {
 	if merged == nil {
 		merged = bloom.NewWithBits(ws.bits, 0)
 	}
-	return merged, nil
+	return merged, nil, nil
 }
 
 // PointDone publishes the completed input's working sets, injects them into
@@ -239,21 +289,36 @@ func (f *FeedForward) PointDone(p *exec.Point) {
 		if ws, ok := st.working[p]; ok && !p.StateComplete() {
 			delete(st.working, p)
 			ws.discarded.Store(true)
+			releaseWorking(p, ws)
 		} else if ok {
 			delete(st.working, p)
 			ws.discarded.Store(true)
 			// Working sets cover every tuple that passed the input's
 			// filters — complete summaries of the subexpression even when
 			// the join short-circuited its buffering. The partition slots
-			// are merged (bitwise OR for Bloom, bucket union for hash
-			// sets) into the one summary that gets published; slot writes
-			// happen-before PointDone, so the merge needs no locks.
-			bf, hs := ws.mergeSlots()
-			if bf != nil {
+			// are merged (striped merge for blocked partials, bitwise OR
+			// for flat Bloom, bucket union for hash sets) into the one
+			// summary that gets published; slot writes happen-before
+			// PointDone, so the merge needs no locks.
+			bf, bb, hs := ws.mergeSlots()
+			releaseWorking(p, ws)
+			switch {
+			case bb != nil:
+				if op := p.Op; op != nil {
+					op.FilterBytes.Add(int64(bb.SizeBytes()))
+				}
+				f.publishBlocked(ci, st, bb)
+			case bf != nil:
+				if op := p.Op; op != nil {
+					op.FilterBytes.Add(int64(bf.SizeBytes()))
+				}
 				f.publishBloom(ci, st, bf)
-			} else {
+			default:
 				f.opts.Stats.FiltersMade.Inc()
 				f.opts.Stats.FilterBytes.Add(int64(hs.SizeBytes()))
+				if op := p.Op; op != nil {
+					op.FilterBytes.Add(int64(hs.SizeBytes()))
+				}
 				f.attachAll(ci, st, hs)
 			}
 		}
@@ -266,8 +331,20 @@ func (f *FeedForward) PointDone(p *exec.Point) {
 				for q, ws := range st.working {
 					ws.discarded.Store(true)
 					delete(st.working, q)
+					releaseWorking(q, ws)
 				}
 			}
+		}
+	}
+}
+
+// releaseWorking returns a retired working set's bytes to the owning
+// operator's in-progress gauge: the slot memory is dead after a merge or
+// discard (the published summary is accounted separately via FilterBytes).
+func releaseWorking(p *exec.Point, ws *workingSet) {
+	if op := p.Op; op != nil {
+		if n := ws.bytes.Load(); n > 0 {
+			op.FilterWorking.Add(-n)
 		}
 	}
 }
@@ -299,6 +376,42 @@ func (f *FeedForward) publishBloom(ci *classInfo, st *ffClassState, bf *bloom.Fi
 		f.opts.Stats.FilterBytes.Add(int64(next.SizeBytes()))
 	}
 	newSum := filter.Bloom{F: st.merged}
+	for _, co := range ci.consumers {
+		if co.point.Done() {
+			continue
+		}
+		old := st.attached[co.point]
+		if old == nil {
+			co.point.Bank.Attach([]int{co.col}, newSum)
+			f.opts.Stats.FiltersUsed.Inc()
+		} else {
+			co.point.Bank.Replace([]int{co.col}, old, newSum)
+		}
+		st.attached[co.point] = newSum
+	}
+}
+
+// publishBlocked merges a completed blocked-Bloom working set into the
+// registry and (re-)injects the merged summary into live consumers. The
+// full-geometry filter was allocated by mergeSlots, so its bytes are
+// charged here. Caller holds f.mu.
+func (f *FeedForward) publishBlocked(ci *classInfo, st *ffClassState, bb *bloom.Blocked) {
+	f.opts.Stats.FiltersMade.Inc()
+	f.opts.Stats.FilterBytes.Add(int64(bb.SizeBytes()))
+	if st.mergedB == nil {
+		st.mergedB = bb
+	} else {
+		next := st.mergedB.Clone()
+		if err := next.IntersectWith(bb); err != nil {
+			// Incompatible geometry (cannot happen with class-wide
+			// sizing, kept as a safety net): attach separately.
+			f.attachAll(ci, st, filter.Blocked{F: bb})
+			return
+		}
+		st.mergedB = next
+		f.opts.Stats.FilterBytes.Add(int64(next.SizeBytes()))
+	}
+	newSum := filter.Blocked{F: st.mergedB}
 	for _, co := range ci.consumers {
 		if co.point.Done() {
 			continue

@@ -148,6 +148,9 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	in := h.Child.Start(ctx)
 	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("agg:" + h.Name)
+	if h.Point != nil {
+		h.Point.Op = op
+	}
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(h.Point))
@@ -176,11 +179,11 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 	ctx.Spawn(func() {
 		defer close(routerDone)
 		var (
-			keyHasher  types.Hasher
-			bankHasher types.Hasher
-			pr         = newPartitionRouter(0, P, partIns)
-			keep       []int32         // lanes surviving the AIP filters
-			gcols2     [][]types.Value // per group-by expr: lane-indexed column
+			keyHasher types.Hasher
+			sc        ProbeScratch // batch AIP probing over the input columns
+			pr        = newPartitionRouter(0, P, partIns)
+			keep      []int32         // lanes surviving the AIP filters
+			gcols2    [][]types.Value // per group-by expr: lane-indexed column
 		)
 		compiled := make([]*expr.Compiled, len(h.GroupBy))
 		for i, g := range h.GroupBy {
@@ -194,13 +197,11 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			var pruned int64
 			keep = keep[:0]
 			if h.Point != nil && h.Point.Bank.Len() > 0 {
-				for _, l := range sel {
-					if !h.Point.Bank.ProbeHashed(b.Tuples[l], nil, 0, nil, &bankHasher) {
-						pruned++
-						continue
-					}
-					keep = append(keep, l)
-				}
+				// The routing key is the evaluated group-by tuple, not input
+				// columns, so the filters encode through the alt scratch
+				// (keyCols = nil) and the group keys are hashed below.
+				keep = h.Point.Bank.ProbeBatch(b.Tuples, nil, sel, keep, &sc)
+				pruned = nIn - int64(len(keep))
 			} else {
 				keep = append(keep, sel...)
 			}
@@ -253,6 +254,10 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 				argC[k] = expr.Compile(h.Aggs[k].Arg) // nil Arg compiles to nil
 			}
 			argCols := make([][]types.Value, len(h.Aggs))
+			var (
+				ids   []int32 // batch kernel scratch: group ids per lane
+				added []bool
+			)
 			for sb := range pt.in {
 				var newGroups, newBytes int64
 				n := len(sb.tuples)
@@ -264,9 +269,14 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 					argCols[k] = growVals(argCols[k], n)
 					c.EvalBatch(sb.tuples, ident, argCols[k])
 				}
+				ids = growI32(ids, n)
+				if cap(added) < n {
+					added = make([]bool, n)
+				}
+				pt.idx.InsertBatch(sb.hashes, sb.keys, sb.offs, ids, added[:n])
 				for i, t := range sb.tuples {
-					id, added := pt.idx.Insert(sb.hashes[i], sb.key(i))
-					if added {
+					id := ids[i]
+					if added[i] {
 						// Re-evaluate the group key to store it: cheaper
 						// than shipping evaluated keys through the scatter,
 						// since it runs once per group, not once per tuple.
@@ -410,6 +420,9 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	in := d.Child.Start(ctx)
 	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("distinct:" + d.Name)
+	if d.Point != nil {
+		d.Point.Op = op
+	}
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(d.Point))
@@ -434,25 +447,26 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 	ctx.Spawn(func() {
 		defer close(routerDone)
 		var (
-			keyHasher  types.Hasher
-			bankHasher types.Hasher
-			pr         = newPartitionRouter(0, P, partIns)
+			sc   ProbeScratch // batch key hashing + AIP probing, hash-once
+			keep = getSel()   // surviving selection when filters are attached
+			pr   = newPartitionRouter(0, P, partIns)
 		)
+		defer func() { putSel(keep) }()
 		for b := range in {
 			sel := b.Live()
 			nIn := int64(len(sel))
-			var pruned int64
-			for _, l := range sel {
-				t := b.Tuples[l]
-				kh, key := keyHasher.KeyCols(t, allCols)
-				if d.Point != nil && !d.Point.Bank.ProbeHashed(t, allCols, kh, key, &bankHasher) {
-					pruned++
-					continue
-				}
-				pr.route(t, kh, key)
+			kept := sel
+			if d.Point != nil && d.Point.Bank.Len() > 0 {
+				kept = d.Point.Bank.ProbeBatch(b.Tuples, allCols, sel, keep[:0], &sc)
+				keep = kept
+			} else {
+				sc.compute(b.Tuples, allCols, sel)
+			}
+			for _, l := range kept {
+				pr.route(b.Tuples[l], sc.hashes[l], sc.key(l))
 			}
 			op.In.Add(nIn)
-			op.Pruned.Add(pruned)
+			op.Pruned.Add(nIn - int64(len(kept)))
 			if d.Point != nil {
 				d.Point.received.Add(nIn)
 			}
@@ -478,11 +492,21 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 		ctx.Spawn(func() {
 			defer workerWg.Done()
 			pt := parts[pidx]
+			var (
+				ids   []int32
+				added []bool
+			)
 			for sb := range pt.in {
 				var stored, storedBytes int64
+				n := len(sb.tuples)
+				ids = growI32(ids, n)
+				if cap(added) < n {
+					added = make([]bool, n)
+				}
+				pt.idx.InsertBatch(sb.hashes, sb.keys, sb.offs, ids, added[:n])
 				fresh := GetBatch()
 				for i, t := range sb.tuples {
-					if _, added := pt.idx.Insert(sb.hashes[i], sb.key(i)); added {
+					if added[i] {
 						// Clone the retained tuple: distinct keeps a sparse
 						// subset of its input forever, and retaining
 						// arena-backed rows directly would pin their blocks.

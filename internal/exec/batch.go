@@ -126,6 +126,22 @@ func growVals(v []types.Value, n int) []types.Value {
 	return make([]types.Value, n)
 }
 
+// growU64 and growI32 are growVals for the hash and selection scratch of
+// the batch probe kernels.
+func growU64(v []uint64, n int) []uint64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]uint64, n)
+}
+
+func growI32(v []int32, n int) []int32 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]int32, n)
+}
+
 // scatter is a pooled buffer carrying the tuples of one input batch that
 // route to one partition of a partitioned operator, together with their
 // hash-once keys so the receiving worker never re-encodes or re-hashes.

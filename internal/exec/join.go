@@ -105,10 +105,31 @@ func (jt *joinTable) insert(h uint64, key []byte, t types.Tuple, seq uint64) {
 	jt.heads[id] = int32(len(jt.entries))
 }
 
+// insertBatch inserts a whole scatter with consecutive tickets starting at
+// baseSeq+1, resolving the key ids through the KeyTable's prefetching batch
+// kernel. ids/added are caller scratch of the scatter's length. Lanes are
+// chained in lane order, which matches the id order InsertBatch assigns, so
+// heads grows in lockstep with the dense id space.
+func (jt *joinTable) insertBatch(sb *scatter, baseSeq uint64, ids []int32, added []bool) {
+	jt.idx.InsertBatch(sb.hashes, sb.keys, sb.offs, ids, added)
+	for i, t := range sb.tuples {
+		id := ids[i]
+		if added[i] {
+			jt.heads = append(jt.heads, 0)
+		}
+		jt.entries = append(jt.entries, joinEntry{t: t, seq: baseSeq + uint64(i) + 1, next: jt.heads[id]})
+		jt.heads[id] = int32(len(jt.entries))
+	}
+}
+
 // probe appends to dst every stored tuple matching (h, key) whose ticket is
 // smaller than maxSeq, and returns dst.
 func (jt *joinTable) probe(h uint64, key []byte, maxSeq uint64, dst []types.Tuple) []types.Tuple {
-	id := jt.idx.Lookup(h, key)
+	return jt.probeID(jt.idx.Lookup(h, key), maxSeq, dst)
+}
+
+// probeID is probe for an already-resolved key id (LookupBatch output).
+func (jt *joinTable) probeID(id int32, maxSeq uint64, dst []types.Tuple) []types.Tuple {
 	if id < 0 {
 		return dst
 	}
@@ -172,6 +193,11 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	}
 	inputs[0].pending.Store(1)
 	inputs[1].pending.Store(1)
+	for _, in := range inputs {
+		if in.point != nil {
+			in.point.Op = in.op
+		}
+	}
 
 	parts := make([]*joinPart, P)
 	partIns := make([]chan *scatter, P)
@@ -229,22 +255,27 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			}
 		}()
 		var (
-			keyHasher  types.Hasher // own-key encoding, hashed once per tuple
-			bankHasher types.Hasher // scratch for filters over other columns
-			pr         = newPartitionRouter(own.side, P, partIns)
+			sc   ProbeScratch // batch key hashing + AIP probing, hash-once
+			keep = getSel()   // surviving selection when filters are attached
+			pr   = newPartitionRouter(own.side, P, partIns)
 		)
+		defer func() { putSel(keep) }()
 		for b := range in {
 			sel := b.Live()
 			nIn := int64(len(sel))
-			var pruned int64
-			for _, l := range sel {
+			// Probe the AIP filters batch-at-a-time; ProbeBatch fills the
+			// scratch's hash/key arrays for every live lane either way, so
+			// routing below reuses the hash-once work.
+			kept := sel
+			if own.point != nil && own.point.Bank.Len() > 0 {
+				kept = own.point.Bank.ProbeBatch(b.Tuples, own.keys, sel, keep[:0], &sc)
+				keep = kept
+			} else {
+				sc.compute(b.Tuples, own.keys, sel)
+			}
+			for _, l := range kept {
 				t := b.Tuples[l]
-				h, key := keyHasher.KeyCols(t, own.keys)
-				if own.point != nil && !own.point.Bank.ProbeHashed(t, own.keys, h, key, &bankHasher) {
-					pruned++
-					continue
-				}
-				pr.route(t, h, key)
+				pr.route(t, sc.hashes[l], sc.key(l))
 				// The working AIP set covers every tuple that passed the
 				// filters, whether or not a worker buffers it (Feed-Forward
 				// publishes it as a complete summary of this input). The
@@ -255,7 +286,7 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 				}
 			}
 			own.op.In.Add(nIn)
-			own.op.Pruned.Add(pruned)
+			own.op.Pruned.Add(nIn - int64(len(kept)))
 			if own.point != nil {
 				own.point.received.Add(nIn)
 			}
@@ -301,6 +332,8 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			matches []types.Tuple
 			arena   rowArena
 			resC    = expr.Compile(j.Residual)
+			ids     []int32 // batch kernel scratch: key ids per scatter lane
+			added   []bool
 		)
 		for sb := range pt.in {
 			own, other := inputs[sb.side], inputs[1-sb.side]
@@ -308,12 +341,16 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			n := len(sb.tuples)
 			base := pt.ticket
 			pt.ticket += uint64(n)
+			ids = growI32(ids, n)
 
 			var stored, storedBytes int64
 			if !other.done.Load() {
-				for i, t := range sb.tuples {
-					ownT.insert(sb.hashes[i], sb.key(i), t, base+uint64(i)+1)
-					stored++
+				if cap(added) < n {
+					added = make([]bool, n)
+				}
+				ownT.insertBatch(sb, base, ids, added[:n])
+				stored = int64(n)
+				for _, t := range sb.tuples {
 					storedBytes += int64(t.MemSize())
 				}
 			} else if own.point != nil {
@@ -350,8 +387,11 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 				return true
 			}
 			ownIsLeft := sb.side == 0
+			// Resolve every probe key's id in one prefetching pass over the
+			// other side's table, then walk the match chains per lane.
+			otherT.idx.LookupBatch(sb.hashes, sb.keys, sb.offs, ids)
 			for i, t := range sb.tuples {
-				matches = otherT.probe(sb.hashes[i], sb.key(i), base+uint64(i)+1, matches[:0])
+				matches = otherT.probeID(ids[i], base+uint64(i)+1, matches[:0])
 				for _, m := range matches {
 					var row types.Tuple
 					if ownIsLeft {

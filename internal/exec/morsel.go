@@ -604,14 +604,17 @@ type mShip struct {
 	down mChain
 	op   *stats.OpStats
 
-	mu         sync.Mutex
-	ret        *retrier
-	bankHasher types.Hasher
-	abandoned  bool
+	mu        sync.Mutex
+	ret       *retrier
+	sc        ProbeScratch
+	abandoned bool
 }
 
 func newMShip(r *morselRun, s *Ship, down mChain) *mShip {
 	n := &mShip{run: r, s: s, down: down, op: r.ctx.Stats.NewOp("ship:" + s.Name)}
+	if s.Point != nil {
+		s.Point.Op = n.op
+	}
 	if s.Link != nil && s.Link.Faults.Active() {
 		n.ret = newRetrier(r.ctx, n.op, s.Site, "ship:"+s.Name)
 	}
@@ -627,7 +630,6 @@ func (m *mShip) push(w int, b Batch) bool {
 		return true
 	}
 	nIn := int64(b.Len())
-	var pruned int64
 	nbytes := 0
 	var kept []int32
 	if b.Sel != nil {
@@ -635,17 +637,16 @@ func (m *mShip) push(w int, b Batch) bool {
 	} else {
 		kept = getSel()
 	}
-	for _, l := range b.Live() {
-		t := b.Tuples[l]
-		if m.s.Point != nil && !m.s.Point.Bank.ProbeHashed(t, nil, 0, nil, &m.bankHasher) {
-			pruned++
-			continue
-		}
-		kept = append(kept, l)
-		nbytes += t.MemSize()
+	if m.s.Point != nil && m.s.Point.Bank.Len() > 0 {
+		kept = m.s.Point.Bank.ProbeBatch(b.Tuples, nil, b.Live(), kept, &m.sc)
+	} else {
+		kept = append(kept, b.Live()...)
+	}
+	for _, l := range kept {
+		nbytes += b.Tuples[l].MemSize()
 	}
 	m.op.In.Add(nIn)
-	m.op.Pruned.Add(pruned)
+	m.op.Pruned.Add(nIn - int64(len(kept)))
 	if m.s.Point != nil {
 		m.s.Point.received.Add(nIn)
 	}
@@ -738,15 +739,17 @@ type mJoinPart struct {
 	matches []types.Tuple
 	arena   rowArena
 	resC    *expr.Compiled
+	ids     []int32 // batch kernel scratch: key ids per scatter lane
+	added   []bool
 }
 
 // mJoinRoute is one worker id's routing scratch. A worker runs one push
 // at a time, and every push flushes its buffered scatters before
 // returning, so the buffers never mix sides.
 type mJoinRoute struct {
-	keyHasher  types.Hasher
-	bankHasher types.Hasher
-	bufs       []*scatter
+	sc   ProbeScratch // batch key hashing + AIP probing, hash-once
+	keep []int32      // surviving selection when filters are attached
+	bufs []*scatter
 }
 
 type mJoin struct {
@@ -774,6 +777,11 @@ func newMJoin(r *morselRun, j *HashJoin, down mChain) *mJoin {
 	m.inputs[1] = &mJoinInput{side: 1, keys: j.RKeys, point: j.RPoint, op: rop}
 	m.inputs[0].pending.Store(1)
 	m.inputs[1].pending.Store(1)
+	for _, in := range m.inputs {
+		if in.point != nil {
+			in.point.Op = in.op
+		}
+	}
 	m.parts = make([]*mJoinPart, P)
 	for p := range m.parts {
 		pt := &mJoinPart{resC: expr.Compile(j.Residual)}
@@ -809,21 +817,26 @@ func (m *mJoin) pushSide(w, side int, b Batch) bool {
 	rs := &m.route[w]
 	sel := b.Live()
 	nIn := int64(len(sel))
-	var pruned int64
-	for _, l := range sel {
+	// Probe the AIP filters batch-at-a-time; ProbeBatch fills the scratch's
+	// hash/key arrays for every live lane either way, so routing below
+	// reuses the hash-once work.
+	kept := sel
+	if in.point != nil && in.point.Bank.Len() > 0 {
+		kept = in.point.Bank.ProbeBatch(b.Tuples, in.keys, sel, rs.keep[:0], &rs.sc)
+		rs.keep = kept
+	} else {
+		rs.sc.compute(b.Tuples, in.keys, sel)
+	}
+	for _, l := range kept {
 		t := b.Tuples[l]
-		h, key := rs.keyHasher.KeyCols(t, in.keys)
-		if in.point != nil && !in.point.Bank.ProbeHashed(t, in.keys, h, key, &rs.bankHasher) {
-			pruned++
-			continue
-		}
+		h := rs.sc.hashes[l]
 		p := int(h >> m.shift)
 		buf := rs.bufs[p]
 		if buf == nil {
 			buf = getScatter(side)
 			rs.bufs[p] = buf
 		}
-		buf.add(t, h, key)
+		buf.add(t, h, rs.sc.key(l))
 		// The chan router owns working-set slot 0; here each worker id is
 		// its own serialized slot (a worker runs one task at a time).
 		if in.point != nil && in.point.OnStore != nil {
@@ -831,7 +844,7 @@ func (m *mJoin) pushSide(w, side int, b Batch) bool {
 		}
 	}
 	in.op.In.Add(nIn)
-	in.op.Pruned.Add(pruned)
+	in.op.Pruned.Add(nIn - int64(len(kept)))
 	if in.point != nil {
 		in.point.received.Add(nIn)
 	}
@@ -864,12 +877,16 @@ func (m *mJoin) processScatter(dw, p int, sb *scatter) bool {
 	n := len(sb.tuples)
 	base := pt.ticket
 	pt.ticket += uint64(n)
+	pt.ids = growI32(pt.ids, n)
 
 	var stored, storedBytes int64
 	if !other.done.Load() {
-		for i, t := range sb.tuples {
-			ownT.insert(sb.hashes[i], sb.key(i), t, base+uint64(i)+1)
-			stored++
+		if cap(pt.added) < n {
+			pt.added = make([]bool, n)
+		}
+		ownT.insertBatch(sb, base, pt.ids, pt.added[:n])
+		stored = int64(n)
+		for _, t := range sb.tuples {
 			storedBytes += int64(t.MemSize())
 		}
 	} else if own.point != nil {
@@ -900,9 +917,12 @@ func (m *mJoin) processScatter(dw, p int, sb *scatter) bool {
 	}
 	ownIsLeft := sb.side == 0
 	ok := true
+	// Resolve every probe key's id in one prefetching pass over the other
+	// side's table, then walk the match chains per lane.
+	otherT.idx.LookupBatch(sb.hashes, sb.keys, sb.offs, pt.ids)
 scan:
 	for i, t := range sb.tuples {
-		pt.matches = otherT.probe(sb.hashes[i], sb.key(i), base+uint64(i)+1, pt.matches[:0])
+		pt.matches = otherT.probeID(pt.ids[i], base+uint64(i)+1, pt.matches[:0])
 		for _, mt := range pt.matches {
 			var row types.Tuple
 			if ownIsLeft {
@@ -988,15 +1008,18 @@ func (m *mJoin) finish(w int, in *mJoinInput) {
 // ---------------------------------------------------------------------------
 // Hash aggregation
 
-// mAggRoute is one worker id's routing scratch for the aggregation.
+// mAggRoute is one worker id's routing scratch for the aggregation. The
+// AIP probe runs through the batch kernel (group-by keys are computed
+// values, so filters encode through the scratch's alt arrays); the
+// routing key is the evaluated group tuple, hashed per row.
 type mAggRoute struct {
-	keyHasher  types.Hasher
-	bankHasher types.Hasher
-	compiled   []*expr.Compiled
-	gcols2     [][]types.Value
-	gvals      types.Tuple
-	keep       []int32
-	bufs       []*scatter
+	keyHasher types.Hasher
+	sc        ProbeScratch
+	compiled  []*expr.Compiled
+	gcols2    [][]types.Value
+	gvals     types.Tuple
+	keep      []int32
+	bufs      []*scatter
 }
 
 // mAggPart is one partition of the group state plus its fold scratch,
@@ -1009,6 +1032,8 @@ type mAggPart struct {
 	gvals   types.Tuple
 	argC    []*expr.Compiled
 	argCols [][]types.Value
+	ids     []int32 // batch kernel scratch: key ids per scatter lane
+	added   []bool
 }
 
 type mAgg struct {
@@ -1033,6 +1058,9 @@ func newMAgg(r *morselRun, h *HashAgg, down mChain) *mAgg {
 	P = clampPartitions(P, pointEstRows(h.Point))
 	op := r.ctx.Stats.NewOp("agg:" + h.Name)
 	op.SetPartitions(P)
+	if h.Point != nil {
+		h.Point.Op = op
+	}
 	m := &mAgg{run: r, h: h, down: down, op: op, P: P, shift: partShift(P)}
 	m.pending.Store(1)
 	m.gcols = make([]int, len(h.GroupBy))
@@ -1070,19 +1098,13 @@ func (m *mAgg) push(w int, b Batch) bool {
 	rt := &m.route[w]
 	sel := b.Live()
 	nIn := int64(len(sel))
-	var pruned int64
 	rt.keep = rt.keep[:0]
 	if m.h.Point != nil && m.h.Point.Bank.Len() > 0 {
-		for _, l := range sel {
-			if !m.h.Point.Bank.ProbeHashed(b.Tuples[l], nil, 0, nil, &rt.bankHasher) {
-				pruned++
-				continue
-			}
-			rt.keep = append(rt.keep, l)
-		}
+		rt.keep = m.h.Point.Bank.ProbeBatch(b.Tuples, nil, sel, rt.keep, &rt.sc)
 	} else {
 		rt.keep = append(rt.keep, sel...)
 	}
+	pruned := nIn - int64(len(rt.keep))
 	for i, c := range rt.compiled {
 		rt.gcols2[i] = growVals(rt.gcols2[i], len(b.Tuples))
 		c.EvalBatch(b.Tuples, rt.keep, rt.gcols2[i])
@@ -1144,9 +1166,16 @@ func (m *mAgg) fold(dw, p int, sb *scatter) {
 		pt.argCols[k] = growVals(pt.argCols[k], n)
 		c.EvalBatch(sb.tuples, ident, pt.argCols[k])
 	}
+	pt.ids = growI32(pt.ids, n)
+	if cap(pt.added) < n {
+		pt.added = make([]bool, n)
+	}
+	// Resolve every group key's id in one prefetching pass; InsertBatch
+	// assigns dense ids in lane order, so pt.groups grows in lockstep.
+	pt.idx.InsertBatch(sb.hashes, sb.keys, sb.offs, pt.ids, pt.added[:n])
 	for i, t := range sb.tuples {
-		id, added := pt.idx.Insert(sb.hashes[i], sb.key(i))
-		if added {
+		id := pt.ids[i]
+		if pt.added[i] {
 			for k, g := range m.h.GroupBy {
 				pt.gvals[k] = g.Eval(t)
 			}
@@ -1277,9 +1306,9 @@ func (m *mAgg) emitPart(dw, p int) {
 
 // mDistRoute is one worker id's routing scratch for distinct.
 type mDistRoute struct {
-	keyHasher  types.Hasher
-	bankHasher types.Hasher
-	bufs       []*scatter
+	sc   ProbeScratch // batch key hashing + AIP probing, hash-once
+	keep []int32      // surviving selection when filters are attached
+	bufs []*scatter
 }
 
 // mDistinctPart is one partition of the seen-set.
@@ -1287,6 +1316,8 @@ type mDistinctPart struct {
 	inbox mInbox
 	idx   types.KeyTable
 	seen  []types.Tuple
+	ids   []int32 // batch kernel scratch: key ids per scatter lane
+	added []bool
 }
 
 type mDistinct struct {
@@ -1310,6 +1341,9 @@ func newMDistinct(r *morselRun, d *Distinct, down mChain) *mDistinct {
 	P = clampPartitions(P, pointEstRows(d.Point))
 	op := r.ctx.Stats.NewOp("distinct:" + d.Name)
 	op.SetPartitions(P)
+	if d.Point != nil {
+		d.Point.Op = op
+	}
 	m := &mDistinct{run: r, d: d, down: down, op: op, P: P, shift: partShift(P)}
 	m.pending.Store(1)
 	m.allCols = make([]int, d.Child.Schema().Len())
@@ -1331,24 +1365,28 @@ func (m *mDistinct) push(w int, b Batch) bool {
 	rt := &m.route[w]
 	sel := b.Live()
 	nIn := int64(len(sel))
-	var pruned int64
-	for _, l := range sel {
+	// ProbeBatch fills the scratch's hash/key arrays for every live lane
+	// either way, so routing below reuses the hash-once work.
+	kept := sel
+	if m.d.Point != nil && m.d.Point.Bank.Len() > 0 {
+		kept = m.d.Point.Bank.ProbeBatch(b.Tuples, m.allCols, sel, rt.keep[:0], &rt.sc)
+		rt.keep = kept
+	} else {
+		rt.sc.compute(b.Tuples, m.allCols, sel)
+	}
+	for _, l := range kept {
 		t := b.Tuples[l]
-		kh, key := rt.keyHasher.KeyCols(t, m.allCols)
-		if m.d.Point != nil && !m.d.Point.Bank.ProbeHashed(t, m.allCols, kh, key, &rt.bankHasher) {
-			pruned++
-			continue
-		}
+		kh := rt.sc.hashes[l]
 		p := int(kh >> m.shift)
 		buf := rt.bufs[p]
 		if buf == nil {
 			buf = getScatter(0)
 			rt.bufs[p] = buf
 		}
-		buf.add(t, kh, key)
+		buf.add(t, kh, rt.sc.key(l))
 	}
 	m.op.In.Add(nIn)
-	m.op.Pruned.Add(pruned)
+	m.op.Pruned.Add(nIn - int64(len(kept)))
 	if m.d.Point != nil {
 		m.d.Point.received.Add(nIn)
 	}
@@ -1377,9 +1415,15 @@ func (m *mDistinct) push(w int, b Batch) bool {
 func (m *mDistinct) dedup(dw, p int, sb *scatter) bool {
 	pt := m.parts[p]
 	var stored, storedBytes int64
+	n := len(sb.tuples)
+	pt.ids = growI32(pt.ids, n)
+	if cap(pt.added) < n {
+		pt.added = make([]bool, n)
+	}
+	pt.idx.InsertBatch(sb.hashes, sb.keys, sb.offs, pt.ids, pt.added[:n])
 	fresh := GetBatch()
 	for i, t := range sb.tuples {
-		if _, added := pt.idx.Insert(sb.hashes[i], sb.key(i)); added {
+		if pt.added[i] {
 			pt.seen = append(pt.seen, t.Clone())
 			stored++
 			storedBytes += int64(t.MemSize())

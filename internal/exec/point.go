@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/filter"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -88,18 +89,228 @@ func (b *FilterBank) Probe(t types.Tuple) bool {
 // without touching the key bytes again. Filters over other column sets fall
 // back to one encoding pass through scratch. Callers without a precomputed
 // key pass keyCols = nil. False means prune.
+//
+// key may alias scratch's buffer (the usual case: the caller produced it
+// with scratch.KeyCols), so foreign-column encodings append behind it via
+// KeyColsTail rather than resetting the buffer — an exact summary probed
+// after a foreign-column filter still sees the caller's key bytes intact.
 func (b *FilterBank) ProbeHashed(t types.Tuple, keyCols []int, keyHash uint64, key []byte, scratch *types.Hasher) bool {
 	filters := *b.cur.Load()
 	for i := range filters {
 		h, kb := keyHash, key
 		if keyCols == nil || !equalInts(filters[i].cols, keyCols) {
-			h, kb = scratch.KeyCols(t, filters[i].cols)
+			h, kb = scratch.KeyColsTail(t, filters[i].cols)
 		}
 		if !filters[i].sum.MayContainHash(h, kb) {
 			return false
 		}
 	}
 	return true
+}
+
+// ProbeScratch is the per-worker working state of FilterBank.ProbeBatch:
+// lane-indexed key hashes and encodings plus the reusable buffers the
+// kernel narrows selections through. All slices are reused across batches
+// (zero allocations once warm) and invalidated by the next ProbeBatch or
+// compute call on the same scratch. One scratch per goroutine, like
+// types.Hasher.
+type ProbeScratch struct {
+	// Primary arrays: the probing operator's own key columns, filled by
+	// compute. Routers read hashes/key after ProbeBatch returns, so the
+	// hash-once discipline spans probing AND routing.
+	hashes []uint64
+	starts []int32
+	ends   []int32
+	keyBuf []byte
+	keyAt  func(int32) []byte // bound once; resolves a lane in the primary arrays
+
+	// Alt arrays: filters attached over a different column set than the
+	// operator's own keys encode through these instead.
+	altHashes []uint64
+	altStarts []int32
+	altEnds   []int32
+	altKeyBuf []byte
+	altKeyAt  func(int32) []byte
+
+	// Deferred-materialization state: while computeHashes has skipped the
+	// key-byte pass, exact summaries resolve lanes through lazyKey.
+	lazyTuples []types.Tuple
+	lazyCol    int
+	lazyBuf    []byte
+	lazyAt     func(int32) []byte
+}
+
+// compute fills the primary arrays for the listed lanes: one canonical
+// encoding and one Hash64 per live lane, exactly what the scalar path's
+// Hasher.KeyCols did per tuple.
+func (sc *ProbeScratch) compute(tuples []types.Tuple, cols []int, sel []int32) {
+	n := len(tuples)
+	sc.hashes = growU64(sc.hashes, n)
+	sc.starts = growI32(sc.starts, n)
+	sc.ends = growI32(sc.ends, n)
+	sc.keyBuf = sc.keyBuf[:0]
+	for _, i := range sel {
+		start := len(sc.keyBuf)
+		sc.keyBuf = tuples[i].AppendKeyCols(sc.keyBuf, cols)
+		sc.hashes[i] = types.Hash64(sc.keyBuf[start:], 0)
+		sc.starts[i] = int32(start)
+		sc.ends[i] = int32(len(sc.keyBuf))
+	}
+}
+
+// computeHashes fills only the hash array, deferring key-byte
+// materialization: for a single integer-backed key column (the dominant
+// equijoin shape) each lane is one register hash (types.HashIntKey) with
+// zero byte stores, so probing writes nothing to the key buffer for lanes
+// a filter will prune anyway. Returns true when it succeeded and bytes are
+// deferred; on any other key shape it falls back to compute and returns
+// false. Mixed-kind columns restart at the first non-integer lane, so the
+// fallback cost is only paid by genuinely mixed batches.
+func (sc *ProbeScratch) computeHashes(tuples []types.Tuple, cols []int, sel []int32) bool {
+	if len(cols) != 1 {
+		sc.compute(tuples, cols, sel)
+		return false
+	}
+	c := cols[0]
+	sc.hashes = growU64(sc.hashes, len(tuples))
+	for _, i := range sel {
+		v := tuples[i][c]
+		if v.K != types.KindInt && v.K != types.KindDate && v.K != types.KindBool {
+			sc.compute(tuples, cols, sel)
+			return false
+		}
+		sc.hashes[i] = types.HashIntKey(v.I)
+	}
+	return true
+}
+
+// materialize back-fills the key bytes computeHashes deferred, for the
+// listed (surviving) lanes only. Only called when computeHashes succeeded,
+// so every lane is integer-backed.
+func (sc *ProbeScratch) materialize(tuples []types.Tuple, c int, sel []int32) {
+	n := len(tuples)
+	sc.starts = growI32(sc.starts, n)
+	sc.ends = growI32(sc.ends, n)
+	sc.keyBuf = sc.keyBuf[:0]
+	for _, i := range sel {
+		start := len(sc.keyBuf)
+		sc.keyBuf = types.AppendIntKey(sc.keyBuf, tuples[i][c].I)
+		sc.starts[i] = int32(start)
+		sc.ends[i] = int32(len(sc.keyBuf))
+	}
+}
+
+func (sc *ProbeScratch) altCompute(tuples []types.Tuple, cols []int, sel []int32) {
+	n := len(tuples)
+	sc.altHashes = growU64(sc.altHashes, n)
+	sc.altStarts = growI32(sc.altStarts, n)
+	sc.altEnds = growI32(sc.altEnds, n)
+	sc.altKeyBuf = sc.altKeyBuf[:0]
+	for _, i := range sel {
+		start := len(sc.altKeyBuf)
+		sc.altKeyBuf = tuples[i].AppendKeyCols(sc.altKeyBuf, cols)
+		sc.altHashes[i] = types.Hash64(sc.altKeyBuf[start:], 0)
+		sc.altStarts[i] = int32(start)
+		sc.altEnds[i] = int32(len(sc.altKeyBuf))
+	}
+}
+
+// key returns lane i's canonical key bytes from the primary arrays; valid
+// until the next compute/ProbeBatch on this scratch.
+func (sc *ProbeScratch) key(i int32) []byte { return sc.keyBuf[sc.starts[i]:sc.ends[i]] }
+
+func (sc *ProbeScratch) primaryKeyAt() func(int32) []byte {
+	if sc.keyAt == nil {
+		sc.keyAt = sc.key
+	}
+	return sc.keyAt
+}
+
+func (sc *ProbeScratch) altKey(i int32) []byte { return sc.altKeyBuf[sc.altStarts[i]:sc.altEnds[i]] }
+
+func (sc *ProbeScratch) altPrimaryKeyAt() func(int32) []byte {
+	if sc.altKeyAt == nil {
+		sc.altKeyAt = sc.altKey
+	}
+	return sc.altKeyAt
+}
+
+// lazyKey encodes lane i's key on demand while key bytes are deferred
+// (computeHashes mode): exact summaries probed mid-batch still see the
+// canonical bytes, one transient lane at a time. The returned slice is
+// valid until the next lazyKey call.
+func (sc *ProbeScratch) lazyKey(i int32) []byte {
+	sc.lazyBuf = types.AppendIntKey(sc.lazyBuf[:0], sc.lazyTuples[i][sc.lazyCol].I)
+	return sc.lazyBuf
+}
+
+func (sc *ProbeScratch) lazyPrimaryKeyAt() func(int32) []byte {
+	if sc.lazyAt == nil {
+		sc.lazyAt = sc.lazyKey
+	}
+	return sc.lazyAt
+}
+
+// ProbeBatch is the batch form of ProbeHashed: it runs the live lanes of a
+// batch through every attached filter and returns the surviving selection,
+// mirroring the expr kernels' Sel contract. sel lists the live lanes in
+// ascending order; survivors are appended to out, which the caller owns
+// and passes with length 0. out may share sel's backing array (out =
+// sel[:0]) for in-place narrowing — implementations only append behind
+// their read cursor — but must otherwise not overlap sel.
+//
+// keyCols are the operator's own key columns, or nil when it has none:
+// when non-nil the hash array is filled for every lane of sel (even ones a
+// filter later prunes), so after the call sc.hashes[i] and sc.key(i) are
+// valid for every surviving lane and the caller can route on them without
+// re-hashing. Key BYTES are materialized only for survivors when the key
+// shape allows it (single integer-backed column): pruned lanes never touch
+// the key buffer, and exact summaries probed mid-batch resolve lanes
+// through a transient per-lane encode. Filters over other column sets
+// encode through the alt arrays, narrowed-lanes only. The caller must
+// check Len() > 0 first; with no filters attached a probe would be a
+// pointless copy.
+func (b *FilterBank) ProbeBatch(tuples []types.Tuple, keyCols []int, sel []int32, out []int32, sc *ProbeScratch) []int32 {
+	filters := *b.cur.Load()
+	if len(filters) == 0 {
+		return append(out, sel...)
+	}
+	deferred := false
+	if keyCols != nil {
+		deferred = sc.computeHashes(tuples, keyCols, sel)
+	}
+	live := sel
+	out = out[:0]
+	for i := range filters {
+		var hashes []uint64
+		var keyAt func(int32) []byte
+		if keyCols != nil && equalInts(filters[i].cols, keyCols) {
+			hashes = sc.hashes
+			if deferred {
+				sc.lazyTuples, sc.lazyCol = tuples, keyCols[0]
+				keyAt = sc.lazyPrimaryKeyAt()
+			} else {
+				keyAt = sc.primaryKeyAt()
+			}
+		} else {
+			sc.altCompute(tuples, filters[i].cols, live)
+			hashes, keyAt = sc.altHashes, sc.altPrimaryKeyAt()
+		}
+		if i == 0 {
+			out = filters[i].sum.MayContainHashBatch(hashes, live, out, keyAt)
+		} else {
+			out = filters[i].sum.MayContainHashBatch(hashes, out, out[:0], keyAt)
+		}
+		live = out
+		if len(out) == 0 {
+			break
+		}
+	}
+	if deferred {
+		sc.materialize(tuples, keyCols[0], out)
+		sc.lazyTuples = nil
+	}
+	return out
 }
 
 func equalInts(a, b []int) bool {
@@ -178,6 +389,13 @@ type Point struct {
 	// values in the column's attribute domain (used for filter
 	// selectivity estimation); 0 means unknown.
 	DomainDistinct []float64
+
+	// Op is the owning operator's stats block, set by the operator at Start
+	// before any tuple flows (so every OnStore call observes it).
+	// Controllers attribute per-operator filter memory — published summary
+	// bytes and in-progress working-set bytes — through it; nil skips the
+	// per-operator accounting (registry totals are still kept).
+	Op *stats.OpStats
 
 	// Runtime counters maintained by the owning operator.
 	received        atomic.Int64

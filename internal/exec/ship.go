@@ -40,6 +40,9 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 	in := s.Child.Start(ctx)
 	out := make(chan Batch, ctx.pipeDepth())
 	op := ctx.Stats.NewOp("ship:" + s.Name)
+	if s.Point != nil {
+		s.Point.Op = op
+	}
 	// The retry driver exists only for faulty links: a reliable simulated
 	// link cannot fail (only cancellation interrupts it), so the fault-free
 	// path stays identical to the baseline engine.
@@ -49,10 +52,9 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 	}
 	ctx.Spawn(func() {
 		defer close(out)
-		var bankHasher types.Hasher
+		var sc ProbeScratch
 		for b := range in {
 			nIn := int64(b.Len())
-			var pruned int64
 			nbytes := 0
 			// Mark the tuples that survive the remote-side AIP filters with
 			// a selection vector instead of copying them; only survivors
@@ -63,14 +65,14 @@ func (s *Ship) Start(ctx *Context) <-chan Batch {
 			} else {
 				kept = getSel()
 			}
-			for _, l := range b.Live() {
-				t := b.Tuples[l]
-				if s.Point != nil && !s.Point.Bank.ProbeHashed(t, nil, 0, nil, &bankHasher) {
-					pruned++
-					continue
-				}
-				kept = append(kept, l)
-				nbytes += t.MemSize()
+			if s.Point != nil && s.Point.Bank.Len() > 0 {
+				kept = s.Point.Bank.ProbeBatch(b.Tuples, nil, b.Live(), kept, &sc)
+			} else {
+				kept = append(kept, b.Live()...)
+			}
+			pruned := nIn - int64(len(kept))
+			for _, l := range kept {
+				nbytes += b.Tuples[l].MemSize()
 			}
 			op.In.Add(nIn)
 			op.Pruned.Add(pruned)

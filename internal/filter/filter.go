@@ -26,6 +26,15 @@ type Summary interface {
 	// MayContainHash reports whether the key may be present. hash must be
 	// types.Hash64(key, 0), computed once by the caller.
 	MayContainHash(hash uint64, key []byte) bool
+	// MayContainHashBatch narrows a selection vector to the lanes whose
+	// keys may be present. hashes is lane-indexed (hashes[i] is lane i's
+	// key hash); sel lists the live lanes in ascending order; survivors are
+	// appended to out — owned by the caller, passed with length 0 — and out
+	// is returned. keyAt resolves a lane's canonical key bytes; exact
+	// summaries call it per probed lane, probabilistic ones never do. The
+	// selection semantics mirror expr kernels: the callee only reads sel
+	// and only appends to out.
+	MayContainHashBatch(hashes []uint64, sel []int32, out []int32, keyAt func(lane int32) []byte) []int32
 	// SizeBytes is the summary's memory footprint (and shipping cost).
 	SizeBytes() int
 	// Len is the (approximate) number of distinct keys summarized.
@@ -38,11 +47,40 @@ type Bloom struct{ F *bloom.Filter }
 // MayContainHash probes by precomputed key hash without touching the bytes.
 func (b Bloom) MayContainHash(hash uint64, _ []byte) bool { return b.F.ProbeHash(hash) }
 
+// MayContainHashBatch probes lane by lane; the flat filter is the scalar
+// differential oracle, so it deliberately has no batched kernel.
+func (b Bloom) MayContainHashBatch(hashes []uint64, sel []int32, out []int32, _ func(int32) []byte) []int32 {
+	for _, i := range sel {
+		if b.F.ProbeHash(hashes[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // SizeBytes returns the bit-array footprint.
 func (b Bloom) SizeBytes() int { return b.F.SizeBytes() }
 
 // Len returns the insertion count.
 func (b Bloom) Len() int { return b.F.Len() }
+
+// Blocked adapts a cache-line-blocked bloom.Blocked to the Summary
+// interface; batch probes go through the filter's two-pass kernel.
+type Blocked struct{ F *bloom.Blocked }
+
+// MayContainHash probes by precomputed key hash without touching the bytes.
+func (b Blocked) MayContainHash(hash uint64, _ []byte) bool { return b.F.ProbeHash(hash) }
+
+// MayContainHashBatch narrows sel through the blocked batch kernel.
+func (b Blocked) MayContainHashBatch(hashes []uint64, sel []int32, out []int32, _ func(int32) []byte) []int32 {
+	return b.F.ProbeHashBatch(hashes, sel, out)
+}
+
+// SizeBytes returns the bit-array footprint.
+func (b Blocked) SizeBytes() int { return b.F.SizeBytes() }
+
+// Len returns the insertion count.
+func (b Blocked) Len() int { return b.F.Len() }
 
 // HashSet is an exact summary backed by a hash set of key encodings. It has
 // no false positives but costs more memory and probe time than a Bloom
@@ -98,6 +136,24 @@ func (h *HashSet) AddHash(hash uint64, key []byte) {
 
 // Add inserts a key encoding.
 func (h *HashSet) Add(key []byte) { h.AddHash(types.Hash64(key, 0), key) }
+
+// MayContainHashBatch probes lane by lane under one read lock, resolving
+// each lane's key bytes through keyAt for the exact comparison.
+func (h *HashSet) MayContainHashBatch(hashes []uint64, sel []int32, out []int32, keyAt func(int32) []byte) []int32 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, i := range sel {
+		b := hashes[i] % h.nbuckets
+		if h.discarded[b] {
+			out = append(out, i)
+			continue
+		}
+		if _, ok := h.buckets[b][string(keyAt(i))]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // MayContainHash reports membership by precomputed hash; bucket selection
 // reuses the hash, so only the final exact comparison reads the key bytes.

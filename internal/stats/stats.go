@@ -71,6 +71,13 @@ type OpStats struct {
 	StateRows  Counter // tuples buffered into operator state
 	StateBytes Gauge   // bytes of buffered state (current/peak)
 
+	// FilterBytes counts bytes of published AIP summaries built from this
+	// operator's state; FilterWorking tracks the in-progress working-set
+	// bytes while those summaries are being built (current/peak), released
+	// when the working sets are merged or discarded at PointDone.
+	FilterBytes   Counter
+	FilterWorking Gauge
+
 	Attempts    Counter // remote interactions attempted (first tries + retries)
 	Retries     Counter // re-attempts after a failed remote interaction
 	WastedBytes Counter // modeled bytes consumed by attempts that failed
@@ -87,6 +94,9 @@ func (o *OpStats) reset() {
 	o.StateRows.reset()
 	o.StateBytes.cur.Store(0)
 	o.StateBytes.peak.Store(0)
+	o.FilterBytes.reset()
+	o.FilterWorking.cur.Store(0)
+	o.FilterWorking.peak.Store(0)
 	o.Attempts.reset()
 	o.Retries.reset()
 	o.WastedBytes.reset()
@@ -257,6 +267,17 @@ func (r *Registry) PeakStateBytes() int64 {
 	return total + r.FilterBytes.Load()
 }
 
+// PeakFilterWorkingBytes totals the per-operator high-water marks of
+// in-progress AIP working-set memory: the transient cost of building
+// summaries, the quantity the striped per-slot working sets shrink.
+func (r *Registry) PeakFilterWorkingBytes() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.FilterWorking.Peak()
+	}
+	return total
+}
+
 // TotalIn sums tuples received across all operators: the engine's total
 // tuple-processing volume, the numerator of benchmark tuples/sec.
 func (r *Registry) TotalIn() int64 {
@@ -327,12 +348,18 @@ func (r *Registry) Report() string {
 			parts += fmt.Sprintf("attempts=%d retries=%d wasted=%dB",
 				a, op.Retries.Load(), op.WastedBytes.Load())
 		}
+		if fb, fw := op.FilterBytes.Load(), op.FilterWorking.Peak(); fb > 0 || fw > 0 {
+			if parts != "" {
+				parts += " "
+			}
+			parts += fmt.Sprintf("filter=%dB work-peak=%dB", fb, fw)
+		}
 		out += fmt.Sprintf("%-40s %10d %10d %10d %12d %s\n",
 			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak(), parts)
 	}
-	out += fmt.Sprintf("filters: made=%d used=%d bytes=%d; network bytes=%d (filters %d)\n",
+	out += fmt.Sprintf("filters: made=%d used=%d bytes=%d work-peak=%d; network bytes=%d (filters %d)\n",
 		r.FiltersMade.Load(), r.FiltersUsed.Load(), r.FilterBytes.Load(),
-		r.NetworkBytes.Load(), r.FilterNetWork.Load())
+		r.PeakFilterWorkingBytes(), r.NetworkBytes.Load(), r.FilterNetWork.Load())
 	if t := r.BreakerTransitions.Load() + r.TotalRetries(); t > 0 {
 		out += fmt.Sprintf("recovery: retries=%d wasted-bytes=%d breaker-transitions=%d\n",
 			r.TotalRetries(), r.TotalWastedBytes(), r.BreakerTransitions.Load())

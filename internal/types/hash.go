@@ -37,12 +37,17 @@ func Hash64(b []byte, seed uint64) uint64 {
 	var a, c uint64
 	switch {
 	case n <= 16:
-		if n >= 4 {
-			a = uint64(binary.LittleEndian.Uint32(b))<<32 |
-				uint64(binary.LittleEndian.Uint32(b[(n>>3)<<2:]))
-			c = uint64(binary.LittleEndian.Uint32(b[n-4:]))<<32 |
-				uint64(binary.LittleEndian.Uint32(b[n-4-((n>>3)<<2):]))
-		} else if n > 0 {
+		// Two overlapping fixed-width loads cover every length in the
+		// range; the 8-byte case (one or two fixed-width key columns —
+		// the engine's hottest shape) pays two loads and nothing else.
+		switch {
+		case n >= 8:
+			a = binary.LittleEndian.Uint64(b)
+			c = binary.LittleEndian.Uint64(b[n-8:])
+		case n >= 4:
+			a = uint64(binary.LittleEndian.Uint32(b))
+			c = uint64(binary.LittleEndian.Uint32(b[n-4:]))
+		case n > 0:
 			a = uint64(b[0])<<16 | uint64(b[n>>1])<<8 | uint64(b[n-1])
 		}
 	default:
@@ -75,6 +80,17 @@ func Mix64(a, b uint64) uint64 {
 	return wymix(a^wyp0, b^wyp1)
 }
 
+// HashIntKey returns Hash64(Int(v).AppendKey(nil), 0) computed entirely in
+// registers: the canonical integer-kind encoding is the 0x01 tag followed
+// by the big-endian payload, so the two overlapping 8-byte loads Hash64
+// would perform on those 9 bytes are byte-reversals of v. Batch key kernels
+// use it to hash single-integer keys without re-reading the bytes they just
+// encoded; TestHashIntKeyMatchesHash64 pins the equivalence.
+func HashIntKey(v int64) uint64 {
+	r := bits.ReverseBytes64(uint64(v))
+	return wymix(wyp1^9, wymix((r<<8|0x01)^wyp1, r^wyp0))
+}
+
 // Hasher computes hash-once tuple keys: one canonical encoding pass and one
 // Hash64 per (tuple, column set). The internal buffer is reused across
 // calls, so the hot path performs zero allocations once warm. A Hasher is
@@ -88,6 +104,27 @@ type Hasher struct {
 // and is only valid until the next call; callers that retain the key must
 // copy it.
 func (h *Hasher) KeyCols(t Tuple, cols []int) (uint64, []byte) {
+	if len(cols) == 1 {
+		// Single integer-backed key column — the dominant equijoin shape:
+		// encode through the shared fast append and hash from registers,
+		// never re-reading the bytes just written.
+		if v := t[cols[0]]; v.K == KindInt || v.K == KindDate || v.K == KindBool {
+			h.buf = AppendIntKey(h.buf[:0], v.I)
+			return HashIntKey(v.I), h.buf
+		}
+	}
 	h.buf = t.AppendKeyCols(h.buf[:0], cols)
 	return Hash64(h.buf, 0), h.buf
+}
+
+// KeyColsTail encodes like KeyCols but appends after the buffer's current
+// contents instead of resetting it, so key slices returned by earlier
+// calls on this Hasher stay intact. Probing code uses it to encode a
+// filter's foreign column set mid-probe without clobbering the operator's
+// own precomputed key; the tail is reclaimed by the next KeyCols call.
+func (h *Hasher) KeyColsTail(t Tuple, cols []int) (uint64, []byte) {
+	start := len(h.buf)
+	h.buf = t.AppendKeyCols(h.buf, cols)
+	kb := h.buf[start:]
+	return Hash64(kb, 0), kb
 }

@@ -112,6 +112,123 @@ func (kt *KeyTable) Insert(h uint64, key []byte) (id int32, added bool) {
 	}
 }
 
+// ktChunk is the batch kernels' two-pass window: large enough to give the
+// memory system a full set of independent slot loads, small enough that the
+// per-chunk address arrays stay on the stack.
+const ktChunk = 128
+
+// LookupBatch resolves a batch of keys in scatter layout — key j is
+// keys[offs[j]:offs[j+1]] with hash hashes[j] — writing the id (or -1) to
+// ids[j]. Per chunk it runs two passes: the first computes every lane's
+// home slot and loads it, so the loads overlap in the memory system and
+// the line is warm for pass two, which finishes each probe from the cached
+// slot value. The table must not be modified during the call.
+func (kt *KeyTable) LookupBatch(hashes []uint64, keys []byte, offs []int32, ids []int32) {
+	if len(kt.slots) == 0 {
+		for j := range hashes {
+			ids[j] = -1
+		}
+		return
+	}
+	var home [ktChunk]uint64
+	var s0 [ktChunk]int32
+	for start := 0; start < len(hashes); start += ktChunk {
+		c := len(hashes) - start
+		if c > ktChunk {
+			c = ktChunk
+		}
+		for j := 0; j < c; j++ {
+			i := hashes[start+j] & kt.mask
+			home[j] = i
+			s0[j] = kt.slots[i]
+		}
+		for j := 0; j < c; j++ {
+			s := s0[j]
+			if s == 0 {
+				ids[start+j] = -1
+				continue
+			}
+			h := hashes[start+j]
+			key := keys[offs[start+j]:offs[start+j+1]]
+			if id := s - 1; kt.hashes[id] == h && bytes.Equal(kt.Key(id), key) {
+				ids[start+j] = id
+				continue
+			}
+			ids[start+j] = kt.lookupFrom((home[j]+1)&kt.mask, h, key)
+		}
+	}
+}
+
+// lookupFrom continues a linear probe past a mismatched home slot.
+func (kt *KeyTable) lookupFrom(i uint64, h uint64, key []byte) int32 {
+	for {
+		s := kt.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if id := s - 1; kt.hashes[id] == h && bytes.Equal(kt.Key(id), key) {
+			return id
+		}
+		i = (i + 1) & kt.mask
+	}
+}
+
+// InsertBatch inserts a batch of keys in scatter layout, writing each
+// lane's id to ids[j] and whether it was newly added to added[j]. The slot
+// array is grown once up front for the worst case, so no rehash happens
+// mid-batch and the warming pass's home-slot loads stay valid: a slot's
+// value is write-once (0 → id+1), so a nonzero warm read is trusted while
+// a zero one is re-read — an earlier lane of the same batch may have
+// claimed the slot since.
+func (kt *KeyTable) InsertBatch(hashes []uint64, keys []byte, offs []int32, ids []int32, added []bool) {
+	for (len(kt.hashes)+len(hashes))*4 >= len(kt.slots)*3 {
+		kt.grow()
+	}
+	var home [ktChunk]uint64
+	var s0 [ktChunk]int32
+	for start := 0; start < len(hashes); start += ktChunk {
+		c := len(hashes) - start
+		if c > ktChunk {
+			c = ktChunk
+		}
+		for j := 0; j < c; j++ {
+			i := hashes[start+j] & kt.mask
+			home[j] = i
+			s0[j] = kt.slots[i]
+		}
+		for j := 0; j < c; j++ {
+			i := home[j]
+			s := s0[j]
+			if s == 0 {
+				s = kt.slots[i]
+			}
+			ids[start+j], added[start+j] = kt.insertFrom(i, s,
+				hashes[start+j], keys[offs[start+j]:offs[start+j+1]])
+		}
+	}
+}
+
+// insertFrom finishes an insert probe at slot i whose current value is s;
+// the caller guarantees the slot array will not grow during the probe.
+func (kt *KeyTable) insertFrom(i uint64, s int32, h uint64, key []byte) (id int32, added bool) {
+	for {
+		if s == 0 {
+			id = int32(len(kt.hashes))
+			kt.hashes = append(kt.hashes, h)
+			kt.offs = append(kt.offs, uint32(len(kt.keys)))
+			kt.keys = append(kt.keys, key...)
+			kt.ends = append(kt.ends, uint32(len(kt.keys)))
+			kt.slots[i] = id + 1
+			return id, true
+		}
+		if cand := s - 1; kt.hashes[cand] == h && bytes.Equal(kt.Key(cand), key) {
+			return cand, false
+		}
+		i = (i + 1) & kt.mask
+		s = kt.slots[i]
+	}
+}
+
 // grow doubles the slot array and re-places every id by its stored hash; key
 // bytes are never touched.
 func (kt *KeyTable) grow() {

@@ -8,6 +8,7 @@
 package types
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -224,20 +225,22 @@ func (v Value) AppendKey(dst []byte) []byte {
 	case KindInt, KindDate, KindBool:
 		// Normalize integer-backed kinds through float when the value is
 		// exactly representable, so cross-kind equijoins hash consistently.
-		dst = append(dst, 0x01)
-		u := uint64(v.I)
-		return append(dst,
-			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
-			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+		// Tag and payload go through one fixed-size append (a single
+		// bounds check and copy) — this encode runs once per tuple on
+		// every hash path, so the byte-at-a-time form showed up in probe
+		// profiles.
+		var tmp [9]byte
+		tmp[0] = 0x01
+		binary.BigEndian.PutUint64(tmp[1:], uint64(v.I))
+		return append(dst, tmp[:]...)
 	case KindFloat:
 		if v.F == float64(int64(v.F)) {
 			return Int(int64(v.F)).AppendKey(dst)
 		}
-		dst = append(dst, 0x02)
-		bits := floatBits(v.F)
-		return append(dst,
-			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
-			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+		var tmp [9]byte
+		tmp[0] = 0x02
+		binary.BigEndian.PutUint64(tmp[1:], floatBits(v.F))
+		return append(dst, tmp[:]...)
 	case KindString:
 		dst = append(dst, 0x03)
 		dst = append(dst, v.S...)

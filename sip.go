@@ -177,6 +177,17 @@ type SourceError = exec.SourceError
 // SummaryKind selects the AIP-set representation (Bloom or hash set).
 type SummaryKind = core.SummaryKind
 
+// FilterVariant selects the Bloom-filter memory layout.
+type FilterVariant = core.FilterVariant
+
+// Bloom-filter layouts: cache-line-blocked (default; one line touched per
+// probe, batch kernels) or the classic flat bit array (kept as the
+// differential and memory baseline).
+const (
+	BlockedBloom = core.BlockedBloom
+	FlatBloom    = core.FlatBloom
+)
+
 // CostParams parameterize the Cost-Based AIP manager's model.
 type CostParams = core.CostParams
 
@@ -210,6 +221,10 @@ type Options struct {
 
 	// Summary selects Bloom filters (default) or exact hash sets.
 	Summary SummaryKind
+
+	// Variant selects the Bloom-filter layout (blocked by default; ignored
+	// for hash-set summaries).
+	Variant FilterVariant
 
 	// DelayedTables names base tables whose scans are delayed per Delay
 	// (the paper delays PARTSUPP).
@@ -337,6 +352,14 @@ type Result struct {
 	TuplesScanned int64
 	// NetworkBytes counts simulated network traffic.
 	NetworkBytes int64
+
+	// FilterBytes is the total memory allocated to AIP summaries (published
+	// filters plus working-set growth); PeakFilterWorkingBytes is the
+	// high-water mark of in-progress (not yet published) working sets summed
+	// across operators — the quantity the striped per-slot working sets are
+	// designed to shrink.
+	FilterBytes            int64
+	PeakFilterWorkingBytes int64
 
 	// Retries counts remote-interaction re-attempts the recovery layer
 	// made; WastedBytes is the simulated bandwidth consumed by attempts

@@ -85,9 +85,10 @@ func (e *Engine) plan(sql string, opts Options) (*enginePlan, error) {
 // planKey fingerprints the option fields that change the compiled plan
 // (placement, rewrite, pacing) plus the scheduler knobs (Scheduler and the
 // Parallelism input to the adaptive-P clamp), so cached plans never cross
-// scheduler modes; the remaining runtime-only knobs (FPR, summary kind,
-// pipeline depth, cost-model constants) are deliberately excluded so they
-// share one cached plan.
+// scheduler modes, and the filter variant, so cached plans never mix Bloom
+// geometries; the remaining runtime-only knobs (FPR, summary kind, pipeline
+// depth, cost-model constants) are deliberately excluded so they share one
+// cached plan.
 func planKey(sql string, opts Options) string {
 	var sb strings.Builder
 	sb.WriteString(sql)
@@ -127,7 +128,7 @@ func planKey(sql string, opts Options) string {
 	sb.WriteByte(0)
 	fmt.Fprintf(&sb, "%d", opts.SourceBytesPerSec)
 	sb.WriteByte(0)
-	fmt.Fprintf(&sb, "%s/%d", opts.Scheduler, opts.Parallelism)
+	fmt.Fprintf(&sb, "%s/%d/v%d", opts.Scheduler, opts.Parallelism, opts.Variant)
 	return sb.String()
 }
 

@@ -175,6 +175,7 @@ func (e *Engine) controller(opts Options, p *enginePlan, reg *stats.Registry, ec
 		copts := core.Options{
 			FPR:      opts.FPR,
 			Kind:     opts.Summary,
+			Variant:  opts.Variant,
 			Stats:    reg,
 			Topology: p.topo,
 			Cost:     core.DefaultCostParams(),
@@ -363,20 +364,22 @@ func (r *Rows) finish() {
 		r.ectx.Wait()
 	}
 	r.res = &Result{
-		Schema:             r.sch,
-		Duration:           dur,
-		PeakStateBytes:     reg.PeakStateBytes(),
-		FiltersCreated:     reg.FiltersMade.Load(),
-		FiltersInjected:    reg.FiltersUsed.Load(),
-		TuplesPruned:       reg.TotalPruned(),
-		TuplesProcessed:    reg.TotalIn(),
-		TuplesScanned:      reg.TotalScanned(),
-		NetworkBytes:       reg.NetworkBytes.Load(),
-		Retries:            reg.TotalRetries(),
-		WastedBytes:        reg.TotalWastedBytes(),
-		BreakerTransitions: reg.BreakerTransitions.Load(),
-		IncompleteTables:   r.ectx.IncompleteSources(),
-		Stats:              reg,
+		Schema:                 r.sch,
+		Duration:               dur,
+		PeakStateBytes:         reg.PeakStateBytes(),
+		FiltersCreated:         reg.FiltersMade.Load(),
+		FiltersInjected:        reg.FiltersUsed.Load(),
+		TuplesPruned:           reg.TotalPruned(),
+		TuplesProcessed:        reg.TotalIn(),
+		TuplesScanned:          reg.TotalScanned(),
+		NetworkBytes:           reg.NetworkBytes.Load(),
+		FilterBytes:            reg.FilterBytes.Load(),
+		PeakFilterWorkingBytes: reg.PeakFilterWorkingBytes(),
+		Retries:                reg.TotalRetries(),
+		WastedBytes:            reg.TotalWastedBytes(),
+		BreakerTransitions:     reg.BreakerTransitions.Load(),
+		IncompleteTables:       r.ectx.IncompleteSources(),
+		Stats:                  reg,
 	}
 	if r.pooled {
 		r.res.Stats = nil
