@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench filterbench benchdiff verify
+.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench filterbench spillbench benchdiff verify
 
 all: build
 
@@ -24,13 +24,14 @@ bench:
 	$(GO) test ./internal/exec -run '^$$' -bench BenchmarkJoin -benchmem -benchtime 5x -count 3
 
 # test-race: the executor's concurrency tests (partitioned join/agg
-# determinism, cancellation, the morsel scheduler differentials), the
+# determinism, cancellation, the morsel scheduler differentials, the
+# bucket-discard spill differentials), the spill run-file frame codec, the
 # work-stealing pool's park/steal races, the scalar-vs-vectorized
 # expression differential tests, the network fault/breaker tests, and the
 # blocked-filter / striped-Partial merge-exactness differentials under the
 # race detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/sched ./internal/core ./internal/expr ./internal/network ./internal/bloom ./internal/filter .
+	$(GO) test -race ./internal/exec ./internal/spill ./internal/sched ./internal/core ./internal/expr ./internal/network ./internal/bloom ./internal/filter .
 
 # chaos: the full fault-injection matrix (seeds × fault profiles ×
 # Fail/Partial × strategies) plus the recovery smoke tests, under the race
@@ -72,6 +73,14 @@ schedbench:
 # this PR's entry.
 filterbench:
 	$(GO) run ./cmd/sipbench -filterbench
+
+# spillbench: measure the memory-budget spill benchmark (unbounded vs
+# quarter vs sixteenth cap of the measured peak) and record it on the
+# latest BENCH_joins.json entry. Run after joinbench so the section lands
+# on this PR's entry; `make benchdiff` gates the quarter-cap run (must have
+# spilled, must stay within 5× of the unbounded wall time).
+spillbench:
+	$(GO) run ./cmd/sipbench -spillbench
 
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.

@@ -470,73 +470,149 @@ func TestChaosMatrix(t *testing.T) {
 	modes := []FailureMode{FailOnSourceError, PartialOnSourceError}
 	strategies := []Strategy{Baseline, FeedForward, CostBased}
 	scheds := []string{SchedulerChan, SchedulerMorsel}
+	// Memory-pressure axis: unbounded, a budget tight enough to force
+	// bucket-discard spilling on this working set, and a comfortable one.
+	// Faults and out-of-core execution compose: the same invariants hold.
+	budgets := []int64{0, 64 << 10, 256 << 10}
 
 	for _, prof := range profiles {
 		for _, mode := range modes {
 			for _, strat := range strategies {
 				for _, sched := range scheds {
-					for seed := int64(1); seed <= 4; seed++ {
-						name := fmt.Sprintf("%s/%v/%v/%s/seed%d", prof.name, mode, strat, sched, seed)
-						t.Run(name, func(t *testing.T) {
-							p := prof.p
-							p.Seed = seed
-							ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-							defer cancel()
-							res, err := e.Query(ctx, chaosSQL, Options{
-								Strategy:        strat,
-								Scheduler:       sched,
-								RemoteTables:    map[string]int{"partsupp": 1},
-								DelayedTables:   []string{"supplier"},
-								Delay:           &DelayConfig{Initial: time.Millisecond},
-								Faults:          &p,
-								Retry:           fastRetry(),
-								OnSourceFailure: mode,
-							})
-							if err != nil {
-								if ctx.Err() != nil {
-									t.Fatalf("run hit its deadline (hang): %v", err)
+					for _, budget := range budgets {
+						for seed := int64(1); seed <= 4; seed++ {
+							name := fmt.Sprintf("%s/%v/%v/%s/mem%dk/seed%d", prof.name, mode, strat, sched, budget>>10, seed)
+							t.Run(name, func(t *testing.T) {
+								p := prof.p
+								p.Seed = seed
+								ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+								defer cancel()
+								res, err := e.Query(ctx, chaosSQL, Options{
+									Strategy:        strat,
+									Scheduler:       sched,
+									RemoteTables:    map[string]int{"partsupp": 1},
+									DelayedTables:   []string{"supplier"},
+									Delay:           &DelayConfig{Initial: time.Millisecond},
+									Faults:          &p,
+									Retry:           fastRetry(),
+									OnSourceFailure: mode,
+									MemBudget:       budget,
+									Parallelism:     4,
+								})
+								if err != nil {
+									if ctx.Err() != nil {
+										t.Fatalf("run hit its deadline (hang): %v", err)
+									}
+									var be *BudgetError
+									if budget > 0 && errors.As(err, &be) {
+										// An unworkably tight budget is a legal
+										// typed failure in either mode — but
+										// never a hang or a silent truncation.
+										return
+									}
+									if mode == PartialOnSourceError {
+										t.Fatalf("partial mode must degrade, not fail: %v", err)
+									}
+									var se *SourceError
+									if !errors.As(err, &se) {
+										t.Fatalf("failed with %T (%v), want *SourceError", err, err)
+									}
+									if se.Table == "" || se.Attempts == 0 {
+										t.Fatalf("SourceError missing context: %+v", se)
+									}
+									return
 								}
-								if mode == PartialOnSourceError {
-									t.Fatalf("partial mode must degrade, not fail: %v", err)
+								got := canon(res.Rows)
+								if res.Complete() {
+									if len(got) != len(base) {
+										t.Fatalf("complete run returned %d rows, fault-free %d", len(got), len(base))
+									}
+									for i := range got {
+										if got[i] != base[i] {
+											t.Fatalf("complete run row %d = %q, fault-free %q", i, got[i], base[i])
+										}
+									}
+									return
 								}
-								var se *SourceError
-								if !errors.As(err, &se) {
-									t.Fatalf("failed with %T (%v), want *SourceError", err, err)
+								if mode != PartialOnSourceError {
+									t.Fatal("fail mode produced an incomplete result instead of an error")
 								}
-								if se.Table == "" || se.Attempts == 0 {
-									t.Fatalf("SourceError missing context: %+v", se)
-								}
-								return
-							}
-							got := canon(res.Rows)
-							if res.Complete() {
-								if len(got) != len(base) {
-									t.Fatalf("complete run returned %d rows, fault-free %d", len(got), len(base))
-								}
-								for i := range got {
-									if got[i] != base[i] {
-										t.Fatalf("complete run row %d = %q, fault-free %q", i, got[i], base[i])
+								// Partial: rows must be a sub-multiset of the
+								// fault-free answer — degraded, never wrong.
+								seen := map[string]int{}
+								for _, r := range got {
+									seen[r]++
+									if seen[r] > baseCount[r] {
+										t.Fatalf("partial run invented row %q", r)
 									}
 								}
-								return
-							}
-							if mode != PartialOnSourceError {
-								t.Fatal("fail mode produced an incomplete result instead of an error")
-							}
-							// Partial: rows must be a sub-multiset of the
-							// fault-free answer — degraded, never wrong.
-							seen := map[string]int{}
-							for _, r := range got {
-								seen[r]++
-								if seen[r] > baseCount[r] {
-									t.Fatalf("partial run invented row %q", r)
-								}
-							}
-						})
+							})
+						}
 					}
 				}
 			}
 		}
 	}
 	waitGoroutines(t, goroutineBase)
+}
+
+// TestChaosSpilledThenAbandoned composes the memory governor with graceful
+// degradation: under a budget small enough that the join spills its build
+// buckets to disk, the probe-side source dies mid-stream (no retries, so the
+// first injected fault is fatal) in partial mode. The spilled state must not
+// confuse the bookkeeping — the query completes, reports the dead table as
+// incomplete, and its rows stay a sub-multiset of the fault-free answer.
+func TestChaosSpilledThenAbandoned(t *testing.T) {
+	eng := spillEngine(t)
+	const q = `SELECT l_orderkey, o_orderdate
+		FROM lineitem, orders WHERE l_orderkey = o_orderkey`
+	base := canon(mustRows(t, eng, q, Options{Parallelism: 4}))
+	baseCount := map[string]int{}
+	for _, r := range base {
+		baseCount[r]++
+	}
+
+	pol := fastRetry()
+	pol.MaxRetries = -1 // first fault is fatal: the source dies mid-stream
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := eng.Query(ctx, q, Options{
+		Parallelism:   4,
+		MemBudget:     256 << 10,
+		DelayedTables: []string{"lineitem"},
+		Delay:         &DelayConfig{Initial: time.Millisecond},
+		// Seed 20 lands the first injected fault ~20 flushes into the
+		// lineitem stream: a third of the probe side arrives (spilling the
+		// budget-capped join state along the way), then the source dies.
+		Faults:          &FaultProfile{Seed: 20, TransientRate: 0.05},
+		Retry:           pol,
+		OnSourceFailure: PartialOnSourceError,
+	})
+	if err != nil {
+		t.Fatalf("partial mode failed instead of degrading: %v", err)
+	}
+	if res.Complete() {
+		t.Fatal("result not marked incomplete after the source died")
+	}
+	if len(res.IncompleteTables) != 1 || res.IncompleteTables[0].Table != "lineitem" {
+		t.Fatalf("IncompleteTables = %+v, want exactly [lineitem]", res.IncompleteTables)
+	}
+	if res.SpillEvents == 0 || res.SpillBytes == 0 {
+		t.Fatalf("no spill before abandonment (events=%d bytes=%d): budget too generous",
+			res.SpillEvents, res.SpillBytes)
+	}
+	got := canon(res.Rows)
+	if len(got) == 0 {
+		t.Fatal("source died before delivering anything — scenario wants spilled-then-abandoned")
+	}
+	if len(got) >= len(base) {
+		t.Fatalf("abandoned run returned %d rows, fault-free %d", len(got), len(base))
+	}
+	seen := map[string]int{}
+	for _, r := range got {
+		seen[r]++
+		if seen[r] > baseCount[r] {
+			t.Fatalf("partial run invented row %q", r)
+		}
+	}
 }

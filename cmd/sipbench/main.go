@@ -10,6 +10,7 @@
 //	sipbench -joinbench                # write BENCH_joins.json
 //	sipbench -schedbench               # record the chan-vs-morsel section
 //	sipbench -filterbench              # record the blocked-vs-flat filter section
+//	sipbench -spillbench               # record the memory-budget spill section
 //
 // Output is the same series the paper's figures plot: per query, one
 // running-time (or intermediate-state) value per execution strategy, with
@@ -69,17 +70,18 @@ func main() {
 		summary  = flag.Bool("summary", true, "print shape summary after each figure")
 		pipej    = flag.Int("pipedepth", 0, "per-edge channel buffer in batches (0 = executor default)")
 
-		joinbench  = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
-		exprbench  = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
-		stmtbench  = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
+		joinbench   = flag.Bool("joinbench", false, "run the per-strategy join benchmark and write -benchout")
+		exprbench   = flag.Bool("exprbench", false, "run the scalar-vs-vectorized expression microbench and record it in -benchout")
+		stmtbench   = flag.Bool("stmtbench", false, "run the prepare-once/execute-many point-query microbench and record it in -benchout")
 		schedbench  = flag.Bool("schedbench", false, "run the chan-vs-morsel scheduler benchmark and record it in -benchout")
 		filterbench = flag.Bool("filterbench", false, "run the blocked-vs-flat Bloom filter benchmark and record it in -benchout")
-		benchout    = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench / -filterbench")
-		overwrite   = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench/-filterbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
+		spillbench  = flag.Bool("spillbench", false, "run the memory-budget spill benchmark (unbounded vs quarter vs sixteenth cap) and record it in -benchout")
+		benchout    = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench / -filterbench / -spillbench")
+		overwrite   = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench/-filterbench/-spillbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
 	)
 	flag.Parse()
 
-	if *joinbench || *exprbench || *stmtbench || *schedbench || *filterbench {
+	if *joinbench || *exprbench || *stmtbench || *schedbench || *filterbench || *spillbench {
 		if *joinbench {
 			if err := runJoinBench(*benchout, *reps); err != nil {
 				fatal(err)
@@ -102,6 +104,11 @@ func main() {
 		}
 		if *filterbench {
 			if err := runFilterBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
+		}
+		if *spillbench {
+			if err := runSpillBench(*benchout, *reps, *overwrite); err != nil {
 				fatal(err)
 			}
 		}
@@ -193,6 +200,12 @@ type strategyBench struct {
 	InputTuplesPerSec    float64 `json:"input_tuples_per_sec"`
 	OperatorTuplesPerSec float64 `json:"operator_tuples_per_sec"`
 	Rows                 int     `json:"rows"`
+	// RepSpread is (slowest-fastest)/median across this cell's reps: the
+	// run's own noise estimate. benchdiff widens its cross-entry tolerance
+	// to the recorded spread (capped), so ambient load on a shared runner —
+	// which this measures directly — cannot masquerade as a regression,
+	// while quiet-machine entries keep the tight default gate.
+	RepSpread float64 `json:"rep_spread"`
 }
 
 // scalingBench is one parallelism level of the partitioned-join scaling
@@ -202,6 +215,7 @@ type scalingBench struct {
 	NsPerOp           int64   `json:"ns_per_op"`
 	InputTuplesPerSec float64 `json:"input_tuples_per_sec"`
 	SpeedupVsP1       float64 `json:"speedup_vs_p1"`
+	RepSpread         float64 `json:"rep_spread"` // see strategyBench.RepSpread
 }
 
 // benchEntry is one PR's appended measurement in the trajectory.
@@ -297,6 +311,7 @@ func runJoinBench(outPath string, reps int) error {
 			InputTuplesPerSec:    float64(med.inTuples) / med.d.Seconds(),
 			OperatorTuplesPerSec: float64(med.opTuples) / med.d.Seconds(),
 			Rows:                 int(rows),
+			RepSpread:            spreadFrac(repsRun[0].d, repsRun[len(repsRun)-1].d, med.d),
 		})
 		c := cells[len(cells)-1]
 		fmt.Printf("%-14s %12v/op %10d allocs/op %12.0f input-tuples/sec %12.0f op-tuples/sec\n",
@@ -367,6 +382,15 @@ func runJoinBench(outPath string, reps int) error {
 	return nil
 }
 
+// spreadFrac is the (slowest-fastest)/median rep-time spread recorded on
+// each measured cell as its noise estimate.
+func spreadFrac(fastest, slowest, median time.Duration) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return float64(slowest-fastest) / float64(median)
+}
+
 // scalingN sizes the scaling measurement to the exec microbench's Unique
 // shape: scalingN tuples per side over as many distinct keys, one match
 // per tuple.
@@ -418,6 +442,7 @@ func runParallelScaling(reps int) ([]scalingBench, error) {
 			Parallelism:       p,
 			NsPerOp:           med.Nanoseconds(),
 			InputTuplesPerSec: float64(2*scalingN) / med.Seconds(),
+			RepSpread:         spreadFrac(times[0], times[len(times)-1], med),
 		}
 		if len(out) > 0 {
 			cell.SpeedupVsP1 = cell.InputTuplesPerSec / out[0].InputTuplesPerSec

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	sip "repro"
+)
+
+// The spill benchmark measures what the memory budget costs: the join+agg
+// query that memory_test.go's differential uses, run unbounded (to learn
+// its natural peak) and then under caps of a quarter and a sixteenth of
+// that peak, which force the bucket-discard spill path through its merge
+// phase. Each capped run must produce the same number of rows as the
+// unbounded one — a spilling run that drops rows is a correctness bug, not
+// a slow run.
+//
+// The section is recorded on the latest BENCH_joins.json entry
+// ("spill_bench"); `make benchdiff` gates it: the quarter-cap run must have
+// actually spilled and must stay within 5× of the unbounded wall time, so
+// the out-of-core path can never silently rot into either a no-op or a
+// thrashing cliff. Cross-entry, same-machine throughput diffs apply like
+// every other section.
+
+// spillBenchSF pins the recorded scale factor; spillBenchP pins the
+// partition count (the container may expose a single core, and P=1 both
+// under-partitions the spill path and makes the peak step in whole-table
+// doublings).
+const (
+	spillBenchSF = 0.01
+	spillBenchP  = 4
+)
+
+const spillBenchSQL = `SELECT o_orderdate, count(*)
+	FROM lineitem, orders WHERE l_orderkey = o_orderkey GROUP BY o_orderdate`
+
+type spillBenchCell struct {
+	Cap                string  `json:"cap"` // "unbounded", "quarter", "sixteenth"
+	BudgetBytes        int64   `json:"budget_bytes"`
+	NsPerOp            int64   `json:"ns_per_op"`
+	InputTuplesPerSec  float64 `json:"input_tuples_per_sec"`
+	PeakMemBytes       int64   `json:"peak_mem_bytes"`
+	SpillBytes         int64   `json:"spill_bytes"`
+	SpillEvents        int64   `json:"spill_events"`
+	Rows               int     `json:"rows"`
+	SlowdownVsUncapped float64 `json:"slowdown_vs_uncapped"`
+}
+
+func runSpillBench(outPath string, reps int, overwrite bool) error {
+	if reps < 1 {
+		reps = 1
+	}
+	eng := sip.NewEngine(sip.GenerateTPCH(sip.DataConfig{ScaleFactor: spillBenchSF}))
+
+	measure := func(budget int64) (spillBenchCell, error) {
+		opts := sip.Options{Parallelism: spillBenchP, MemBudget: budget}
+		if _, err := eng.Query(context.Background(), spillBenchSQL, opts); err != nil {
+			return spillBenchCell{}, err // warm-up
+		}
+		type rep struct {
+			d        time.Duration
+			res      *sip.Result
+			inTuples int64
+		}
+		runs := make([]rep, reps)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			res, err := eng.Query(context.Background(), spillBenchSQL, opts)
+			if err != nil {
+				return spillBenchCell{}, err
+			}
+			runs[i] = rep{d: time.Since(start), res: res, inTuples: res.TuplesScanned}
+		}
+		sort.Slice(runs, func(i, k int) bool { return runs[i].d < runs[k].d })
+		med := runs[len(runs)/2]
+		return spillBenchCell{
+			BudgetBytes:       budget,
+			NsPerOp:           med.d.Nanoseconds(),
+			InputTuplesPerSec: float64(med.inTuples) / med.d.Seconds(),
+			PeakMemBytes:      med.res.PeakMemBytes,
+			SpillBytes:        med.res.SpillBytes,
+			SpillEvents:       med.res.SpillEvents,
+			Rows:              len(med.res.Rows),
+		}, nil
+	}
+
+	unbounded, err := measure(0)
+	if err != nil {
+		return err
+	}
+	unbounded.Cap = "unbounded"
+	unbounded.SlowdownVsUncapped = 1
+	cells := []spillBenchCell{unbounded}
+
+	caps := []struct {
+		name   string
+		budget int64
+	}{
+		{"quarter", unbounded.PeakMemBytes / 4},
+		{"sixteenth", unbounded.PeakMemBytes / 16},
+	}
+	for _, c := range caps {
+		cell, err := measure(c.budget)
+		if err != nil {
+			return fmt.Errorf("spillbench %s cap (%d B): %w", c.name, c.budget, err)
+		}
+		cell.Cap = c.name
+		cell.SlowdownVsUncapped = float64(cell.NsPerOp) / float64(unbounded.NsPerOp)
+		if cell.Rows != unbounded.Rows {
+			return fmt.Errorf("spillbench %s cap produced %d rows, unbounded %d",
+				c.name, cell.Rows, unbounded.Rows)
+		}
+		cells = append(cells, cell)
+	}
+
+	for _, c := range cells {
+		fmt.Printf("spill %-10s budget=%-9d %12v/op peak=%-9d spilled=%-9d (%d evictions) %5.2fx\n",
+			c.Cap, c.BudgetBytes, time.Duration(c.NsPerOp).Round(time.Microsecond),
+			c.PeakMemBytes, c.SpillBytes, c.SpillEvents, c.SlowdownVsUncapped)
+	}
+	return recordBenchSection(outPath, "spill_bench", cells, overwrite)
+}

@@ -12,12 +12,20 @@
 //	sipquery -timeout 5s -sql "..."
 //	sipquery -sched morsel -sql "..."
 //	sipquery -remote partsupp=1 -fault-transient 0.1 -partial -sql "..."
+//	sipquery -mem-budget 1048576 -stats -sql "..."
 //	echo "SELECT ..." | sipquery
 //
 // The -fault-* flags inject deterministic failures into remote links and
 // delayed scans (see sip.FaultProfile); -retries/-attempt-timeout bound the
 // recovery policy, and -partial degrades a dead source to a partial result
 // (with a warning and exit code 1) instead of failing the query.
+//
+// -mem-budget caps the query's tracked operator-state bytes: over the cap
+// the stateful operators evict hash buckets to disk and merge them back
+// after their inputs finish, trading wall time for bounded memory. The
+// footer reports the tracked peak and spill volume whenever a query went
+// out-of-core (and always under -stats); a budget too small for even the
+// spill merge fails with the minimum workable figure.
 package main
 
 import (
@@ -58,6 +66,7 @@ func main() {
 		retries        = flag.Int("retries", 0, "retry budget per source (0 = default 3, negative disables)")
 		attemptTimeout = flag.Duration("attempt-timeout", 0, "per-attempt timeout (0 = default 2s, negative disables)")
 		partial        = flag.Bool("partial", false, "degrade to a partial result instead of failing when a source stays dead")
+		memBudget      = flag.Int64("mem-budget", 0, "cap on tracked operator-state bytes; over budget the engine spills hash buckets to disk (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -114,7 +123,7 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	opts := sip.Options{Strategy: strat, Scheduler: *sched,
+	opts := sip.Options{Strategy: strat, Scheduler: *sched, MemBudget: *memBudget,
 		Retry: sip.RetryPolicy{MaxRetries: *retries, AttemptTimeout: *attemptTimeout}}
 	if *delayed != "" {
 		opts.DelayedTables = strings.Split(*delayed, ",")
@@ -179,6 +188,7 @@ func main() {
 	}
 	exitCode := 0
 	var srcErr *sip.SourceError
+	var budgetErr *sip.BudgetError
 	switch err := rows.Err(); {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "sipquery: query cancelled (partial output)")
@@ -190,6 +200,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sipquery: source failed: table %s (site %d) stayed dead after %d attempt(s): %v\n",
 			srcErr.Table, srcErr.Site, srcErr.Attempts, srcErr.Cause)
 		fmt.Fprintln(os.Stderr, "sipquery: rerun with -partial to degrade to a partial result instead")
+		exitCode = 1
+	case errors.As(err, &budgetErr):
+		fmt.Fprintf(os.Stderr, "sipquery: memory budget too small: %v\n", budgetErr)
+		fmt.Fprintf(os.Stderr, "sipquery: rerun with -mem-budget %d or higher\n", budgetErr.Need)
 		exitCode = 1
 	case err != nil:
 		fatal(err)
@@ -216,6 +230,13 @@ func main() {
 	if res.Retries > 0 || res.BreakerTransitions > 0 || res.WastedBytes > 0 {
 		fmt.Printf("recovery: %d retr%s, %d breaker transition(s), %d wasted byte(s)\n",
 			res.Retries, plural(res.Retries, "y", "ies"), res.BreakerTransitions, res.WastedBytes)
+	}
+	// Spill accounting: always visible when the query actually went
+	// out-of-core (a spilling run should never look identical to an
+	// in-memory one), and under -stats even when it did not.
+	if *stats || res.SpillEvents > 0 {
+		fmt.Printf("memory: %.2f MB tracked peak; %.2f MB spilled in %d eviction(s)\n",
+			float64(res.PeakMemBytes)/(1<<20), float64(res.SpillBytes)/(1<<20), res.SpillEvents)
 	}
 	if *stats {
 		fmt.Println()

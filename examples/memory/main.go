@@ -1,0 +1,90 @@
+// Memory governance: heavy queries degrade to disk instead of OOM-killing
+// the process. The same join+aggregation runs three ways — unbounded (to
+// learn its natural in-memory peak), under a per-query budget of a quarter
+// of that peak (the stateful operators evict hash buckets to spill files
+// and merge them back after their inputs finish, returning the exact same
+// rows), and under an engine-wide pool that arbitrates grants across
+// concurrent queries. A budget too small for even the spill merge fails
+// fast with a typed *sip.BudgetError carrying the minimum workable figure.
+//
+//	go run ./examples/memory
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	sip "repro"
+)
+
+const q = `
+	SELECT o_orderdate, count(*)
+	FROM lineitem, orders WHERE l_orderkey = o_orderkey
+	GROUP BY o_orderdate`
+
+func main() {
+	ctx := context.Background()
+	cat := sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.01})
+	eng := sip.NewEngine(cat)
+
+	// Unbounded reference run: its tracked peak is the query's appetite.
+	opts := sip.Options{Parallelism: 4}
+	base, err := eng.Query(ctx, q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unbounded: %d rows in %v, peak %s, no spilling\n",
+		len(base.Rows), base.Duration.Round(time.Millisecond), mb(base.PeakMemBytes))
+
+	// A quarter of the appetite: same rows, bounded memory, disk absorbs
+	// the difference.
+	opts.MemBudget = base.PeakMemBytes / 4
+	capped, err := eng.Query(ctx, q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget %s: %d rows in %v, peak %s, spilled %s in %d eviction(s)\n",
+		mb(opts.MemBudget), len(capped.Rows), capped.Duration.Round(time.Millisecond),
+		mb(capped.PeakMemBytes), mb(capped.SpillBytes), capped.SpillEvents)
+
+	// An impossible budget fails fast and typed — with the number to fix it.
+	_, err = eng.Query(ctx, q, sip.Options{Parallelism: 4, MemBudget: 4 << 10})
+	var be *sip.BudgetError
+	if errors.As(err, &be) {
+		fmt.Printf("budget %d B: %v\n\n", be.Budget, be)
+	}
+
+	// Engine-wide governance: one pool, many queries. Each admitted query
+	// gets a grant (half the pool when alone, never below a sixteenth);
+	// admission waits when the pool runs dry, and per-query budgets compose
+	// with grants — the tighter one wins.
+	pooled := sip.NewEngineWithConfig(cat, sip.EngineConfig{
+		MemBudget:            base.PeakMemBytes,
+		MaxConcurrentQueries: 3,
+	})
+	var wg sync.WaitGroup
+	results := make([]*sip.Result, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pooled.Query(ctx, q, sip.Options{Parallelism: 4})
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("governed pool %s, 4 concurrent queries:\n", mb(base.PeakMemBytes))
+	for i, res := range results {
+		fmt.Printf("  query %d: %d rows, peak %s, spilled %s\n",
+			i, len(res.Rows), mb(res.PeakMemBytes), mb(res.SpillBytes))
+	}
+}
+
+func mb(n int64) string { return fmt.Sprintf("%.2f MB", float64(n)/(1<<20)) }

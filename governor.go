@@ -1,0 +1,80 @@
+package sip
+
+import (
+	"context"
+	"sync"
+)
+
+// memGovernor arbitrates one engine-wide memory pool across concurrent
+// queries. Each admitted query receives a byte grant that becomes (or caps)
+// its exec.Context.MemBudget, so heavy queries spill against their share
+// instead of racing each other to an OOM; the pool composes with the
+// MaxConcurrentQueries admission semaphore, which bounds how many grants
+// are outstanding at once.
+//
+// The policy is deliberately simple and starvation-free: a new query gets
+// total/(admitted+2) — half the pool when it is alone, leaving headroom for
+// followers — bounded below by total/16 (grants smaller than that thrash
+// the spill merge) and above by what is actually free. When the free pool
+// drops under the floor, acquire blocks until a running query releases its
+// grant or the caller's context fires.
+type memGovernor struct {
+	total int64
+
+	mu       sync.Mutex
+	avail    int64
+	admitted int
+	wait     chan struct{} // closed+replaced on every release (broadcast)
+}
+
+func newMemGovernor(total int64) *memGovernor {
+	return &memGovernor{total: total, avail: total, wait: make(chan struct{})}
+}
+
+// floor is the smallest grant the governor will hand out.
+func (g *memGovernor) floor() int64 {
+	f := g.total / 16
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// acquire blocks until a grant is available, returning the granted bytes.
+// The caller must release(grant) exactly once when the query finishes.
+func (g *memGovernor) acquire(ctx context.Context) (int64, error) {
+	g.mu.Lock()
+	for {
+		if floor := g.floor(); g.avail >= floor {
+			grant := g.total / int64(g.admitted+2)
+			if grant < floor {
+				grant = floor
+			}
+			if grant > g.avail {
+				grant = g.avail
+			}
+			g.avail -= grant
+			g.admitted++
+			g.mu.Unlock()
+			return grant, nil
+		}
+		w := g.wait
+		g.mu.Unlock()
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return 0, context.Cause(ctx)
+		}
+		g.mu.Lock()
+	}
+}
+
+// release returns a grant to the pool and wakes every waiter.
+func (g *memGovernor) release(grant int64) {
+	g.mu.Lock()
+	g.avail += grant
+	g.admitted--
+	close(g.wait)
+	g.wait = make(chan struct{})
+	g.mu.Unlock()
+}

@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -91,8 +92,9 @@ func (t *Table) MemBytes() int64 {
 
 // Catalog is a named collection of tables.
 type Catalog struct {
-	tables map[string]*Table
-	order  []string
+	tables  map[string]*Table
+	order   []string
+	version atomic.Int64
 }
 
 // New creates an empty catalog.
@@ -100,14 +102,24 @@ func New() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
-// Add registers a table; it replaces any previous table of the same name.
+// Add registers a table; it replaces any previous table of the same name
+// and bumps the catalog version, invalidating plans compiled against the
+// old contents.
 func (c *Catalog) Add(t *Table) {
 	key := strings.ToLower(t.Name)
 	if _, exists := c.tables[key]; !exists {
 		c.order = append(c.order, key)
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 }
+
+// Version is the catalog's mutation counter: it changes every time Add
+// registers or replaces a table. Plan caches key compiled plans by it, so
+// a stale plan (snapshotting a replaced table's rows or statistics) is
+// never served after the catalog moves on. Mutating a *Table in place does
+// not bump the version; replace it through Add.
+func (c *Catalog) Version() int64 { return c.version.Load() }
 
 // Table looks up a table by (case-insensitive) name.
 func (c *Catalog) Table(name string) (*Table, error) {

@@ -135,12 +135,11 @@ func (a *accAllocator) alloc() []aggAcc {
 }
 
 // aggPart is one radix partition of the aggregation state, owned by its
-// worker goroutine.
+// worker goroutine. The embedded aggCore carries the group table and the
+// bucket-discard spill state shared with the morsel engine.
 type aggPart struct {
-	in     chan *scatter
-	idx    types.KeyTable
-	groups []groupState
-	accs   accAllocator
+	in chan *scatter
+	aggCore
 }
 
 // Start launches the router and the per-partition fold workers.
@@ -154,12 +153,14 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(h.Point))
+	ctx.addMemParts(P)
 	op.SetPartitions(P)
 
 	parts := make([]*aggPart, P)
 	partIns := make([]chan *scatter, P)
 	for p := range parts {
-		parts[p] = &aggPart{in: make(chan *scatter, ctx.pipeDepth()), accs: accAllocator{width: len(h.Aggs)}}
+		parts[p] = &aggPart{in: make(chan *scatter, ctx.pipeDepth()),
+			aggCore: aggCore{accs: accAllocator{width: len(h.Aggs)}}}
 		partIns[p] = parts[p].in
 	}
 
@@ -260,6 +261,7 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			)
 			for sb := range pt.in {
 				var newGroups, newBytes int64
+				preBytes := pt.memBytes()
 				n := len(sb.tuples)
 				ident := identSel(n)
 				for k, c := range argC {
@@ -299,13 +301,27 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 						gs.accs[k].add(h.Aggs[k].Func, v)
 					}
 				}
+				pt.groupBytes += newBytes
+				// Budget accounting is delta-based over the full footprint
+				// (key index + groups), so the StateBytes gauge moves by the
+				// same delta instead of the payload estimate alone.
+				if delta := pt.memBytes() - preBytes; delta != 0 {
+					ctx.account(delta)
+					op.StateBytes.Add(delta)
+					pt.bytes += delta
+				}
 				op.StateRows.Add(newGroups)
-				op.StateBytes.Add(newBytes)
 				pp := op.Part(pidx)
 				pp.Rows.Add(newGroups)
 				pp.Bytes.Add(newBytes)
 				if h.Point != nil {
 					h.Point.stored.Add(newGroups)
+				}
+				if ctx.memPressure(pt.bytes, P) {
+					if err := pt.evict(ctx, op, h.Point, h.Aggs); err != nil {
+						ctx.CancelCause(err)
+						return
+					}
 				}
 				putScatter(sb)
 			}
@@ -326,14 +342,19 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 		}
 
 		total := 0
+		anySpilled := false
 		for _, pt := range parts {
 			total += len(pt.groups)
+			if pt.run != nil {
+				anySpilled = true
+			}
 		}
 		// SQL semantics: a global aggregate (no GROUP BY) over empty input
 		// yields exactly one row (count 0, sum/min/max/avg NULL). Appended
 		// before the state iterator is published: once the point is Done
-		// the group state must be immutable.
-		if total == 0 && len(h.GroupBy) == 0 {
+		// the group state must be immutable. A spilled run means the input
+		// was not empty — its groups live on disk, not in total.
+		if total == 0 && len(h.GroupBy) == 0 && !anySpilled {
 			parts[0].groups = append(parts[0].groups, groupState{accs: make([]aggAcc, len(h.Aggs))})
 		}
 
@@ -368,6 +389,11 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 			return true
 		}
 		for _, pt := range parts {
+			if pt.run != nil {
+				// Spilled partitions emit through the merge below; their
+				// in-memory remainder joins the run there.
+				continue
+			}
 			for gi := range pt.groups {
 				gs := &pt.groups[gi]
 				row := arena.alloc(len(gs.groupVals) + len(h.Aggs))
@@ -388,7 +414,26 @@ func (h *HashAgg) Start(ctx *Context) <-chan Batch {
 				}
 			}
 		}
-		flush()
+		if !flush() {
+			return
+		}
+		// Merge phase: sequential, so at most one rebuilt sub-bucket table
+		// occupies the merge share at a time.
+		for _, pt := range parts {
+			if pt.run == nil {
+				continue
+			}
+			if !pt.mergeSpill(ctx, op, len(h.GroupBy), h.Aggs, func(b Batch) bool {
+				n := int64(b.Len())
+				if !send(ctx, out, b) {
+					return false
+				}
+				op.Out.Add(n)
+				return true
+			}) {
+				return
+			}
+		}
 	})
 	return out
 }
@@ -408,11 +453,12 @@ type Distinct struct {
 // Schema returns the child schema.
 func (d *Distinct) Schema() *types.Schema { return d.Child.Schema() }
 
-// distinctPart is one partition of the seen-set, owned by its worker.
+// distinctPart is one partition of the seen-set, owned by its worker. The
+// embedded distinctCore carries the seen-set and the bucket-discard spill
+// state shared with the morsel engine.
 type distinctPart struct {
-	in   chan *scatter
-	idx  types.KeyTable
-	seen []types.Tuple
+	in chan *scatter
+	distinctCore
 }
 
 // Start launches the router and the per-partition dedup workers.
@@ -426,6 +472,7 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(d.Point))
+	ctx.addMemParts(P)
 	op.SetPartitions(P)
 
 	allCols := make([]int, d.Child.Schema().Len())
@@ -498,6 +545,7 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 			)
 			for sb := range pt.in {
 				var stored, storedBytes int64
+				preBytes := pt.memBytes()
 				n := len(sb.tuples)
 				ids = growI32(ids, n)
 				if cap(added) < n {
@@ -516,11 +564,20 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 						if d.Point != nil && d.Point.OnStore != nil {
 							d.Point.OnStore(pidx, t)
 						}
-						fresh.Tuples = append(fresh.Tuples, t)
+						// A spilled partition defers: this may duplicate an
+						// evicted key, so the finalize replay decides.
+						if !pt.deferred {
+							fresh.Tuples = append(fresh.Tuples, t)
+						}
 					}
 				}
+				pt.tupBytes += storedBytes
+				if delta := pt.memBytes() - preBytes; delta != 0 {
+					ctx.account(delta)
+					op.StateBytes.Add(delta)
+					pt.bytes += delta
+				}
 				op.StateRows.Add(stored)
-				op.StateBytes.Add(storedBytes)
 				pp := op.Part(pidx)
 				pp.Rows.Add(stored)
 				pp.Bytes.Add(storedBytes)
@@ -538,6 +595,13 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 					}
 					op.Out.Add(n)
 				}
+				if ctx.memPressure(pt.bytes, P) {
+					if err := pt.evict(ctx, op, d.Point); err != nil {
+						ctx.CancelCause(err)
+						failed.Store(true)
+						return
+					}
+				}
 				putScatter(sb)
 			}
 		})
@@ -552,6 +616,23 @@ func (d *Distinct) Start(ctx *Context) <-chan Batch {
 		workerWg.Wait()
 		if !routed || failed.Load() { // cancelled: seen-state is partial
 			return
+		}
+		// Merge phase: spilled partitions replay their runs and emit the
+		// deferred pending tuples whose keys were never claimed.
+		for _, pt := range parts {
+			if pt.run == nil {
+				continue
+			}
+			if !pt.mergeSpill(ctx, op, func(b Batch) bool {
+				n := int64(b.Len())
+				if !send(ctx, out, b) {
+					return false
+				}
+				op.Out.Add(n)
+				return true
+			}) {
+				return
+			}
 		}
 		if d.Point != nil {
 			d.Point.setStateIter(func(emit func(types.Tuple) bool) {

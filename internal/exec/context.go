@@ -179,9 +179,29 @@ type Context struct {
 	// retry policy, no breakers, and fail-fast semantics.
 	Recovery Recovery
 
+	// MemBudget caps the query's tracked operator state (join tables, agg
+	// accumulators, distinct sets) in bytes. Zero or negative runs
+	// unbounded. Under a budget the partitioned stateful operators run the
+	// paper's bucket-discard policy: a partition over its share evicts its
+	// hash state to a spill run (internal/spill) and a merge/rescan phase
+	// after input-done recovers the evicted matches, so results are
+	// identical to an unbounded run. A budget too small for the merge phase
+	// to converge fails the query with a *BudgetError instead of
+	// thrashing. See the accounting methods in memory.go.
+	MemBudget int64
+
 	cancel    chan struct{}
 	cancelOne sync.Once
 	cause     atomic.Pointer[error]
+
+	tracked     atomic.Int64 // current accounted operator-state bytes
+	trackedPeak atomic.Int64 // high-water mark of tracked
+	memParts    atomic.Int64 // registered budget-accounted partitions (addMemParts)
+	spillBytes  atomic.Int64 // total bytes written to spill runs
+	spillEvents atomic.Int64 // bucket-discard evictions
+
+	spillMu  sync.Mutex
+	spillDir string // lazily created per-query temp dir for spill runs
 
 	mu     sync.Mutex
 	points []*Point

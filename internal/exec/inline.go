@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"runtime/debug"
+
 	"repro/internal/expr"
 	"repro/internal/stats"
 	"repro/internal/types"
@@ -27,7 +29,16 @@ const InlineMaxRows = 4096
 // lookup (or a point lookup joined against a dimension table) itself.
 // Per-operator stats are recorded under the same names as the pipelined
 // path, so Result counters and -stats reports are identical.
-func TryRunInline(ctx *Context, root Op) ([]types.Tuple, bool) {
+func TryRunInline(ctx *Context, root Op) (rows []types.Tuple, ran bool) {
+	// Inline execution runs in the caller's goroutine, outside Spawn's
+	// recover: contain a panic here the same way, failing the query with a
+	// typed error instead of unwinding into the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			ctx.CancelCause(&PanicError{Val: r, Stack: debug.Stack()})
+			rows, ran = nil, true
+		}
+	}()
 	op := root
 	var proj *Project
 	if p, ok := op.(*Project); ok {

@@ -74,9 +74,10 @@ type joinEntry struct {
 // allocation beyond amortized slice growth — in particular no string key
 // and no per-key bucket slice.
 type joinTable struct {
-	idx     types.KeyTable
-	heads   []int32 // per key id: 1-based index of the newest entry
-	entries []joinEntry
+	idx      types.KeyTable
+	heads    []int32 // per key id: 1-based index of the newest entry
+	entries  []joinEntry
+	tupBytes int64 // Σ MemSize of stored tuples, for state accounting
 }
 
 // reserve pre-sizes the table for about n stored tuples (the optimizer's
@@ -103,6 +104,7 @@ func (jt *joinTable) insert(h uint64, key []byte, t types.Tuple, seq uint64) {
 	}
 	jt.entries = append(jt.entries, joinEntry{t: t, seq: seq, next: jt.heads[id]})
 	jt.heads[id] = int32(len(jt.entries))
+	jt.tupBytes += int64(t.MemSize())
 }
 
 // insertBatch inserts a whole scatter with consecutive tickets starting at
@@ -119,6 +121,7 @@ func (jt *joinTable) insertBatch(sb *scatter, baseSeq uint64, ids []int32, added
 		}
 		jt.entries = append(jt.entries, joinEntry{t: t, seq: baseSeq + uint64(i) + 1, next: jt.heads[id]})
 		jt.heads[id] = int32(len(jt.entries))
+		jt.tupBytes += int64(t.MemSize())
 	}
 }
 
@@ -162,13 +165,13 @@ type joinInput struct {
 	done atomic.Bool
 }
 
-// joinPart is one radix partition. Its tables and ticket counter are owned
-// exclusively by the worker goroutine draining in; single-owner processing
-// replaces the per-side lock of the pre-partitioned engine.
+// joinPart is one radix partition. Its tables, ticket counter, and spill
+// state (the embedded joinCore) are owned exclusively by the worker
+// goroutine draining in; single-owner processing replaces the per-side lock
+// of the pre-partitioned engine.
 type joinPart struct {
-	in     chan *scatter
-	tables [2]joinTable // indexed by side
-	ticket uint64
+	in chan *scatter
+	joinCore
 }
 
 // Start launches one router goroutine per input and one worker per
@@ -181,6 +184,7 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 
 	P := ctx.partitions()
 	P = clampPartitions(P, pointEstRows(j.LPoint)+pointEstRows(j.RPoint))
+	ctx.addMemParts(P)
 
 	lop := ctx.Stats.NewOp("join:" + j.Name + ".left")
 	rop := ctx.Stats.NewOp("join:" + j.Name + ".right")
@@ -199,6 +203,7 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 		}
 	}
 
+	ops := [2]*stats.OpStats{lop, rop}
 	parts := make([]*joinPart, P)
 	partIns := make([]chan *scatter, P)
 	for p := range parts {
@@ -209,6 +214,7 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 				parts[p].tables[s].reserve(int(in.point.EstRows) / P)
 			}
 		}
+		parts[p].initAccount(ctx, ops)
 	}
 
 	// finish marks one input complete: its state is immutable from here on
@@ -344,19 +350,32 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			ids = growI32(ids, n)
 
 			var stored, storedBytes int64
+			preBytes := ownT.memBytes()
+			preTup := ownT.tupBytes
 			if !other.done.Load() {
 				if cap(added) < n {
 					added = make([]bool, n)
 				}
 				ownT.insertBatch(sb, base, ids, added[:n])
 				stored = int64(n)
-				for _, t := range sb.tuples {
-					storedBytes += int64(t.MemSize())
+				storedBytes = ownT.tupBytes - preTup
+			} else if pt.run != nil {
+				// The partition has spilled: evicted other-side entries may
+				// still match these arrivals, so instead of the plain §VI-A
+				// drop they go to the run under the current epoch.
+				if err := pt.spillArrivals(sb, base); err != nil {
+					ctx.CancelCause(err)
+					return
 				}
 			} else if own.point != nil {
 				// The buffered state no longer reflects the full input;
 				// Cost-Based AIP must not build a set from it.
 				own.point.stateIncomplete.Store(true)
+			}
+			if delta := ownT.memBytes() - preBytes; delta != 0 {
+				ctx.account(delta)
+				own.op.StateBytes.Add(delta)
+				pt.bytes += delta
 			}
 
 			// Probe the other side's partition table and emit. Out is
@@ -412,10 +431,20 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 			}
 			PutBatch(outBatch)
 
+			// Pressure check runs after the probe: evicting first would wipe
+			// the co-resident matches this batch is entitled to emit (the
+			// merge skips same-epoch pairs, so they would be lost for good).
+			if ctx.memPressure(pt.bytes, P) {
+				if err := pt.evict(ctx, ops, [2]*Point{j.LPoint, j.RPoint}); err != nil {
+					ctx.CancelCause(err)
+					return
+				}
+			}
+
 			// Batch-grained stats flush, folded into the side totals and the
-			// per-partition skew counters.
+			// per-partition skew counters. StateBytes was already moved by
+			// the accounting delta above.
 			own.op.StateRows.Add(stored)
-			own.op.StateBytes.Add(storedBytes)
 			pp := own.op.Part(pidx)
 			pp.Rows.Add(stored)
 			pp.Bytes.Add(storedBytes)
@@ -435,6 +464,29 @@ func (j *HashJoin) Start(ctx *Context) <-chan Batch {
 	}
 	ctx.Spawn(func() {
 		workerWg.Wait()
+		// Merge phase: spilled partitions re-scan their runs and emit the
+		// cross-epoch matches phase 1 could not see. Sequential, so at most
+		// one merge table occupies the merge share at a time; merged rows
+		// are attributed to the left op like the spill counters.
+		var resC *expr.Compiled
+		for _, pt := range parts {
+			if pt.run == nil {
+				continue
+			}
+			if resC == nil {
+				resC = expr.Compile(j.Residual)
+			}
+			if !pt.mergeSpill(ctx, ops, lop.Name, resC, func(b Batch) bool {
+				n := int64(b.Len())
+				if !send(ctx, out, b) {
+					return false
+				}
+				lop.Out.Add(n)
+				return true
+			}) {
+				break
+			}
+		}
 		close(out)
 	})
 	return out

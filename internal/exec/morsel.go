@@ -163,6 +163,12 @@ func startMorsel(ctx *Context, root Op) (<-chan Batch, bool) {
 	}
 	r.nextSeq = r.pool.Workers()
 	r.nw = r.pool.Workers() + sv.seq
+	// Contain task panics to this query: the pool worker survives, the
+	// query fails with a typed *PanicError, and the supervisor below tears
+	// the pool down through the normal cancellation path.
+	r.pool.OnPanic = func(v any, stack []byte) {
+		ctx.CancelCause(&PanicError{Val: v, Stack: stack})
+	}
 	r.build(root, &mSink{run: r})
 	r.pool.Start(ctx.Spawn)
 	for _, f := range r.starts {
@@ -712,29 +718,17 @@ func (m *mShip) done(w int) {
 // ---------------------------------------------------------------------------
 // Hash join
 
-// mJoinInput is the side-level barrier state of one join input — the chan
-// engine's joinInput with the router hold generalized to many concurrent
-// pushing tasks.
-type mJoinInput struct {
-	side  int
-	keys  []int
-	point *Point
-	op    *stats.OpStats
+// The morsel join reuses the chan engine's joinInput for its side-level
+// barrier state: pending is 1 (the input hold, released by the upstream done
+// cascade) plus in-flight scatters, reaching zero exactly once after the
+// input's last probe.
 
-	// pending is 1 (the input hold, released by the upstream done cascade)
-	// plus in-flight scatters. It reaches zero exactly once, after the
-	// input's last probe.
-	pending atomic.Int64
-	routed  atomic.Bool
-	done    atomic.Bool
-}
-
-// mJoinPart is one radix partition: tables, ticket counter, and the
-// drain-side scratch, all owned by whichever task holds the inbox claim.
+// mJoinPart is one radix partition: the shared joinCore (tables, ticket
+// counter, spill state) and the drain-side scratch, all owned by whichever
+// task holds the inbox claim.
 type mJoinPart struct {
-	inbox  mInbox
-	tables [2]joinTable
-	ticket uint64
+	inbox mInbox
+	joinCore
 
 	matches []types.Tuple
 	arena   rowArena
@@ -759,7 +753,7 @@ type mJoin struct {
 	shift uint
 
 	parts  []*mJoinPart
-	inputs [2]*mJoinInput
+	inputs [2]*joinInput
 	route  []mJoinRoute
 
 	sidesDone atomic.Int32
@@ -768,13 +762,14 @@ type mJoin struct {
 func newMJoin(r *morselRun, j *HashJoin, down mChain) *mJoin {
 	P := r.ctx.partitions()
 	P = clampPartitions(P, pointEstRows(j.LPoint)+pointEstRows(j.RPoint))
+	r.ctx.addMemParts(P)
 	lop := r.ctx.Stats.NewOp("join:" + j.Name + ".left")
 	rop := r.ctx.Stats.NewOp("join:" + j.Name + ".right")
 	lop.SetPartitions(P)
 	rop.SetPartitions(P)
 	m := &mJoin{run: r, down: down, P: P, shift: partShift(P)}
-	m.inputs[0] = &mJoinInput{side: 0, keys: j.LKeys, point: j.LPoint, op: lop}
-	m.inputs[1] = &mJoinInput{side: 1, keys: j.RKeys, point: j.RPoint, op: rop}
+	m.inputs[0] = &joinInput{side: 0, keys: j.LKeys, point: j.LPoint, op: lop}
+	m.inputs[1] = &joinInput{side: 1, keys: j.RKeys, point: j.RPoint, op: rop}
 	m.inputs[0].pending.Store(1)
 	m.inputs[1].pending.Store(1)
 	for _, in := range m.inputs {
@@ -790,6 +785,7 @@ func newMJoin(r *morselRun, j *HashJoin, down mChain) *mJoin {
 				pt.tables[s].reserve(int(in.point.EstRows) / P)
 			}
 		}
+		pt.initAccount(r.ctx, [2]*stats.OpStats{lop, rop})
 		m.parts[p] = pt
 	}
 	m.route = make([]mJoinRoute, r.nw)
@@ -879,20 +875,33 @@ func (m *mJoin) processScatter(dw, p int, sb *scatter) bool {
 	pt.ticket += uint64(n)
 	pt.ids = growI32(pt.ids, n)
 
+	ctx := m.run.ctx
 	var stored, storedBytes int64
+	preBytes := ownT.memBytes()
+	preTup := ownT.tupBytes
 	if !other.done.Load() {
 		if cap(pt.added) < n {
 			pt.added = make([]bool, n)
 		}
 		ownT.insertBatch(sb, base, pt.ids, pt.added[:n])
 		stored = int64(n)
-		for _, t := range sb.tuples {
-			storedBytes += int64(t.MemSize())
+		storedBytes = ownT.tupBytes - preTup
+	} else if pt.run != nil {
+		// Spilled partition: post-short-circuit arrivals may still match
+		// evicted other-side entries, so they go to the run (current epoch)
+		// instead of being dropped.
+		if err := pt.spillArrivals(sb, base); err != nil {
+			ctx.CancelCause(err)
+			return false
 		}
 	} else if own.point != nil {
 		own.point.stateIncomplete.Store(true)
 	}
-
+	if delta := ownT.memBytes() - preBytes; delta != 0 {
+		ctx.account(delta)
+		own.op.StateBytes.Add(delta)
+		pt.bytes += delta
+	}
 	outBatch := GetBatch()
 	emit := func() bool {
 		if len(outBatch.Tuples) == 0 {
@@ -948,8 +957,18 @@ scan:
 	}
 	PutBatch(outBatch)
 
+	// Pressure check runs after the probe: evicting first would wipe the
+	// co-resident matches this scatter is entitled to emit (the merge skips
+	// same-epoch pairs, so they would be lost for good).
+	if ctx.memPressure(pt.bytes, m.P) {
+		ops := [2]*stats.OpStats{m.inputs[0].op, m.inputs[1].op}
+		if err := pt.evict(ctx, ops, [2]*Point{m.inputs[0].point, m.inputs[1].point}); err != nil {
+			ctx.CancelCause(err)
+			return false
+		}
+	}
+
 	own.op.StateRows.Add(stored)
-	own.op.StateBytes.Add(storedBytes)
 	pp := own.op.Part(p)
 	pp.Rows.Add(stored)
 	pp.Bytes.Add(storedBytes)
@@ -963,7 +982,7 @@ scan:
 
 // release drops one pending reference; the barrier fires exactly once,
 // after the input's last probe.
-func (m *mJoin) release(w int, in *mJoinInput) {
+func (m *mJoin) release(w int, in *joinInput) {
 	if in.pending.Add(-1) == 0 && in.routed.Load() {
 		m.finish(w, in)
 	}
@@ -982,8 +1001,9 @@ func (m *mJoin) sideDone(w, side int) {
 
 // finish completes one input: publish the immutable per-partition state
 // to the AIP point, enable the other side's short-circuit, and — once
-// both inputs are done, after which nothing can emit — cascade done.
-func (m *mJoin) finish(w int, in *mJoinInput) {
+// both inputs are done, after which nothing can emit — cascade done
+// (via the spill merge task when any partition spilled).
+func (m *mJoin) finish(w int, in *joinInput) {
 	in.done.Store(true)
 	if in.point != nil {
 		side := in.side
@@ -1001,7 +1021,47 @@ func (m *mJoin) finish(w int, in *mJoinInput) {
 		m.run.ctx.pointDone(in.point)
 	}
 	if m.sidesDone.Add(1) == 2 && m.run.ctx.Err() == nil {
-		m.down.done(w)
+		spilled := false
+		for _, pt := range m.parts {
+			if pt.run != nil {
+				spilled = true
+				break
+			}
+		}
+		if !spilled {
+			m.down.done(w)
+			return
+		}
+		// One sequential merge task drains every spilled partition's run and
+		// then cascades done; merging one partition at a time keeps a single
+		// merge table inside the merge share. All drains finished (both
+		// pending barriers hit zero), so the partitions' resC are free.
+		m.run.pool.SubmitFrom(w, func(dw int) { m.mergeSpilled(dw) })
+	}
+}
+
+// mergeSpilled is the morsel engine's spill-drain task: the chan closer's
+// merge loop as one pool task, emitting through the downstream chain.
+func (m *mJoin) mergeSpilled(dw int) {
+	ctx := m.run.ctx
+	ops := [2]*stats.OpStats{m.inputs[0].op, m.inputs[1].op}
+	for _, pt := range m.parts {
+		if pt.run == nil {
+			continue
+		}
+		if !pt.mergeSpill(ctx, ops, ops[0].Name, pt.resC, func(b Batch) bool {
+			n := int64(b.Len())
+			if !m.down.push(dw, b) {
+				return false
+			}
+			ops[0].Out.Add(n)
+			return true
+		}) {
+			return
+		}
+	}
+	if ctx.Err() == nil {
+		m.down.done(dw)
 	}
 }
 
@@ -1023,12 +1083,11 @@ type mAggRoute struct {
 }
 
 // mAggPart is one partition of the group state plus its fold scratch,
-// owned by the inbox claimant.
+// owned by the inbox claimant. The embedded aggCore carries the group
+// table and the bucket-discard spill state shared with the chan engine.
 type mAggPart struct {
-	inbox   mInbox
-	idx     types.KeyTable
-	groups  []groupState
-	accs    accAllocator
+	inbox mInbox
+	aggCore
 	gvals   types.Tuple
 	argC    []*expr.Compiled
 	argCols [][]types.Value
@@ -1056,6 +1115,7 @@ type mAgg struct {
 func newMAgg(r *morselRun, h *HashAgg, down mChain) *mAgg {
 	P := r.ctx.partitions()
 	P = clampPartitions(P, pointEstRows(h.Point))
+	r.ctx.addMemParts(P)
 	op := r.ctx.Stats.NewOp("agg:" + h.Name)
 	op.SetPartitions(P)
 	if h.Point != nil {
@@ -1070,7 +1130,7 @@ func newMAgg(r *morselRun, h *HashAgg, down mChain) *mAgg {
 	m.parts = make([]*mAggPart, P)
 	for p := range m.parts {
 		pt := &mAggPart{
-			accs:    accAllocator{width: len(h.Aggs)},
+			aggCore: aggCore{accs: accAllocator{width: len(h.Aggs)}},
 			gvals:   make(types.Tuple, len(h.GroupBy)),
 			argC:    make([]*expr.Compiled, len(h.Aggs)),
 			argCols: make([][]types.Value, len(h.Aggs)),
@@ -1143,8 +1203,7 @@ func (m *mAgg) flushRoute(w int, rt *mAggRoute) {
 			p := p
 			m.run.pool.SubmitFrom(w, func(dw int) {
 				m.parts[p].inbox.drainLoop(func(sb *scatter) bool {
-					m.fold(dw, p, sb)
-					return true
+					return m.fold(dw, p, sb)
 				})
 			})
 		}
@@ -1154,9 +1213,11 @@ func (m *mAgg) flushRoute(w int, rt *mAggRoute) {
 // fold is the chan agg worker's body for one scatter: vectorized argument
 // columns, KeyTable insert, group creation with OnStore, accumulator
 // updates, stats, release.
-func (m *mAgg) fold(dw, p int, sb *scatter) {
+func (m *mAgg) fold(dw, p int, sb *scatter) bool {
 	pt := m.parts[p]
+	ctx := m.run.ctx
 	var newGroups, newBytes int64
+	preBytes := pt.memBytes()
 	n := len(sb.tuples)
 	ident := identSel(n)
 	for k, c := range pt.argC {
@@ -1197,16 +1258,30 @@ func (m *mAgg) fold(dw, p int, sb *scatter) {
 			gs.accs[k].add(m.h.Aggs[k].Func, v)
 		}
 	}
+	pt.groupBytes += newBytes
+	// Delta-based accounting over the full footprint (key index + groups),
+	// mirroring the chan worker.
+	if delta := pt.memBytes() - preBytes; delta != 0 {
+		ctx.account(delta)
+		m.op.StateBytes.Add(delta)
+		pt.bytes += delta
+	}
 	m.op.StateRows.Add(newGroups)
-	m.op.StateBytes.Add(newBytes)
 	pp := m.op.Part(p)
 	pp.Rows.Add(newGroups)
 	pp.Bytes.Add(newBytes)
 	if m.h.Point != nil {
 		m.h.Point.stored.Add(newGroups)
 	}
+	if ctx.memPressure(pt.bytes, m.P) {
+		if err := pt.evict(ctx, m.op, m.h.Point, m.h.Aggs); err != nil {
+			ctx.CancelCause(err)
+			return false
+		}
+	}
 	putScatter(sb)
 	m.release(dw)
+	return true
 }
 
 func (m *mAgg) release(w int) {
@@ -1229,13 +1304,18 @@ func (m *mAgg) done(w int) {
 // last emission task cascades done.
 func (m *mAgg) finalize(w int) {
 	total := 0
+	spilledCount := 0
 	for _, pt := range m.parts {
 		total += len(pt.groups)
+		if pt.run != nil {
+			spilledCount++
+		}
 	}
 	// SQL semantics: a global aggregate over empty input yields one row.
 	// Appended before the state iterator is published, as in the chan
-	// finisher: once the point is Done the group state is immutable.
-	if total == 0 && len(m.h.GroupBy) == 0 {
+	// finisher: once the point is Done the group state is immutable. A
+	// spilled run means the input was not empty — its groups live on disk.
+	if total == 0 && len(m.h.GroupBy) == 0 && spilledCount == 0 {
 		m.parts[0].groups = append(m.parts[0].groups, groupState{accs: make([]aggAcc, len(m.h.Aggs))})
 	}
 	if m.h.Point != nil {
@@ -1252,10 +1332,47 @@ func (m *mAgg) finalize(w int) {
 		m.h.Point.done.Store(true)
 		m.run.ctx.pointDone(m.h.Point)
 	}
-	m.remainingEmit.Store(int64(m.P))
+	// Unspilled partitions emit in parallel as before; all spilled
+	// partitions drain through one sequential task so at most one rebuilt
+	// sub-bucket table occupies the merge share at a time.
+	n := int64(m.P - spilledCount)
+	if spilledCount > 0 {
+		n++
+	}
+	m.remainingEmit.Store(n)
 	for p := range m.parts {
+		if m.parts[p].run != nil {
+			continue
+		}
 		p := p
 		m.run.pool.SubmitFrom(w, func(dw int) { m.emitPart(dw, p) })
+	}
+	if spilledCount > 0 {
+		m.run.pool.SubmitFrom(w, func(dw int) { m.emitSpilled(dw) })
+	}
+}
+
+// emitSpilled drains every spilled partition's run sequentially; the last
+// emission task (this one or a parallel emitPart) cascades done.
+func (m *mAgg) emitSpilled(dw int) {
+	ctx := m.run.ctx
+	for _, pt := range m.parts {
+		if pt.run == nil {
+			continue
+		}
+		if !pt.mergeSpill(ctx, m.op, len(m.h.GroupBy), m.h.Aggs, func(b Batch) bool {
+			n := int64(b.Len())
+			if !m.down.push(dw, b) {
+				return false
+			}
+			m.op.Out.Add(n)
+			return true
+		}) {
+			return
+		}
+	}
+	if m.remainingEmit.Add(-1) == 0 && ctx.Err() == nil {
+		m.down.done(dw)
 	}
 }
 
@@ -1311,11 +1428,12 @@ type mDistRoute struct {
 	bufs []*scatter
 }
 
-// mDistinctPart is one partition of the seen-set.
+// mDistinctPart is one partition of the seen-set. The embedded
+// distinctCore carries the set and the bucket-discard spill state shared
+// with the chan engine.
 type mDistinctPart struct {
 	inbox mInbox
-	idx   types.KeyTable
-	seen  []types.Tuple
+	distinctCore
 	ids   []int32 // batch kernel scratch: key ids per scatter lane
 	added []bool
 }
@@ -1339,6 +1457,7 @@ type mDistinct struct {
 func newMDistinct(r *morselRun, d *Distinct, down mChain) *mDistinct {
 	P := r.ctx.partitions()
 	P = clampPartitions(P, pointEstRows(d.Point))
+	r.ctx.addMemParts(P)
 	op := r.ctx.Stats.NewOp("distinct:" + d.Name)
 	op.SetPartitions(P)
 	if d.Point != nil {
@@ -1414,7 +1533,9 @@ func (m *mDistinct) push(w int, b Batch) bool {
 // slot) and forwarded immediately — distinct stays pipelined.
 func (m *mDistinct) dedup(dw, p int, sb *scatter) bool {
 	pt := m.parts[p]
+	ctx := m.run.ctx
 	var stored, storedBytes int64
+	preBytes := pt.memBytes()
 	n := len(sb.tuples)
 	pt.ids = growI32(pt.ids, n)
 	if cap(pt.added) < n {
@@ -1430,11 +1551,20 @@ func (m *mDistinct) dedup(dw, p int, sb *scatter) bool {
 			if m.d.Point != nil && m.d.Point.OnStore != nil {
 				m.d.Point.OnStore(p, t)
 			}
-			fresh.Tuples = append(fresh.Tuples, t)
+			// A spilled partition defers: this may duplicate an evicted
+			// key, so the finalize replay decides.
+			if !pt.deferred {
+				fresh.Tuples = append(fresh.Tuples, t)
+			}
 		}
 	}
+	pt.tupBytes += storedBytes
+	if delta := pt.memBytes() - preBytes; delta != 0 {
+		ctx.account(delta)
+		m.op.StateBytes.Add(delta)
+		pt.bytes += delta
+	}
 	m.op.StateRows.Add(stored)
-	m.op.StateBytes.Add(storedBytes)
 	pp := m.op.Part(p)
 	pp.Rows.Add(stored)
 	pp.Bytes.Add(storedBytes)
@@ -1451,6 +1581,12 @@ func (m *mDistinct) dedup(dw, p int, sb *scatter) bool {
 			return false
 		}
 		m.op.Out.Add(n)
+	}
+	if ctx.memPressure(pt.bytes, m.P) {
+		if err := pt.evict(ctx, m.op, m.d.Point); err != nil {
+			ctx.CancelCause(err)
+			return false
+		}
 	}
 	putScatter(sb)
 	m.release(dw)
@@ -1472,6 +1608,25 @@ func (m *mDistinct) done(w int) {
 }
 
 func (m *mDistinct) finalize(w int) {
+	// Merge phase: spilled partitions replay their runs and emit the
+	// deferred pending tuples whose keys were never claimed. Sequential, and
+	// inline in the last release's task — it is the pipeline's tail work.
+	ctx := m.run.ctx
+	for _, pt := range m.parts {
+		if pt.run == nil {
+			continue
+		}
+		if !pt.mergeSpill(ctx, m.op, func(b Batch) bool {
+			n := int64(b.Len())
+			if !m.down.push(w, b) {
+				return false
+			}
+			m.op.Out.Add(n)
+			return true
+		}) {
+			return
+		}
+	}
 	if m.d.Point != nil {
 		parts := m.parts
 		m.d.Point.setStateIter(func(emit func(types.Tuple) bool) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -87,10 +88,21 @@ type sourceFailure struct {
 // must go through Spawn so Wait can prove quiescence: pooled stats
 // registries are recycled only after Wait, when no goroutine can still
 // touch a counter.
+//
+// A panic inside f is contained to the query: f's own deferred cleanup
+// (channel closes, WaitGroup decrements) runs during the unwind, then the
+// recover here cancels the query with a typed *PanicError — the process
+// and every other in-flight query keep running, and the failed query's
+// remaining goroutines drain through the normal cancellation paths.
 func (c *Context) Spawn(f func()) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				c.CancelCause(&PanicError{Val: r, Stack: debug.Stack()})
+			}
+		}()
 		f()
 	}()
 }

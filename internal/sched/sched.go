@@ -59,6 +59,7 @@
 package sched
 
 import (
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,13 @@ type workerQ struct {
 
 // Pool is a work-stealing worker pool for one query execution.
 type Pool struct {
+	// OnPanic, when non-nil, is called with a task's recovered panic value
+	// and stack; the worker survives and keeps draining tasks. The exec
+	// layer installs a hook that cancels the owning query with a typed
+	// error, so one poisoned task fails its query instead of the process.
+	// When nil, task panics propagate and crash as usual. Set before Start.
+	OnPanic func(v any, stack []byte)
+
 	workers []workerQ
 
 	injectMu sync.Mutex
@@ -218,10 +226,24 @@ func (p *Pool) run(w int) {
 			continue
 		}
 		start := time.Now()
-		t(w)
+		p.exec(w, t)
 		p.busy[w].Add(int64(time.Since(start)))
 		p.morsels.Add(1)
 	}
+}
+
+// exec runs one task, containing its panic via OnPanic when installed. The
+// recover lives in its own frame so a panicking task never unwinds the
+// worker loop.
+func (p *Pool) exec(w int, t Task) {
+	if p.OnPanic != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				p.OnPanic(r, debug.Stack())
+			}
+		}()
+	}
+	t(w)
 }
 
 // dequeue finds the next task for worker w: local tail, then injector

@@ -1,0 +1,318 @@
+// Package spill is the out-of-core state layer behind the executor's
+// bucket-discard eviction policy: when a partitioned operator's hash state
+// exceeds its memory share, whole buckets are serialized to a spill run on
+// disk and the memory is reclaimed; a merge/rescan phase drains the runs
+// after input-done.
+//
+// A Run is an append-only file of Records, batch-serialized into CRC-guarded
+// frames: records accumulate in an in-memory payload buffer and are written
+// as one frame — [u32 payload length][u32 CRC-32 (Castagnoli)][payload] —
+// when the buffer fills or Flush is called, so the per-record write cost is
+// one buffer append, not one syscall. Readers verify each frame's checksum
+// before decoding, so a torn or corrupted run surfaces as a typed error
+// instead of wrong query results. A Run may be read concurrently with
+// nothing (readers come after the writer's Flush) and re-read any number of
+// times — the executor's merge phase makes one pass per hash sub-bucket.
+//
+// Record values are encoded kind-tagged: integer-backed kinds as zigzag
+// varints, floats as raw IEEE bits, strings length-prefixed, NULL as a bare
+// tag. The encoding is exact — a decoded Record compares equal to what was
+// appended — which is what lets capped (spilling) executions return
+// byte-identical results to unbounded ones.
+//
+// Temp-file lifecycle is owned by the caller: runs are created inside a
+// caller-supplied directory (the executor uses one temp dir per query,
+// removed when the query finishes), and Close removes the run's file
+// eagerly.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/types"
+)
+
+// Record is one spilled hash-table entry. Side distinguishes an operator's
+// two inputs (join build sides; the distinct operator reuses it to mark
+// already-emitted keys), Seq is the entry's partition ticket (the symmetric
+// join's arrival clock), Hash/Key are the entry's hash-table identity, and
+// Tuple is the stored row (nil for key-only records).
+type Record struct {
+	Side  uint8
+	Seq   uint64
+	Hash  uint64
+	Key   []byte
+	Tuple types.Tuple
+}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameTarget is the payload size at which a frame is cut: large enough to
+// amortize the 8-byte frame header and the write syscall, small enough that
+// a reader's frame buffer stays cache-friendly.
+const frameTarget = 64 << 10
+
+// Run is an append-only spill file. Append and Flush are the writer side;
+// Reader opens an independent decode pass over everything flushed so far.
+// A Run is not concurrency-safe: the executor serializes access per
+// operator partition.
+type Run struct {
+	f       *os.File
+	path    string
+	payload []byte // current frame under construction
+	bytes   int64  // total frame bytes written (header + payload)
+	records int64
+}
+
+// NewRun creates a run file inside dir (pattern names the operator for
+// debuggability; the actual filename is unique).
+func NewRun(dir, pattern string) (*Run, error) {
+	f, err := os.CreateTemp(dir, pattern+"-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create run: %w", err)
+	}
+	return &Run{f: f, path: f.Name()}, nil
+}
+
+// Append serializes one record into the current frame, cutting the frame to
+// disk when it reaches the target size. The record's Key and Tuple are
+// copied by encoding; the caller may reuse them immediately.
+func (r *Run) Append(rec *Record) error {
+	r.payload = appendRecord(r.payload, rec)
+	r.records++
+	if len(r.payload) >= frameTarget {
+		return r.cut()
+	}
+	return nil
+}
+
+// Flush writes any buffered records as a final (possibly short) frame. Call
+// before opening a Reader.
+func (r *Run) Flush() error {
+	if len(r.payload) == 0 {
+		return nil
+	}
+	return r.cut()
+}
+
+// cut writes the buffered payload as one CRC'd frame.
+func (r *Run) cut() error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(r.payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(r.payload, castagnoli))
+	if _, err := r.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spill: write frame: %w", err)
+	}
+	if _, err := r.f.Write(r.payload); err != nil {
+		return fmt.Errorf("spill: write frame: %w", err)
+	}
+	r.bytes += int64(8 + len(r.payload))
+	r.payload = r.payload[:0]
+	return nil
+}
+
+// Bytes returns the total bytes written to disk so far (frame headers
+// included, unflushed buffer excluded).
+func (r *Run) Bytes() int64 { return r.bytes }
+
+// Records returns the number of records appended (flushed or not).
+func (r *Run) Records() int64 { return r.records }
+
+// Close removes the run's file. Safe to call more than once.
+func (r *Run) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	if rmErr := os.Remove(r.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Reader opens an independent sequential pass over everything flushed so
+// far. The executor's merge phase calls it once per hash sub-bucket, so a
+// run must support many passes; each Reader holds its own file handle.
+func (r *Run) Reader() (*Reader, error) {
+	if err := r.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: reopen run: %w", err)
+	}
+	return &Reader{br: bufio.NewReaderSize(f, 64<<10), f: f}, nil
+}
+
+// Reader decodes a Run front to back in append order.
+type Reader struct {
+	br    *bufio.Reader
+	f     *os.File
+	frame []byte // current verified frame payload
+	off   int    // decode cursor into frame
+}
+
+// Next decodes the next record into rec, returning false at end of run.
+// rec.Key aliases the reader's frame buffer and is valid until the next
+// Next call; rec.Tuple is freshly allocated.
+func (rd *Reader) Next(rec *Record) (bool, error) {
+	for rd.off >= len(rd.frame) {
+		ok, err := rd.nextFrame()
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	n, err := decodeRecord(rd.frame[rd.off:], rec)
+	if err != nil {
+		return false, err
+	}
+	rd.off += n
+	return true, nil
+}
+
+// nextFrame reads and CRC-verifies the next frame; false means clean EOF.
+func (rd *Reader) nextFrame() (bool, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, fmt.Errorf("spill: frame header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if cap(rd.frame) < int(size) {
+		rd.frame = make([]byte, size)
+	}
+	rd.frame = rd.frame[:size]
+	if _, err := io.ReadFull(rd.br, rd.frame); err != nil {
+		return false, fmt.Errorf("spill: truncated frame: %w", err)
+	}
+	if got := crc32.Checksum(rd.frame, castagnoli); got != want {
+		return false, fmt.Errorf("spill: frame checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	rd.off = 0
+	return true, nil
+}
+
+// Close releases the reader's file handle.
+func (rd *Reader) Close() error { return rd.f.Close() }
+
+// Record encoding, inside a frame:
+//
+//	side u8 · seq uvarint · hash fixed64 · keyLen uvarint · key bytes ·
+//	ncols+1 uvarint (0 = nil tuple) · per value: kind u8 + payload
+//
+// Value payloads: NULL none; INT/DATE/BOOL zigzag varint; FLOAT raw IEEE
+// bits fixed64; STRING uvarint length + bytes.
+func appendRecord(dst []byte, rec *Record) []byte {
+	dst = append(dst, rec.Side)
+	dst = binary.AppendUvarint(dst, rec.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, rec.Hash)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Key)))
+	dst = append(dst, rec.Key...)
+	if rec.Tuple == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Tuple))+1)
+	for _, v := range rec.Tuple {
+		dst = append(dst, byte(v.K))
+		switch v.K {
+		case types.KindNull:
+		case types.KindInt, types.KindDate, types.KindBool:
+			dst = binary.AppendVarint(dst, v.I)
+		case types.KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case types.KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		default:
+			panic(fmt.Sprintf("spill: unencodable kind %v", v.K))
+		}
+	}
+	return dst
+}
+
+var errCorrupt = fmt.Errorf("spill: corrupt record encoding")
+
+// decodeRecord decodes one record from b (which starts at a record
+// boundary), returning the encoded length. rec.Key aliases b.
+func decodeRecord(b []byte, rec *Record) (int, error) {
+	if len(b) < 1 {
+		return 0, errCorrupt
+	}
+	rec.Side = b[0]
+	off := 1
+	seq, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	off += n
+	rec.Seq = seq
+	if len(b) < off+8 {
+		return 0, errCorrupt
+	}
+	rec.Hash = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	klen, n := binary.Uvarint(b[off:])
+	if n <= 0 || len(b) < off+n+int(klen) {
+		return 0, errCorrupt
+	}
+	off += n
+	rec.Key = b[off : off+int(klen)]
+	off += int(klen)
+	ncols, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	off += n
+	if ncols == 0 {
+		rec.Tuple = nil
+		return off, nil
+	}
+	t := make(types.Tuple, ncols-1)
+	for i := range t {
+		if len(b) <= off {
+			return 0, errCorrupt
+		}
+		k := types.Kind(b[off])
+		off++
+		switch k {
+		case types.KindNull:
+			t[i] = types.Null()
+		case types.KindInt, types.KindDate, types.KindBool:
+			v, n := binary.Varint(b[off:])
+			if n <= 0 {
+				return 0, errCorrupt
+			}
+			off += n
+			t[i] = types.Value{K: k, I: v}
+		case types.KindFloat:
+			if len(b) < off+8 {
+				return 0, errCorrupt
+			}
+			t[i] = types.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[off:])))
+			off += 8
+		case types.KindString:
+			slen, n := binary.Uvarint(b[off:])
+			if n <= 0 || len(b) < off+n+int(slen) {
+				return 0, errCorrupt
+			}
+			off += n
+			t[i] = types.Str(string(b[off : off+int(slen)]))
+			off += int(slen)
+		default:
+			return 0, fmt.Errorf("spill: unknown value kind %d", k)
+		}
+	}
+	rec.Tuple = t
+	return off, nil
+}

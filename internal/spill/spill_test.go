@@ -1,0 +1,254 @@
+package spill
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Side: 0, Seq: 1, Hash: 0xdeadbeef, Key: []byte("k1"),
+			Tuple: types.Tuple{types.Int(42), types.Str("hello"), types.Float(3.5)}},
+		{Side: 1, Seq: 9, Hash: 7, Key: []byte{},
+			Tuple: types.Tuple{types.Null(), types.Date(19000), types.Bool(true)}},
+		{Side: 1, Seq: 1 << 40, Hash: math.MaxUint64, Key: []byte("key-only"), Tuple: nil},
+		{Side: 0, Seq: 0, Hash: 0, Key: []byte(strings.Repeat("x", 300)),
+			Tuple: types.Tuple{types.Int(-5), types.Float(math.Inf(1)), types.Str("")}},
+	}
+}
+
+func equalRecords(a, b *Record) bool {
+	if a.Side != b.Side || a.Seq != b.Seq || a.Hash != b.Hash || string(a.Key) != string(b.Key) {
+		return false
+	}
+	if (a.Tuple == nil) != (b.Tuple == nil) || len(a.Tuple) != len(b.Tuple) {
+		return false
+	}
+	for i := range a.Tuple {
+		if a.Tuple[i] != b.Tuple[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip: every appended record decodes back exactly, across frame
+// boundaries, and the run supports multiple independent read passes.
+func TestRoundTrip(t *testing.T) {
+	run, err := NewRun(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+
+	want := sampleRecords()
+	// Enough volume to force several frame cuts.
+	const copies = 2000
+	for c := 0; c < copies; c++ {
+		for i := range want {
+			if err := run.Append(&want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, exp := run.Records(), int64(copies*len(want)); got != exp {
+		t.Fatalf("Records() = %d, want %d", got, exp)
+	}
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if run.Bytes() == 0 {
+		t.Fatal("Flush wrote no bytes")
+	}
+
+	for pass := 0; pass < 3; pass++ {
+		rd, err := run.Reader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Record
+		n := 0
+		for {
+			ok, err := rd.Next(&rec)
+			if err != nil {
+				t.Fatalf("pass %d record %d: %v", pass, n, err)
+			}
+			if !ok {
+				break
+			}
+			if exp := &want[n%len(want)]; !equalRecords(&rec, exp) {
+				t.Fatalf("pass %d record %d = %+v, want %+v", pass, n, rec, *exp)
+			}
+			n++
+		}
+		if n != copies*len(want) {
+			t.Fatalf("pass %d decoded %d records, want %d", pass, n, copies*len(want))
+		}
+		rd.Close()
+	}
+}
+
+// TestEmptyRun: a run with no records reads back as empty, from a reader
+// opened before any write.
+func TestEmptyRun(t *testing.T) {
+	run, err := NewRun(t.TempDir(), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	rd, err := run.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var rec Record
+	if ok, err := rd.Next(&rec); ok || err != nil {
+		t.Fatalf("empty run Next = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+// TestCorruptionDetected: flipping a payload byte must surface as a checksum
+// error, not as silently wrong records.
+func TestCorruptionDetected(t *testing.T) {
+	run, err := NewRun(t.TempDir(), "corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	recs := sampleRecords()
+	for i := range recs {
+		if err := run.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first frame's payload (offset 8 skips the
+	// header).
+	f, err := os.OpenFile(run.path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 12); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rd, err := run.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var rec Record
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			if !strings.Contains(err.Error(), "checksum") {
+				t.Fatalf("corruption surfaced as %v, want a checksum error", err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatal("corrupted frame read back without error")
+		}
+	}
+}
+
+// TestTruncationDetected: a run cut off mid-frame surfaces a truncation
+// error.
+func TestTruncationDetected(t *testing.T) {
+	run, err := NewRun(t.TempDir(), "trunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	recs := sampleRecords()
+	for i := range recs {
+		if err := run.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(run.path, run.Bytes()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := run.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var rec Record
+	for {
+		ok, err := rd.Next(&rec)
+		if err != nil {
+			return // truncation detected, as required
+		}
+		if !ok {
+			t.Fatal("truncated frame read back as clean EOF")
+		}
+	}
+}
+
+// TestCloseRemovesFile: Close deletes the run's backing file (the per-query
+// temp dir must not accumulate finished runs).
+func TestCloseRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	run, err := NewRun(dir, "rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := run.path
+	if err := run.Append(&Record{Key: []byte("k")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("run file still exists after Close (stat err %v)", err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestVarintBoundary pins the zigzag encoding of extreme ints.
+func TestVarintBoundary(t *testing.T) {
+	run, err := NewRun(t.TempDir(), "varint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	want := Record{Seq: math.MaxUint64, Hash: 1,
+		Key: binary.BigEndian.AppendUint64(nil, 1),
+		Tuple: types.Tuple{types.Int(math.MinInt64), types.Int(math.MaxInt64),
+			types.Float(math.NaN())}}
+	if err := run.Append(&want); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var rec Record
+	if ok, err := rd.Next(&rec); !ok || err != nil {
+		t.Fatalf("Next = (%v, %v)", ok, err)
+	}
+	if rec.Seq != want.Seq || rec.Tuple[0].I != math.MinInt64 || rec.Tuple[1].I != math.MaxInt64 {
+		t.Fatalf("extremes decoded as %+v", rec)
+	}
+	if !math.IsNaN(rec.Tuple[2].F) {
+		t.Fatalf("NaN decoded as %v", rec.Tuple[2].F)
+	}
+}

@@ -82,6 +82,12 @@ type OpStats struct {
 	Retries     Counter // re-attempts after a failed remote interaction
 	WastedBytes Counter // modeled bytes consumed by attempts that failed
 
+	// SpillBytes counts bytes this operator wrote to spill runs under memory
+	// pressure; SpillEvents counts its bucket-discard evictions. Partitioned
+	// two-input operators (the join) carry both on their left-side block.
+	SpillBytes  Counter
+	SpillEvents Counter
+
 	parts []PartStats // per-partition state counters; nil for unpartitioned ops
 }
 
@@ -100,6 +106,8 @@ func (o *OpStats) reset() {
 	o.Attempts.reset()
 	o.Retries.reset()
 	o.WastedBytes.reset()
+	o.SpillBytes.reset()
+	o.SpillEvents.reset()
 	o.parts = nil
 }
 
@@ -329,6 +337,24 @@ func (r *Registry) TotalWastedBytes() int64 {
 	return total
 }
 
+// TotalSpillBytes sums bytes written to spill runs across operators.
+func (r *Registry) TotalSpillBytes() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.SpillBytes.Load()
+	}
+	return total
+}
+
+// TotalSpillEvents sums bucket-discard evictions across operators.
+func (r *Registry) TotalSpillEvents() int64 {
+	var total int64
+	for _, op := range r.Ops() {
+		total += op.SpillEvents.Load()
+	}
+	return total
+}
+
 // Report renders a per-operator table, sorted by name, for debugging and
 // the CLI's -v mode.
 func (r *Registry) Report() string {
@@ -354,6 +380,12 @@ func (r *Registry) Report() string {
 			}
 			parts += fmt.Sprintf("filter=%dB work-peak=%dB", fb, fw)
 		}
+		if se := op.SpillEvents.Load(); se > 0 {
+			if parts != "" {
+				parts += " "
+			}
+			parts += fmt.Sprintf("spills=%d spill-bytes=%dB", se, op.SpillBytes.Load())
+		}
 		out += fmt.Sprintf("%-40s %10d %10d %10d %12d %s\n",
 			op.Name, op.In.Load(), op.Out.Load(), op.Pruned.Load(), op.StateBytes.Peak(), parts)
 	}
@@ -363,6 +395,9 @@ func (r *Registry) Report() string {
 	if t := r.BreakerTransitions.Load() + r.TotalRetries(); t > 0 {
 		out += fmt.Sprintf("recovery: retries=%d wasted-bytes=%d breaker-transitions=%d\n",
 			r.TotalRetries(), r.TotalWastedBytes(), r.BreakerTransitions.Load())
+	}
+	if se := r.TotalSpillEvents(); se > 0 {
+		out += fmt.Sprintf("spill: events=%d bytes=%d\n", se, r.TotalSpillBytes())
 	}
 	if r.SchedMorsels.Load() > 0 {
 		w, busy := r.SchedBusy()

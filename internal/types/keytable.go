@@ -63,6 +63,12 @@ func (kt *KeyTable) Key(id int32) []byte {
 	return kt.keys[kt.offs[id]:kt.ends[id]]
 }
 
+// Hash returns the Hash64 the id was inserted under. Together with Key it
+// lets a caller walk ids 0..Len() and re-serialize every entry — the
+// executor's spill eviction writes whole buckets this way without
+// re-hashing the key bytes.
+func (kt *KeyTable) Hash(id int32) uint64 { return kt.hashes[id] }
+
 // MemSize approximates the table's footprint in bytes for state accounting.
 func (kt *KeyTable) MemSize() int {
 	return len(kt.slots)*4 + len(kt.hashes)*16 + len(kt.keys)

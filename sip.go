@@ -31,6 +31,20 @@
 // degraded results are annotated, never silently wrong. Recovery work is
 // accounted in Result.Retries / WastedBytes / BreakerTransitions.
 //
+// Memory is governed, not hoped for. Options.MemBudget caps one query's
+// tracked operator state (join tables, aggregation groups, distinct sets);
+// under pressure the partitioned operators evict whole hash buckets to
+// CRC-framed disk runs and merge them back after input-done, so a heavy
+// query degrades to out-of-core execution with the same answer instead of
+// OOMing — Result.PeakMemBytes / SpillBytes / SpillEvents report the
+// high-water mark and spill activity. EngineConfig.MemBudget extends the
+// same contract engine-wide: concurrent queries draw byte grants from one
+// shared pool (waiting in admission when it runs dry), composing with
+// MaxConcurrentQueries. A budget too small for even the maximum
+// spill-merge fan-out fails with a typed *BudgetError; a panic inside an
+// operator goroutine is contained to its query and surfaces as a typed
+// *PanicError.
+//
 // Quick start — blocking execution:
 //
 //	cat := sip.GenerateTPCH(sip.DataConfig{ScaleFactor: 0.01})
@@ -174,6 +188,19 @@ const (
 // it from Query / Rows.Err (unwrap with errors.As).
 type SourceError = exec.SourceError
 
+// BudgetError is the typed failure of a query whose memory budget
+// (Options.MemBudget or the engine pool's grant) is too small for even the
+// maximum out-of-core spill-merge fan-out: it names the operator, the
+// budget, and a lower bound on the bytes that would have been needed.
+// Unwrap with errors.As.
+type BudgetError = exec.BudgetError
+
+// PanicError is the typed failure of a query one of whose operator
+// goroutines panicked. The panic is contained to that query — the process
+// and every other in-flight query keep running — and the recovered value
+// plus the goroutine stack are preserved here. Unwrap with errors.As.
+type PanicError = exec.PanicError
+
 // SummaryKind selects the AIP-set representation (Bloom or hash set).
 type SummaryKind = core.SummaryKind
 
@@ -294,6 +321,17 @@ type Options struct {
 	// stealing worker pool with range-split parallel scans). Results are
 	// identical; plans the morsel compiler cannot run fall back to chan.
 	Scheduler string
+
+	// MemBudget caps this query's tracked operator state (join tables,
+	// aggregation groups, distinct sets) in bytes. Under pressure the
+	// stateful operators evict whole hash buckets to disk runs and merge
+	// them back after input-done, so the query degrades to out-of-core
+	// execution instead of growing without bound; a budget too small for
+	// even the maximum spill-merge fan-out fails with a typed *BudgetError.
+	// Zero means unbounded — unless the engine runs with
+	// EngineConfig.MemBudget, in which case the engine's per-query grant
+	// applies (and a non-zero Options.MemBudget is capped by that grant).
+	MemBudget int64
 }
 
 // Scheduler values for Options.Scheduler.
@@ -369,6 +407,15 @@ type Result struct {
 	WastedBytes        int64
 	BreakerTransitions int64
 
+	// PeakMemBytes is the high-water mark of the memory accountant's
+	// tracked operator state — the quantity a MemBudget caps. SpillBytes
+	// and SpillEvents count out-of-core activity: bytes written to spill
+	// runs and whole-bucket evictions. All zero for an unbounded in-memory
+	// run.
+	PeakMemBytes int64
+	SpillBytes   int64
+	SpillEvents  int64
+
 	// IncompleteTables lists the sources this result is missing (only under
 	// OnSourceFailure: PartialOnSourceError): one SourceError per dead
 	// table, sorted by table name. Empty means the result is complete.
@@ -397,15 +444,29 @@ type EngineConfig struct {
 	//
 	// A cached plan snapshots the catalog state (table row slices,
 	// statistics) at first use, exactly like a prepared statement snapshots
-	// it at Prepare. The engine assumes an immutable catalog; callers that
-	// mutate tables after queries have run must create a new Engine (or
-	// disable caching) to observe the changes.
+	// it at Prepare. Cache keys include the catalog version, which
+	// Catalog.Add bumps on every table registration or replacement, so an
+	// ad-hoc Query after a catalog change always recompiles against the new
+	// contents; already-prepared statements keep their snapshot. Mutating a
+	// *Table in place bypasses the version — replace tables through Add.
 	PlanCacheSize int
 
 	// MaxConcurrentQueries caps the number of queries executing at once;
 	// further callers block in admission until a slot frees (or their
 	// context is cancelled). Zero means unlimited.
 	MaxConcurrentQueries int
+
+	// MemBudget is an engine-wide memory pool (in bytes) shared by all
+	// concurrently executing queries. Each query is granted a slice of the
+	// pool at admission — half of it when running alone, shrinking as more
+	// queries are admitted, never below 1/16th — and executes under that
+	// grant exactly as if Options.MemBudget were set to it (spilling to
+	// disk under pressure; see Options.MemBudget). When the free pool runs
+	// dry, further queries wait in admission until a grant is released.
+	// Composes with MaxConcurrentQueries, which bounds how many grants are
+	// outstanding. Zero means no engine-wide governance: only per-query
+	// Options.MemBudget applies.
+	MemBudget int64
 
 	// PooledStats recycles the per-query stats registry (and its
 	// per-operator counter blocks) through a pool instead of allocating
@@ -423,6 +484,7 @@ type Engine struct {
 	cat     *catalog.Catalog
 	cache   *planCache    // nil when disabled
 	sem     chan struct{} // nil when unlimited
+	gov     *memGovernor  // nil when no engine-wide memory pool
 	pooled  bool          // recycle per-query stats registries
 	running atomic.Int64  // queries currently executing (adaptive parallelism)
 }
@@ -442,6 +504,9 @@ func NewEngineWithConfig(cat *Catalog, cfg EngineConfig) *Engine {
 	}
 	if cfg.MaxConcurrentQueries > 0 {
 		e.sem = make(chan struct{}, cfg.MaxConcurrentQueries)
+	}
+	if cfg.MemBudget > 0 {
+		e.gov = newMemGovernor(cfg.MemBudget)
 	}
 	return e
 }

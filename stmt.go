@@ -70,7 +70,7 @@ func (e *Engine) plan(sql string, opts Options) (*enginePlan, error) {
 	if len(opts.RemoteTables) > 0 && opts.Topology == nil {
 		return e.buildPlan(sql, opts)
 	}
-	key := planKey(sql, opts)
+	key := planKey(sql, opts, e.cat.Version())
 	if p, ok := e.cache.get(key); ok {
 		return p, nil
 	}
@@ -87,9 +87,13 @@ func (e *Engine) plan(sql string, opts Options) (*enginePlan, error) {
 // Parallelism input to the adaptive-P clamp), so cached plans never cross
 // scheduler modes, and the filter variant, so cached plans never mix Bloom
 // geometries; the remaining runtime-only knobs (FPR, summary kind, pipeline
-// depth, cost-model constants) are deliberately excluded so they share one
-// cached plan.
-func planKey(sql string, opts Options) string {
+// depth, cost-model constants, memory budget) are deliberately excluded so
+// they share one cached plan. The catalog version is part of the key: a
+// compiled plan snapshots table row slices and statistics at build time, so
+// replacing a table via Catalog.Add must retire every plan built against
+// the old contents instead of serving stale rows (the superseded entries
+// age out of the LRU).
+func planKey(sql string, opts Options, catVersion int64) string {
 	var sb strings.Builder
 	sb.WriteString(sql)
 	sb.WriteByte(0)
@@ -128,7 +132,7 @@ func planKey(sql string, opts Options) string {
 	sb.WriteByte(0)
 	fmt.Fprintf(&sb, "%d", opts.SourceBytesPerSec)
 	sb.WriteByte(0)
-	fmt.Fprintf(&sb, "%s/%d/v%d", opts.Scheduler, opts.Parallelism, opts.Variant)
+	fmt.Fprintf(&sb, "%s/%d/v%d/cat%d", opts.Scheduler, opts.Parallelism, opts.Variant, catVersion)
 	return sb.String()
 }
 

@@ -75,11 +75,29 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 			return nil, context.Cause(ctx)
 		}
 	}
+	// Memory admission: draw a byte grant from the engine-wide pool (when
+	// configured), blocking while the pool is dry. Runs after the slot
+	// semaphore so the two compose: MaxConcurrentQueries bounds how many
+	// grants can be outstanding.
+	var grant int64
+	if e.gov != nil {
+		g, err := e.gov.acquire(ctx)
+		if err != nil {
+			if e.sem != nil {
+				<-e.sem
+			}
+			return nil, err
+		}
+		grant = g
+	}
 	e.running.Add(1)
 	var once sync.Once
 	release := func() {
 		once.Do(func() {
 			e.running.Add(-1)
+			if e.gov != nil {
+				e.gov.release(grant)
+			}
 			if e.sem != nil {
 				<-e.sem
 			}
@@ -102,6 +120,11 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 	ectx.PipelineDepth = opts.PipelineDepth
 	ectx.Scheduler = opts.Scheduler
 	ectx.Load = func() int { return int(e.running.Load()) }
+	// Per-query cap and engine grant compose: the tighter one wins.
+	ectx.MemBudget = opts.MemBudget
+	if grant > 0 && (ectx.MemBudget <= 0 || grant < ectx.MemBudget) {
+		ectx.MemBudget = grant
+	}
 
 	// Recovery: per-query breaker set (transitions feed the registry) plus
 	// the retry policy and failure mode from the options.
@@ -285,6 +308,16 @@ func (r *Rows) Err() error { return r.err }
 // Empty means the rows delivered so far cover every source.
 func (r *Rows) IncompleteTables() []*SourceError { return r.ectx.IncompleteSources() }
 
+// PeakMemBytes reports the high-water mark of the query's tracked operator
+// state so far; it can still grow while the cursor streams.
+func (r *Rows) PeakMemBytes() int64 { return r.ectx.PeakTrackedBytes() }
+
+// SpillBytes reports the bytes this query has written to spill runs so far.
+func (r *Rows) SpillBytes() int64 { return r.ectx.SpillBytes() }
+
+// SpillEvents reports the whole-bucket evictions this query has made so far.
+func (r *Rows) SpillEvents() int64 { return r.ectx.SpillEvents() }
+
 // Close cancels the query if it is still running, drains every operator
 // goroutine, and releases the engine admission slot. Always returns nil;
 // it is idempotent.
@@ -357,12 +390,12 @@ func (r *Rows) finish() {
 		r.err = err
 	}
 	reg := r.reg
-	if r.pooled {
-		// Quiescence before recycling: every operator goroutine must have
-		// exited before the registry (whose counters they write) is reset
-		// and reused by another query.
-		r.ectx.Wait()
-	}
+	// Quiescence before teardown: every operator goroutine must have exited
+	// before the spill directory is removed (a live merge could still hold
+	// a run file) and, in pooled mode, before the registry (whose counters
+	// they write) is reset and reused by another query.
+	r.ectx.Wait()
+	r.ectx.Cleanup()
 	r.res = &Result{
 		Schema:                 r.sch,
 		Duration:               dur,
@@ -378,6 +411,9 @@ func (r *Rows) finish() {
 		Retries:                reg.TotalRetries(),
 		WastedBytes:            reg.TotalWastedBytes(),
 		BreakerTransitions:     reg.BreakerTransitions.Load(),
+		PeakMemBytes:           r.ectx.PeakTrackedBytes(),
+		SpillBytes:             r.ectx.SpillBytes(),
+		SpillEvents:            r.ectx.SpillEvents(),
 		IncompleteTables:       r.ectx.IncompleteSources(),
 		Stats:                  reg,
 	}
