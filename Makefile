@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench filterbench spillbench benchdiff verify
+.PHONY: all build test vet test-race chaos bench-smoke bench joinbench stmtbench schedbench filterbench spillbench serverbench benchdiff verify
 
 all: build
 
@@ -27,11 +27,12 @@ bench:
 # determinism, cancellation, the morsel scheduler differentials, the
 # bucket-discard spill differentials), the spill run-file frame codec, the
 # work-stealing pool's park/steal races, the scalar-vs-vectorized
-# expression differential tests, the network fault/breaker tests, and the
-# blocked-filter / striped-Partial merge-exactness differentials under the
-# race detector.
+# expression differential tests, the network fault/breaker tests, the
+# blocked-filter / striped-Partial merge-exactness differentials, and the
+# wire server's concurrent-session soak / disconnect-cancellation / quota
+# tests under the race detector.
 test-race:
-	$(GO) test -race ./internal/exec ./internal/spill ./internal/sched ./internal/core ./internal/expr ./internal/network ./internal/bloom ./internal/filter .
+	$(GO) test -race ./internal/exec ./internal/spill ./internal/sched ./internal/core ./internal/expr ./internal/network ./internal/bloom ./internal/filter ./internal/server .
 
 # chaos: the full fault-injection matrix (seeds × fault profiles ×
 # Fail/Partial × strategies) plus the recovery smoke tests, under the race
@@ -81,6 +82,14 @@ filterbench:
 # spilled, must stay within 5× of the unbounded wall time).
 spillbench:
 	$(GO) run ./cmd/sipbench -spillbench
+
+# serverbench: measure the wire-protocol serving tier (ad-hoc vs cached vs
+# prepared execution over TCP at 1/64/512 sessions) and record it on the
+# latest BENCH_joins.json entry. Run after joinbench so the section lands on
+# this PR's entry; `make benchdiff` gates it PR-over-PR and enforces the
+# prepared ≥1.25× ad-hoc floor at 64 sessions.
+serverbench:
+	$(GO) run ./cmd/sipbench -serverbench
 
 # benchdiff: fail when the last BENCH_joins.json entry regressed >10%
 # against the previous one. Run after joinbench.

@@ -20,7 +20,9 @@
 // gate — morsel within tolerance of chan at P=1 — and the spill section
 // (sipbench -spillbench), whose intra-entry gates require the quarter-cap
 // run to have actually spilled and to finish within 5× of the unbounded
-// wall time. Entries with fewer than
+// wall time, and the wire-serving section (sipbench -serverbench), whose
+// intra-entry floor requires prepared execution over the wire to beat
+// cache-disabled ad-hoc by ≥1.25× at 64 sessions. Entries with fewer than
 // two data points pass trivially, as do strategy names present in only one
 // entry. Entries recorded on different machines (the machine string
 // includes core count and CPU model) are printed for reference but do not
@@ -86,6 +88,15 @@ type spillCell struct {
 	SlowdownVsUncapped float64 `json:"slowdown_vs_uncapped"`
 }
 
+type serverCell struct {
+	Sessions        int     `json:"sessions"`
+	AdhocQPS        float64 `json:"adhoc_queries_per_sec"`
+	CachedQPS       float64 `json:"cached_queries_per_sec"`
+	PreparedQPS     float64 `json:"prepared_queries_per_sec"`
+	SpeedupPrepared float64 `json:"speedup_prepared_vs_adhoc"`
+	RepSpread       float64 `json:"rep_spread"`
+}
+
 type entry struct {
 	Generated       string         `json:"generated"`
 	Machine         string         `json:"machine"`
@@ -96,6 +107,7 @@ type entry struct {
 	SchedBench      []schedCell    `json:"sched_bench"`
 	FilterBench     []filterCell   `json:"filter_bench"`
 	SpillBench      []spillCell    `json:"spill_bench"`
+	ServerBench     []serverCell   `json:"server_bench"`
 }
 
 type trajectory struct {
@@ -378,6 +390,48 @@ func main() {
 		}
 		fmt.Printf("%-14s %-24s %14.2fx slowdown %23s  %s\n",
 			"spill intra", "quarter cap <= 5x wall", quarterSpill.SlowdownVsUncapped, "", status)
+	}
+	// Server benchmark (sipbench -serverbench). Cross-entry: the three wire
+	// paths' q/s per session level, same-machine only (the wire round trip is
+	// syscall- and core-bound) and spread-widened — the end-to-end TCP path
+	// on a single shared core is the noisiest section in the file. Intra-entry,
+	// always gating: prepared execution must beat cache-disabled ad-hoc by at
+	// least 1.25x at 64 sessions. The floor is deliberately below the
+	// in-process stmt microbench's 3x+: over TCP the ratio is
+	// (plan+exec+wire)/(exec+wire), and on a single-core container the
+	// four-syscall round trip (~15us) outweighs the planning tax (~12us),
+	// capping honest runs at 1.5-1.9x. 1.25x leaves noise margin below the
+	// observed minimum while still failing any change that breaks statement
+	// reuse over the wire.
+	if prev.Machine == cur.Machine {
+		prevServer := map[int]serverCell{}
+		for _, c := range prev.ServerBench {
+			prevServer[c.Sessions] = c
+		}
+		for _, c := range cur.ServerBench {
+			if p, ok := prevServer[c.Sessions]; ok {
+				spread := math.Max(p.RepSpread, c.RepSpread)
+				name := fmt.Sprintf("server S=%d", c.Sessions)
+				noisy(spread, name, "adhoc_queries_per_sec", p.AdhocQPS, c.AdhocQPS)
+				noisy(spread, name, "cached_queries_per_sec", p.CachedQPS, c.CachedQPS)
+				noisy(spread, name, "prepared_queries_per_sec", p.PreparedQPS, c.PreparedQPS)
+			}
+		}
+	} else if len(cur.ServerBench) > 0 {
+		fmt.Println("benchdiff: note: server_bench not compared across different machines")
+	}
+	for _, c := range cur.ServerBench {
+		if c.Sessions != 64 || c.AdhocQPS <= 0 || c.PreparedQPS <= 0 {
+			continue
+		}
+		ratio := c.PreparedQPS / c.AdhocQPS
+		status := "ok"
+		if ratio < 1.25 {
+			status = "FLOOR VIOLATED"
+			failed = true
+		}
+		fmt.Printf("%-14s %-24s %14.0f vs %11.0f  %5.2fx  %s\n",
+			"server intra", "prepared>=1.25x adhoc", c.AdhocQPS, c.PreparedQPS, ratio, status)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% vs entry %s\n",

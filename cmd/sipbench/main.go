@@ -11,6 +11,7 @@
 //	sipbench -schedbench               # record the chan-vs-morsel section
 //	sipbench -filterbench              # record the blocked-vs-flat filter section
 //	sipbench -spillbench               # record the memory-budget spill section
+//	sipbench -serverbench              # record the wire-protocol serving section
 //
 // Output is the same series the paper's figures plot: per query, one
 // running-time (or intermediate-state) value per execution strategy, with
@@ -76,12 +77,13 @@ func main() {
 		schedbench  = flag.Bool("schedbench", false, "run the chan-vs-morsel scheduler benchmark and record it in -benchout")
 		filterbench = flag.Bool("filterbench", false, "run the blocked-vs-flat Bloom filter benchmark and record it in -benchout")
 		spillbench  = flag.Bool("spillbench", false, "run the memory-budget spill benchmark (unbounded vs quarter vs sixteenth cap) and record it in -benchout")
-		benchout    = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench / -filterbench / -spillbench")
-		overwrite   = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench/-filterbench/-spillbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
+		serverbench = flag.Bool("serverbench", false, "run the wire-protocol serving benchmark (adhoc vs cached vs prepared at 1/64/512 sessions) and record it in -benchout")
+		benchout    = flag.String("benchout", "BENCH_joins.json", "output path for -joinbench / -exprbench / -stmtbench / -schedbench / -filterbench / -spillbench / -serverbench")
+		overwrite   = flag.Bool("overwrite", false, "let -exprbench/-stmtbench/-schedbench/-filterbench/-spillbench/-serverbench replace a section already recorded on the latest entry (intra-PR re-measurement)")
 	)
 	flag.Parse()
 
-	if *joinbench || *exprbench || *stmtbench || *schedbench || *filterbench || *spillbench {
+	if *joinbench || *exprbench || *stmtbench || *schedbench || *filterbench || *spillbench || *serverbench {
 		if *joinbench {
 			if err := runJoinBench(*benchout, *reps); err != nil {
 				fatal(err)
@@ -109,6 +111,11 @@ func main() {
 		}
 		if *spillbench {
 			if err := runSpillBench(*benchout, *reps, *overwrite); err != nil {
+				fatal(err)
+			}
+		}
+		if *serverbench {
+			if err := runServerBench(*benchout, *reps, *overwrite); err != nil {
 				fatal(err)
 			}
 		}

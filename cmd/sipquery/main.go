@@ -13,7 +13,14 @@
 //	sipquery -sched morsel -sql "..."
 //	sipquery -remote partsupp=1 -fault-transient 0.1 -partial -sql "..."
 //	sipquery -mem-budget 1048576 -stats -sql "..."
+//	sipquery -connect 127.0.0.1:7878 -tenant batch -sql "..."
 //	echo "SELECT ..." | sipquery
+//
+// -connect switches to client mode: instead of generating data and running
+// the query in-process, sipquery dials a sipserver over the wire protocol
+// and streams the result back. The output, warnings, and exit codes match
+// local mode; -sched, -mem-budget, -partial, and -timeout travel with the
+// session, and -tenant names the quota bucket the server meters.
 //
 // The -fault-* flags inject deterministic failures into remote links and
 // delayed scans (see sip.FaultProfile); -retries/-attempt-timeout bound the
@@ -40,11 +47,14 @@ import (
 	"time"
 
 	sip "repro"
+	"repro/internal/server"
 )
 
 func main() {
 	var (
 		sqlText  = flag.String("sql", "", "query text (default: read stdin)")
+		connect  = flag.String("connect", "", "run against a sipserver at host:port instead of in-process")
+		tenant   = flag.String("tenant", "", "tenant name for the server's admission quotas (with -connect)")
 		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		skew     = flag.Bool("skew", false, "use the Zipf z=0.5 skewed data set")
 		strategy = flag.String("strategy", "Baseline", "Baseline | Magic | Feed-forward | Cost-based")
@@ -91,6 +101,15 @@ func main() {
 	}
 	if strings.TrimSpace(text) == "" {
 		fatal(fmt.Errorf("no query: pass -sql or pipe SQL on stdin"))
+	}
+
+	if *connect != "" {
+		os.Exit(runRemote(ctx, *connect, text, server.DialConfig{
+			Tenant:    *tenant,
+			Scheduler: *sched,
+			MemBudget: *memBudget,
+			Partial:   *partial,
+		}, *limit, *stats))
 	}
 
 	cfg := sip.DataConfig{ScaleFactor: *sf}
@@ -246,6 +265,105 @@ func main() {
 	if exitCode != 0 {
 		os.Exit(exitCode)
 	}
+}
+
+// runRemote executes the query against a sipserver, mirroring local mode's
+// output, warnings, and exit codes. Returns the process exit code.
+func runRemote(ctx context.Context, addr, text string, dial server.DialConfig, limit int, stats bool) int {
+	c, err := server.Dial(addr, dial)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sipquery:", err)
+		return 1
+	}
+	defer c.Close()
+
+	start := time.Now()
+	rows, err := c.Query(ctx, text)
+	if err != nil {
+		return remoteFail(ctx, err)
+	}
+	defer rows.Close()
+
+	var sb strings.Builder
+	for i, col := range rows.Schema().Cols {
+		if i > 0 {
+			sb.WriteString("\t")
+		}
+		sb.WriteString(col.Name)
+	}
+	fmt.Println(sb.String())
+	n := 0
+	for rows.Next() {
+		n++
+		if limit > 0 && n > limit {
+			continue // keep draining for the exact row count and summary
+		}
+		sb.Reset()
+		for j, v := range rows.Row() {
+			if j > 0 {
+				sb.WriteString("\t")
+			}
+			sb.WriteString(v.String())
+		}
+		fmt.Println(sb.String())
+	}
+	if limit > 0 && n > limit {
+		fmt.Printf("... (%d more rows)\n", n-limit)
+	}
+	exitCode := 0
+	if err := rows.Err(); err != nil {
+		exitCode = remoteFail(ctx, err)
+	}
+
+	sum := rows.Summary()
+	if sum == nil {
+		sum = &server.Summary{}
+	}
+	// Degradation warnings: a partial result must never read like a
+	// complete one — same contract as local mode.
+	for _, se := range sum.Incomplete {
+		fmt.Fprintf(os.Stderr, "sipquery: WARNING: result incomplete — table %s (site %d) abandoned after %d attempt(s): %v\n",
+			se.Table, se.Site, se.Attempts, se.Cause)
+		exitCode = 1
+	}
+	fmt.Printf("\n%d row(s) in %v; state peak %.2f MB; %d filter(s), %d tuple(s) pruned\n",
+		n, time.Since(start).Round(time.Millisecond),
+		float64(sum.PeakStateBytes)/(1<<20), sum.FiltersCreated, sum.TuplesPruned)
+	if sum.Retries > 0 || sum.BreakerTransitions > 0 || sum.WastedBytes > 0 {
+		fmt.Printf("recovery: %d retr%s, %d breaker transition(s), %d wasted byte(s)\n",
+			sum.Retries, plural(sum.Retries, "y", "ies"), sum.BreakerTransitions, sum.WastedBytes)
+	}
+	if stats || sum.SpillEvents > 0 {
+		fmt.Printf("memory: %.2f MB tracked peak; %.2f MB spilled in %d eviction(s)\n",
+			float64(sum.PeakMemBytes)/(1<<20), float64(sum.SpillBytes)/(1<<20), sum.SpillEvents)
+	}
+	if stats {
+		fmt.Fprintln(os.Stderr, "sipquery: per-operator -stats is not available over the wire; see the server's /stats endpoint")
+	}
+	return exitCode
+}
+
+// remoteFail prints the same diagnostics local mode would for the class of
+// failure a wire error reports, and returns exit code 1.
+func remoteFail(ctx context.Context, err error) int {
+	var we *server.WireError
+	switch {
+	case errors.Is(err, context.Canceled):
+		if ctx.Err() == context.DeadlineExceeded {
+			fmt.Fprintln(os.Stderr, "sipquery: query timed out (partial output)")
+		} else {
+			fmt.Fprintln(os.Stderr, "sipquery: query cancelled (partial output)")
+		}
+	case errors.As(err, &we) && we.Code == "source":
+		fmt.Fprintf(os.Stderr, "sipquery: source failed: %s\n", we.Msg)
+		fmt.Fprintln(os.Stderr, "sipquery: rerun with -partial to degrade to a partial result instead")
+	case errors.As(err, &we) && we.Code == "memory":
+		fmt.Fprintf(os.Stderr, "sipquery: memory budget too small: %s\n", we.Msg)
+		fmt.Fprintln(os.Stderr, "sipquery: rerun with a higher -mem-budget")
+	default:
+		fmt.Fprintln(os.Stderr, "sipquery:", err)
+	}
+	return 1
 }
 
 func plural(n int64, one, many string) string {

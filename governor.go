@@ -69,6 +69,13 @@ func (g *memGovernor) acquire(ctx context.Context) (int64, error) {
 	}
 }
 
+// stats snapshots the pool for the engine's GovernorStats accessor.
+func (g *memGovernor) stats() GovernorStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorStats{TotalBytes: g.total, AvailableBytes: g.avail, Admitted: g.admitted}
+}
+
 // release returns a grant to the pool and wakes every waiter.
 func (g *memGovernor) release(grant int64) {
 	g.mu.Lock()

@@ -165,7 +165,7 @@ func coerceParam(v types.Value, want types.Kind) (types.Value, error) {
 	case want == types.KindInt && v.K == types.KindFloat:
 		return v, nil
 	case want == types.KindDate && v.K == types.KindString:
-		d, err := types.DateFromString(v.S)
+		d, err := types.DateFromLooseString(v.S)
 		if err != nil {
 			return types.Null(), fmt.Errorf("argument %q is not a date", v.S)
 		}

@@ -452,13 +452,7 @@ func coerceDate(l, r expr.Expr) (expr.Expr, expr.Expr) {
 // parseLooseDate accepts 'YYYY-MM-DD' and 'YYYY-M-D' forms (the paper's
 // queries write '2007-1-1').
 func parseLooseDate(s string) (types.Value, error) {
-	parts := strings.Split(s, "-")
-	if len(parts) != 3 {
-		return types.Null(), fmt.Errorf("not a date: %q", s)
-	}
-	norm := fmt.Sprintf("%04s-%02s-%02s", parts[0], parts[1], parts[2])
-	norm = strings.ReplaceAll(norm, " ", "0")
-	return types.DateFromString(norm)
+	return types.DateFromLooseString(s)
 }
 
 // resolveIdent looks the identifier up in the current block, then in the

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// serveMetricsText renders the flat counter set, one `name value` line per
+// counter, in a stable order — trivially scrapable and diffable.
+func (s *Server) serveMetricsText(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, c := range s.counters() {
+		fmt.Fprintf(w, "%s %d\n", c.name, c.value)
+	}
+}
+
+// statsSnapshot is the /stats JSON shape: the same counters as /metrics
+// plus the structured views a flat counter cannot carry (the slow-query
+// log with its statement texts).
+type statsSnapshot struct {
+	Counters    map[string]int64 `json:"counters"`
+	SlowQueries []slowQueryJSON  `json:"slow_queries"`
+}
+
+type slowQueryJSON struct {
+	SQL      string    `json:"sql"`
+	Duration string    `json:"duration"`
+	At       time.Time `json:"at"`
+}
+
+func (s *Server) serveStatsJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := statsSnapshot{Counters: map[string]int64{}, SlowQueries: []slowQueryJSON{}}
+	for _, c := range s.counters() {
+		snap.Counters[c.name] = c.value
+	}
+	for _, q := range s.eng.SlowQueries() {
+		snap.SlowQueries = append(snap.SlowQueries, slowQueryJSON{
+			SQL:      q.SQL,
+			Duration: q.Duration.String(),
+			At:       q.At,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

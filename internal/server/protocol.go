@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Protocol constants. A frame is a 4-byte big-endian payload length, one
+// type byte, and the payload; see the package comment for the full frame
+// contract.
+const (
+	// protoMagic opens every connection; a server greeted with anything
+	// else drops the connection without a reply (it is not speaking our
+	// protocol, so an error frame would be noise on its wire).
+	protoMagic = "SIPW"
+
+	// ProtoVersion is the newest protocol revision this package speaks.
+	// The handshake negotiates min(client max, server max); version 0 is
+	// never valid, so a client older than MinProtoVersion is refused with
+	// an error frame.
+	ProtoVersion = 1
+
+	// MinProtoVersion is the oldest revision the server still accepts.
+	MinProtoVersion = 1
+
+	// DefaultMaxFrame bounds a single frame's payload. Row batches are cut
+	// well below this; the bound exists so a corrupt or hostile length
+	// prefix cannot make either side allocate gigabytes.
+	DefaultMaxFrame = 16 << 20
+)
+
+// Frame types. The high bit marks server→client frames.
+const (
+	frameHello     = 0x01 // magic, max version, tenant, session options
+	frameQuery     = 0x02 // ad-hoc SQL text
+	framePrepare   = 0x03 // SQL text to compile
+	frameExecute   = 0x04 // statement id + arguments
+	frameCloseStmt = 0x05 // statement id
+	frameCancel    = 0x06 // cancel the in-flight query (out of band)
+	frameQuit      = 0x07 // clean session end
+
+	frameHelloOK  = 0x81 // negotiated version + server banner
+	frameError    = 0x82 // code + message; terminates the current exchange
+	frameStmtOK   = 0x83 // statement id, param count, result schema
+	frameSchema   = 0x84 // result schema; opens a row stream
+	frameRowBatch = 0x85 // n rows × schema-width values
+	frameDone     = 0x86 // execution summary; closes a row stream
+)
+
+// Error codes carried by frameError. Codes are part of the wire contract;
+// messages are human-readable detail.
+const (
+	errCodePlan     = "plan"     // parse/bind/optimize failed
+	errCodeExec     = "exec"     // execution failed
+	errCodeSource   = "source"   // a source stayed dead (fail-fast mode)
+	errCodeMemory   = "memory"   // memory budget too small to run
+	errCodeCanceled = "canceled" // query canceled (client Cancel or disconnect)
+	errCodeProto    = "protocol" // malformed or out-of-sequence frame
+	errCodeShutdown = "shutdown" // server is draining; no new queries
+	errCodeVersion  = "version"  // handshake version mismatch
+)
+
+// frameHeaderLen is the fixed prefix: 4-byte payload length + 1 type byte.
+const frameHeaderLen = 5
+
+// writeFrame appends a complete frame to w. The payload must already be
+// encoded; writeFrame adds the length/type header.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeFrameParts writes one frame whose payload is the concatenation of
+// parts, without joining them first — the row-batch path prepends its
+// varint row count to the accumulated row bytes this way.
+func writeFrameParts(w io.Writer, typ byte, parts ...[]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(total))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame from r, enforcing the payload bound.
+func readFrame(r io.Reader, maxFrame int) (typ byte, payload []byte, err error) {
+	typ, payload, _, err = readFrameInto(r, maxFrame, nil)
+	return typ, payload, err
+}
+
+// readFrameInto is readFrame with a caller-owned scratch buffer: the payload
+// slice aliases scratch (grown as needed and returned). Safe only when the
+// caller fully consumes or copies the payload before the next read — the
+// client's strictly sequential exchanges qualify; the server's read loop
+// does not (it may read a pipelined frame while the previous request is
+// still being executed).
+func readFrameInto(r io.Reader, maxFrame int, scratch []byte) (typ byte, payload, grown []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, scratch, fmt.Errorf("server: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
+	}
+	if uint64(cap(scratch)) < uint64(n) {
+		scratch = make([]byte, n)
+	}
+	payload = scratch[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, scratch, err
+	}
+	return hdr[4], payload, scratch, nil
+}
+
+// ---- payload encoding ------------------------------------------------------
+//
+// Payloads are built from three primitives: unsigned varints, length-
+// prefixed strings, and tagged values (one kind byte, then the kind's
+// natural encoding). Appending into a caller-owned buffer keeps the row
+// stream allocation-free once the per-session scratch buffer has grown to
+// its working size.
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendValue encodes one tagged value.
+func appendValue(b []byte, v types.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case types.KindNull:
+	case types.KindInt, types.KindDate, types.KindBool:
+		b = appendVarint(b, v.I)
+	case types.KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.F))
+	case types.KindString:
+		b = appendString(b, v.S)
+	}
+	return b
+}
+
+// appendSchema encodes a result schema: column count, then per column the
+// qualifier, name, and kind.
+func appendSchema(b []byte, sch *types.Schema) []byte {
+	if sch == nil {
+		return appendUvarint(b, 0)
+	}
+	b = appendUvarint(b, uint64(len(sch.Cols)))
+	for _, c := range sch.Cols {
+		b = appendString(b, c.Table)
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Kind))
+	}
+	return b
+}
+
+// payloadReader is a sticky-error cursor over one frame's payload. Every
+// decode helper checks err first, so a malformed payload degrades to a
+// single "short payload" error instead of a panic.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) fail() {
+	if p.err == nil {
+		p.err = fmt.Errorf("server: short or malformed frame payload")
+	}
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.buf[p.off:])
+	if n <= 0 {
+		p.fail()
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.buf[p.off:])
+	if n <= 0 {
+		p.fail()
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) byte() byte {
+	if p.err != nil {
+		return 0
+	}
+	if p.off >= len(p.buf) {
+		p.fail()
+		return 0
+	}
+	b := p.buf[p.off]
+	p.off++
+	return b
+}
+
+// take returns the next n raw bytes (the handshake magic).
+func (p *payloadReader) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if p.off+n > len(p.buf) {
+		p.fail()
+		return nil
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+func (p *payloadReader) string() string {
+	n := int(p.uvarint())
+	if p.err != nil {
+		return ""
+	}
+	if n < 0 || p.off+n > len(p.buf) {
+		p.fail()
+		return ""
+	}
+	s := string(p.buf[p.off : p.off+n])
+	p.off += n
+	return s
+}
+
+func (p *payloadReader) value() types.Value {
+	k := types.Kind(p.byte())
+	switch k {
+	case types.KindNull:
+		return types.Null()
+	case types.KindInt, types.KindDate, types.KindBool:
+		return types.Value{K: k, I: p.varint()}
+	case types.KindFloat:
+		if p.err != nil || p.off+8 > len(p.buf) {
+			p.fail()
+			return types.Null()
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(p.buf[p.off:]))
+		p.off += 8
+		return types.Float(f)
+	case types.KindString:
+		return types.Str(p.string())
+	default:
+		p.fail()
+		return types.Null()
+	}
+}
+
+func (p *payloadReader) schema() *types.Schema {
+	n := int(p.uvarint())
+	if p.err != nil || n > 1<<16 {
+		p.fail()
+		return nil
+	}
+	cols := make([]types.Column, n)
+	for i := range cols {
+		cols[i].Table = p.string()
+		cols[i].Name = p.string()
+		cols[i].Kind = types.Kind(p.byte())
+	}
+	if p.err != nil {
+		return nil
+	}
+	return &types.Schema{Cols: cols}
+}
+
+// Summary is the execution footer carried by a frameDone: the row count,
+// server-side duration, the result counters a client-side footer needs, and
+// the list of sources a degraded (partial) result abandoned.
+type Summary struct {
+	Rows               int64
+	DurationMicros     int64
+	PeakStateBytes     int64
+	FiltersCreated     int64
+	FiltersInjected    int64
+	TuplesPruned       int64
+	PeakMemBytes       int64
+	SpillBytes         int64
+	SpillEvents        int64
+	Retries            int64
+	BreakerTransitions int64
+	WastedBytes        int64
+	Incomplete         []IncompleteTable
+}
+
+// IncompleteTable names one source a partial result is missing, mirroring
+// sip.SourceError across the wire.
+type IncompleteTable struct {
+	Table    string
+	Site     int
+	Attempts int
+	Cause    string
+}
+
+func appendSummary(b []byte, s *Summary) []byte {
+	b = appendVarint(b, s.Rows)
+	b = appendVarint(b, s.DurationMicros)
+	b = appendVarint(b, s.PeakStateBytes)
+	b = appendVarint(b, s.FiltersCreated)
+	b = appendVarint(b, s.FiltersInjected)
+	b = appendVarint(b, s.TuplesPruned)
+	b = appendVarint(b, s.PeakMemBytes)
+	b = appendVarint(b, s.SpillBytes)
+	b = appendVarint(b, s.SpillEvents)
+	b = appendVarint(b, s.Retries)
+	b = appendVarint(b, s.BreakerTransitions)
+	b = appendVarint(b, s.WastedBytes)
+	b = appendUvarint(b, uint64(len(s.Incomplete)))
+	for _, t := range s.Incomplete {
+		b = appendString(b, t.Table)
+		b = appendVarint(b, int64(t.Site))
+		b = appendVarint(b, int64(t.Attempts))
+		b = appendString(b, t.Cause)
+	}
+	return b
+}
+
+func (p *payloadReader) summary() *Summary {
+	s := &Summary{
+		Rows:               p.varint(),
+		DurationMicros:     p.varint(),
+		PeakStateBytes:     p.varint(),
+		FiltersCreated:     p.varint(),
+		FiltersInjected:    p.varint(),
+		TuplesPruned:       p.varint(),
+		PeakMemBytes:       p.varint(),
+		SpillBytes:         p.varint(),
+		SpillEvents:        p.varint(),
+		Retries:            p.varint(),
+		BreakerTransitions: p.varint(),
+		WastedBytes:        p.varint(),
+	}
+	n := int(p.uvarint())
+	if p.err != nil || n > 1<<16 {
+		p.fail()
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		s.Incomplete = append(s.Incomplete, IncompleteTable{
+			Table:    p.string(),
+			Site:     int(p.varint()),
+			Attempts: int(p.varint()),
+			Cause:    p.string(),
+		})
+	}
+	if p.err != nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null(),
+		types.Int(0),
+		types.Int(-1),
+		types.Int(math.MaxInt64),
+		types.Int(math.MinInt64),
+		types.Float(0),
+		types.Float(3.14159),
+		types.Float(math.Inf(-1)),
+		types.Str(""),
+		types.Str("BRASS"),
+		types.Str("it's\x00\xffweird"),
+		types.Date(9131),
+		types.Bool(true),
+		types.Bool(false),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = appendValue(buf, v)
+	}
+	p := payloadReader{buf: buf}
+	for i, want := range vals {
+		got := p.value()
+		if p.err != nil {
+			t.Fatalf("value %d: decode error", i)
+		}
+		if got != want {
+			t.Fatalf("value %d: %+v, want %+v", i, got, want)
+		}
+	}
+	if p.off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", p.off, len(buf))
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	sch := &types.Schema{Cols: []types.Column{
+		{Table: "n", Name: "n_name", Kind: types.KindString},
+		{Table: "", Name: "count(*)", Kind: types.KindInt},
+		{Table: "o", Name: "o_orderdate", Kind: types.KindDate},
+	}}
+	buf := appendSchema(nil, sch)
+	p := payloadReader{buf: buf}
+	got := p.schema()
+	if p.err != nil || got == nil {
+		t.Fatal("decode failed")
+	}
+	if len(got.Cols) != len(sch.Cols) {
+		t.Fatalf("%d cols, want %d", len(got.Cols), len(sch.Cols))
+	}
+	for i := range sch.Cols {
+		if got.Cols[i] != sch.Cols[i] {
+			t.Fatalf("col %d: %+v, want %+v", i, got.Cols[i], sch.Cols[i])
+		}
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	sum := &Summary{
+		Rows: 42, DurationMicros: 1234, PeakStateBytes: 1 << 20,
+		FiltersCreated: 3, FiltersInjected: 2, TuplesPruned: 999,
+		PeakMemBytes: 5 << 20, SpillBytes: 7, SpillEvents: 1,
+		Retries: 4, BreakerTransitions: 2, WastedBytes: 100,
+		Incomplete: []IncompleteTable{
+			{Table: "partsupp", Site: 1, Attempts: 3, Cause: "link down"},
+		},
+	}
+	buf := appendSummary(nil, sum)
+	p := payloadReader{buf: buf}
+	got := p.summary()
+	if p.err != nil || got == nil {
+		t.Fatal("decode failed")
+	}
+	if got.Rows != sum.Rows || got.DurationMicros != sum.DurationMicros ||
+		got.TuplesPruned != sum.TuplesPruned || len(got.Incomplete) != 1 ||
+		got.Incomplete[0] != sum.Incomplete[0] {
+		t.Fatalf("summary mismatch: %+v vs %+v", got, sum)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var w bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&w, frameQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrameParts(&w, frameRowBatch, []byte{1, 2}, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&w, DefaultMaxFrame)
+	if err != nil || typ != frameQuery || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: typ=%#x payload=%q err=%v", typ, got, err)
+	}
+	typ, got, err = readFrame(&w, DefaultMaxFrame)
+	if err != nil || typ != frameRowBatch || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("frame 2: typ=%#x payload=%q err=%v", typ, got, err)
+	}
+}
+
+func TestFrameBound(t *testing.T) {
+	var w bytes.Buffer
+	if err := writeFrame(&w, frameQuery, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(&w, 1024); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// FuzzPayloadReader feeds arbitrary bytes through every decoder: none may
+// panic or read out of bounds, and any value that decodes cleanly must
+// survive an encode/decode round trip (overlong varints mean the raw bytes
+// themselves need not be canonical).
+func FuzzPayloadReader(f *testing.F) {
+	f.Add(appendValue(nil, types.Int(7)))
+	f.Add(appendValue(nil, types.Str("x")))
+	f.Add(appendSchema(nil, &types.Schema{Cols: []types.Column{{Name: "a", Kind: types.KindInt}}}))
+	f.Add(appendSummary(nil, &Summary{Rows: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		{
+			p := payloadReader{buf: data}
+			v := p.value()
+			if p.err == nil {
+				re := payloadReader{buf: appendValue(nil, v)}
+				got := re.value()
+				if re.err != nil || got != v {
+					t.Fatalf("value %+v did not round-trip: %+v (err %v)", v, got, re.err)
+				}
+			}
+		}
+		{
+			p := payloadReader{buf: data}
+			p.schema()
+		}
+		{
+			p := payloadReader{buf: data}
+			p.summary()
+		}
+		{
+			p := payloadReader{buf: data}
+			p.string()
+			p.uvarint()
+			p.varint()
+			p.byte()
+			p.take(3)
+		}
+	})
+}
+
+// FuzzReadFrame ensures a hostile stream cannot crash the frame layer or
+// defeat the size bound.
+func FuzzReadFrame(f *testing.F) {
+	var w bytes.Buffer
+	writeFrame(&w, frameHello, []byte(protoMagic))
+	f.Add(w.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data), 1<<16)
+		if err == nil && len(payload) > 1<<16 {
+			t.Fatalf("frame type %#x exceeded bound: %d bytes", typ, len(payload))
+		}
+	})
+}

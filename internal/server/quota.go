@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// tenantQuotas enforces per-tenant concurrent-query caps. The quota is the
+// outermost admission layer: a session acquires its tenant's slot before
+// the engine's MaxConcurrentQueries semaphore and memory-governor grant, so
+// a tenant that floods the server queues behind its own cap while other
+// tenants' queries keep reaching the engine. Slots are plain buffered
+// channels, created lazily per tenant; acquisition is abandoned cleanly
+// when the query's context fires (client cancel, disconnect, or forced
+// shutdown).
+type tenantQuotas struct {
+	def int            // default cap (<=0: unlimited)
+	per map[string]int // per-tenant overrides
+
+	mu   sync.Mutex
+	sems map[string]chan struct{}
+}
+
+func newTenantQuotas(def int, per map[string]int) *tenantQuotas {
+	q := &tenantQuotas{def: def, sems: map[string]chan struct{}{}}
+	if len(per) > 0 {
+		q.per = make(map[string]int, len(per))
+		for k, v := range per {
+			q.per[k] = v
+		}
+	}
+	return q
+}
+
+// limit returns the tenant's cap; <= 0 means unlimited.
+func (q *tenantQuotas) limit(tenant string) int {
+	if v, ok := q.per[tenant]; ok {
+		return v
+	}
+	return q.def
+}
+
+// acquire blocks until the tenant has a free slot (or ctx fires) and
+// returns the release func. Unlimited tenants return a no-op immediately.
+// onWait fires once, before blocking, when the tenant is at its cap — the
+// metrics layer counts those as quota waits while they are still queued.
+func (q *tenantQuotas) acquire(ctx context.Context, tenant string, onWait func()) (release func(), err error) {
+	n := q.limit(tenant)
+	if n <= 0 {
+		return func() {}, nil
+	}
+	q.mu.Lock()
+	sem, ok := q.sems[tenant]
+	if !ok {
+		sem = make(chan struct{}, n)
+		q.sems[tenant] = sem
+	}
+	q.mu.Unlock()
+
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	default:
+	}
+	// Slow path: the tenant is at its cap.
+	if onWait != nil {
+		onWait()
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}

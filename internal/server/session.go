@@ -1,0 +1,465 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	sip "repro"
+)
+
+// request is one client frame awaiting the session goroutine, decoded by
+// the read loop so the frame payload buffer can be reused across requests.
+// Cancel and Quit never become requests: the read loop services them
+// directly. bad marks a frame that failed to decode (protocol error).
+type request struct {
+	typ  byte
+	sql  string      // Query, Prepare
+	id   uint64      // Execute, CloseStmt
+	args []sip.Value // Execute
+	bad  bool
+}
+
+// decodeRequest decodes one request frame into owned data: every string and
+// value is copied out of payload, which the read loop overwrites on its
+// next read.
+func decodeRequest(typ byte, payload []byte) request {
+	p := payloadReader{buf: payload}
+	req := request{typ: typ}
+	switch typ {
+	case frameQuery, framePrepare:
+		req.sql = p.string()
+	case frameExecute:
+		req.id = p.uvarint()
+		nargs := int(p.uvarint())
+		if p.err != nil || nargs > 1<<16 {
+			req.bad = true
+			return req
+		}
+		req.args = make([]sip.Value, nargs)
+		for i := range req.args {
+			req.args[i] = p.value()
+		}
+	case frameCloseStmt:
+		req.id = p.uvarint()
+	default:
+		req.bad = true
+		return req
+	}
+	if p.err != nil {
+		req.bad = true
+	}
+	return req
+}
+
+// session is one connection's state: the negotiated identity and options,
+// the prepared-statement table, and the in-flight query's cancel hook. Two
+// goroutines share it — the session goroutine (handles requests, writes
+// every response frame) and the read loop (decodes frames, services Cancel
+// out of band) — so the cancel hook is the only mutable state they share,
+// and it is mutex-guarded.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	tenant  string
+	version int
+	opts    sip.Options
+
+	stmts  map[uint64]*sip.Stmt
+	nextID uint64
+
+	// scratch buffers amortize frame encoding across the session: row
+	// batches and response payloads reuse them, so the steady-state row
+	// stream does not allocate per batch.
+	scratch []byte
+	head    []byte
+
+	// done closes when the session goroutine exits, releasing a read loop
+	// blocked on the request channel (drain or protocol-error exits leave
+	// the final request undelivered).
+	done chan struct{}
+
+	mu     sync.Mutex
+	cancel context.CancelFunc // in-flight query, nil when idle
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:  s,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 8<<10),
+		// A small write buffer keeps backpressure honest: a stalled client
+		// blocks the session goroutine after at most a few KiB of slack,
+		// which stops the cursor, which stalls only that query's pipeline.
+		bw:    bufio.NewWriterSize(conn, 4<<10),
+		stmts: map[uint64]*sip.Stmt{},
+		done:  make(chan struct{}),
+	}
+}
+
+// run drives the session to completion; the caller owns deregistration.
+func (sess *session) run() {
+	defer sess.conn.Close()
+	defer close(sess.done)
+	if !sess.handshake() {
+		return
+	}
+	reqCh := make(chan request)
+	go sess.readLoop(reqCh)
+
+	for {
+		select {
+		case req, ok := <-reqCh:
+			if !ok {
+				return // client closed, Quit, or read error
+			}
+			if !sess.handle(req) {
+				return
+			}
+		case <-sess.srv.drainCh:
+			// Draining while idle: close now. A request mid-handle never
+			// reaches this select, so in-flight statements finish first.
+			return
+		}
+	}
+}
+
+// handshake performs the Hello/HelloOK exchange. A connection that is not
+// speaking the protocol (bad magic, malformed frame) is dropped without a
+// reply; a well-formed but too-old client gets a "version" error frame.
+func (sess *session) handshake() bool {
+	typ, payload, err := readFrame(sess.br, sess.srv.cfg.MaxFrameBytes)
+	if err != nil || typ != frameHello {
+		return false
+	}
+	p := payloadReader{buf: payload}
+	magic := p.take(len(protoMagic))
+	clientMax := p.uvarint()
+	tenant := p.string()
+	sched := p.string()
+	memBudget := p.varint()
+	mode := p.byte()
+	if p.err != nil || string(magic) != protoMagic {
+		return false
+	}
+	if clientMax < MinProtoVersion {
+		sess.writeError(errCodeVersion, "client protocol version too old")
+		sess.bw.Flush()
+		return false
+	}
+	sess.version = ProtoVersion
+	if int(clientMax) < sess.version {
+		sess.version = int(clientMax)
+	}
+	sess.tenant = tenant
+
+	// Session options overlay the server's base options: the client picks
+	// its scheduler, memory budget, and failure mode; plan-shaping options
+	// stay server-controlled.
+	sess.opts = sess.srv.cfg.BaseOptions
+	if sched != "" {
+		sess.opts.Scheduler = sched
+	}
+	if memBudget > 0 {
+		sess.opts.MemBudget = memBudget
+	}
+	if mode == 1 {
+		sess.opts.OnSourceFailure = sip.PartialOnSourceError
+	}
+
+	buf := appendUvarint(sess.scratch[:0], uint64(sess.version))
+	buf = appendString(buf, sess.srv.cfg.Banner)
+	sess.scratch = buf
+	if err := writeFrame(sess.bw, frameHelloOK, buf); err != nil {
+		return false
+	}
+	return sess.bw.Flush() == nil
+}
+
+// readLoop decodes frames off the wire and feeds them to the session
+// goroutine. Cancel is serviced here — while the session goroutine streams
+// a result it never reads the wire, so out-of-band cancellation must not
+// queue behind it. A read error (client disconnect) cancels the in-flight
+// query the same way, so an abandoned query releases its admission slot and
+// memory grant promptly.
+func (sess *session) readLoop(reqCh chan<- request) {
+	defer close(reqCh)
+	var scratch []byte
+	for {
+		typ, payload, grown, err := readFrameInto(sess.br, sess.srv.cfg.MaxFrameBytes, scratch)
+		scratch = grown
+		if err != nil {
+			sess.cancelInflight()
+			return
+		}
+		switch typ {
+		case frameCancel:
+			sess.cancelInflight()
+		case frameQuit:
+			return
+		default:
+			select {
+			case reqCh <- decodeRequest(typ, payload):
+			case <-sess.done:
+				return
+			}
+		}
+	}
+}
+
+func (sess *session) setCancel(c context.CancelFunc) {
+	sess.mu.Lock()
+	sess.cancel = c
+	sess.mu.Unlock()
+}
+
+func (sess *session) cancelInflight() {
+	sess.mu.Lock()
+	c := sess.cancel
+	sess.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
+// handle dispatches one request frame. It returns false when the session
+// must close (protocol error or dead connection); response-position errors
+// keep the session alive.
+func (sess *session) handle(req request) bool {
+	if req.bad {
+		return sess.protoError()
+	}
+	switch req.typ {
+	case frameQuery:
+		return sess.runQuery(req.sql, nil, nil)
+	case framePrepare:
+		return sess.prepare(req.sql)
+	case frameExecute:
+		stmt, ok := sess.stmts[req.id]
+		if !ok {
+			return sess.writeError(errCodeProto, "unknown statement id") && sess.bw.Flush() == nil
+		}
+		return sess.runQuery(stmt.SQL(), stmt, req.args)
+	case frameCloseStmt:
+		delete(sess.stmts, req.id)
+		buf := appendSummary(sess.scratch[:0], &Summary{})
+		sess.scratch = buf
+		return writeFrame(sess.bw, frameDone, buf) == nil && sess.bw.Flush() == nil
+	default:
+		return sess.protoError()
+	}
+}
+
+// protoError reports a malformed or out-of-sequence frame and closes the
+// session: once framing trust is lost, resynchronizing is guesswork.
+func (sess *session) protoError() bool {
+	sess.writeError(errCodeProto, "malformed frame")
+	sess.bw.Flush()
+	return false
+}
+
+func (sess *session) prepare(sql string) bool {
+	if sess.srv.isDraining() {
+		return sess.writeErrorFlush(errCodeShutdown, errShuttingDown.Error())
+	}
+	stmt, err := sess.srv.eng.PrepareWithOptions(sess.srv.baseCtx, sql, sess.opts)
+	if err != nil {
+		return sess.writeErrorFlush(errCodePlan, err.Error())
+	}
+	sess.nextID++
+	id := sess.nextID
+	sess.stmts[id] = stmt
+	buf := appendUvarint(sess.scratch[:0], id)
+	buf = appendUvarint(buf, uint64(stmt.NumParams()))
+	buf = appendSchema(buf, stmt.Schema())
+	sess.scratch = buf
+	return writeFrame(sess.bw, frameStmtOK, buf) == nil && sess.bw.Flush() == nil
+}
+
+// runQuery admits, executes, and streams one statement. stmt is nil for
+// ad-hoc text queries. The bool result follows handle's contract.
+func (sess *session) runQuery(sql string, stmt *sip.Stmt, args []sip.Value) bool {
+	srv := sess.srv
+	if srv.isDraining() {
+		return sess.writeErrorFlush(errCodeShutdown, errShuttingDown.Error())
+	}
+	ctx, cancel := context.WithCancel(srv.baseCtx)
+	defer cancel()
+	sess.setCancel(cancel)
+	defer sess.setCancel(nil)
+
+	// Tenant quota first, engine admission second: a tenant at its cap
+	// queues here without holding an engine slot or memory grant.
+	release, err := srv.quotas.acquire(ctx, sess.tenant, func() {
+		srv.metrics.QuotaWaits.Add(1)
+	})
+	if err != nil {
+		srv.metrics.QueriesCanceled.Add(1)
+		return sess.writeErrorFlush(errCodeCanceled, "canceled while queued for tenant quota")
+	}
+	defer release()
+
+	srv.metrics.QueriesStarted.Add(1)
+	var rows *sip.Rows
+	if stmt != nil {
+		rows, err = stmt.QueryStream(ctx, args...)
+	} else {
+		rows, err = srv.eng.QueryStream(ctx, sql, sess.opts)
+	}
+	if err != nil {
+		code, msg := classifyError(err, errCodePlan)
+		sess.countOutcome(code)
+		return sess.writeErrorFlush(code, msg)
+	}
+	defer rows.Close()
+	return sess.streamRows(rows)
+}
+
+// streamRows encodes the cursor straight into wire frames: Schema, row
+// batches as rows arrive, then Done or Error. Nothing is materialized — a
+// batch lives only in the session scratch buffer between cuts, and a
+// blocked conn.Write stops the Next loop, backpressuring exactly this
+// query's pipeline.
+func (sess *session) streamRows(rows *sip.Rows) bool {
+	srv := sess.srv
+	// The schema frame is written but not flushed: a small result ships
+	// schema, rows, and summary in one conn.Write instead of three — on a
+	// loopback serving workload the per-query syscalls are a measurable
+	// share of the round trip. Mid-stream batches still flush eagerly so a
+	// long result streams at batch granularity.
+	buf := appendSchema(sess.scratch[:0], rows.Schema())
+	if writeFrame(sess.bw, frameSchema, buf) != nil {
+		sess.countOutcome(errCodeCanceled)
+		return false
+	}
+
+	const cutBytes = 64 << 10
+	batchRows := srv.cfg.BatchRows
+	var sent int64
+	buf = buf[:0]
+	n := 0
+	writeBatch := func(flush bool) bool {
+		if n == 0 {
+			return true
+		}
+		sess.head = appendUvarint(sess.head[:0], uint64(n))
+		if writeFrameParts(sess.bw, frameRowBatch, sess.head, buf) != nil {
+			return false
+		}
+		if flush && sess.bw.Flush() != nil {
+			return false
+		}
+		srv.metrics.BatchesSent.Add(1)
+		srv.metrics.RowsSent.Add(int64(n))
+		srv.metrics.BytesSent.Add(int64(frameHeaderLen + len(sess.head) + len(buf)))
+		sent += int64(n)
+		buf = buf[:0]
+		n = 0
+		return true
+	}
+
+	for rows.Next() {
+		for _, v := range rows.Row() {
+			buf = appendValue(buf, v)
+		}
+		n++
+		if n >= batchRows || len(buf) >= cutBytes {
+			if !writeBatch(true) {
+				sess.scratch = buf
+				sess.countOutcome(errCodeCanceled)
+				return false
+			}
+		}
+	}
+	// The final partial batch rides in the same flush as Done (or Error).
+	ok := writeBatch(false)
+	sess.scratch = buf
+	if !ok {
+		sess.countOutcome(errCodeCanceled)
+		return false
+	}
+
+	if err := rows.Err(); err != nil {
+		code, msg := classifyError(err, errCodeExec)
+		sess.countOutcome(code)
+		return sess.writeErrorFlush(code, msg)
+	}
+
+	res := rows.Result()
+	srv.metrics.QueriesOK.Add(1)
+	srv.metrics.addResult(res)
+	sum := wireSummary(sent, res)
+	out := appendSummary(sess.scratch[:0], sum)
+	sess.scratch = out
+	return writeFrame(sess.bw, frameDone, out) == nil && sess.bw.Flush() == nil
+}
+
+// countOutcome bumps the failure counter matching a terminal error code.
+func (sess *session) countOutcome(code string) {
+	if code == errCodeCanceled {
+		sess.srv.metrics.QueriesCanceled.Add(1)
+	} else {
+		sess.srv.metrics.QueriesFailed.Add(1)
+	}
+}
+
+func (sess *session) writeError(code, msg string) bool {
+	buf := appendString(sess.scratch[:0], code)
+	buf = appendString(buf, msg)
+	sess.scratch = buf
+	return writeFrame(sess.bw, frameError, buf) == nil
+}
+
+func (sess *session) writeErrorFlush(code, msg string) bool {
+	return sess.writeError(code, msg) && sess.bw.Flush() == nil
+}
+
+// classifyError maps an engine error to a wire error code; fallback is the
+// code for errors with no more specific class (plan-time vs execution).
+func classifyError(err error, fallback string) (code, msg string) {
+	var srcErr *sip.SourceError
+	var budErr *sip.BudgetError
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return errCodeCanceled, err.Error()
+	case errors.As(err, &srcErr):
+		return errCodeSource, err.Error()
+	case errors.As(err, &budErr):
+		return errCodeMemory, err.Error()
+	default:
+		return fallback, err.Error()
+	}
+}
+
+// wireSummary folds a finished query's Result into the Done payload.
+func wireSummary(rows int64, res *sip.Result) *Summary {
+	s := &Summary{Rows: rows}
+	if res == nil {
+		return s
+	}
+	s.DurationMicros = res.Duration.Microseconds()
+	s.PeakStateBytes = res.PeakStateBytes
+	s.FiltersCreated = res.FiltersCreated
+	s.FiltersInjected = res.FiltersInjected
+	s.TuplesPruned = res.TuplesPruned
+	s.PeakMemBytes = res.PeakMemBytes
+	s.SpillBytes = res.SpillBytes
+	s.SpillEvents = res.SpillEvents
+	s.Retries = res.Retries
+	s.BreakerTransitions = res.BreakerTransitions
+	s.WastedBytes = res.WastedBytes
+	for _, se := range res.IncompleteTables {
+		s.Incomplete = append(s.Incomplete, IncompleteTable{
+			Table:    se.Table,
+			Site:     se.Site,
+			Attempts: se.Attempts,
+			Cause:    se.Cause.Error(),
+		})
+	}
+	return s
+}

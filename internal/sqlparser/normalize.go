@@ -1,0 +1,101 @@
+package sqlparser
+
+import "strings"
+
+// LitKind classifies one extracted literal of a normalized statement.
+type LitKind uint8
+
+// Literal kinds extracted by Normalize.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+)
+
+// Lit is one constant Normalize lifted out of the statement, in placeholder
+// order. Text is the literal's source spelling: for LitInt/LitFloat the
+// numeric token text (sign excluded — a leading unary minus stays in the
+// normalized statement), for LitString the unquoted, unescaped value.
+type Lit struct {
+	Kind LitKind
+	Text string
+}
+
+// Normalize rewrites the statement's constant literals to `?` placeholders,
+// returning the normalized text and the lifted literals in placeholder
+// (source) order. Two statements that differ only in constants normalize to
+// the same text, so they can share one compiled plan template — the
+// plan-cache parameterization the ad-hoc serving path relies on.
+//
+// The rewrite is purely token-level: the input is lexed with the SQL lexer
+// (so comments and whitespace differences also normalize away) and
+// reassembled with number and string tokens replaced by `?`. Grammar
+// positions that require a literal token are left untouched: a LIKE
+// pattern must stay a string literal. Statements that already contain `?`
+// placeholders are returned with ok=false — they are prepared-statement
+// texts, and mixing user placeholders with lifted literals would scramble
+// the argument order.
+//
+// ok=false also means "nothing to parameterize" (no literals); callers
+// should then use the original text unchanged.
+func Normalize(src string) (norm string, lits []Lit, ok bool) {
+	toks, _, err := lexAll(src)
+	if err != nil {
+		return "", nil, false // the parser will surface the lex error
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokOp:
+			if t.text == "?" {
+				return "", nil, false // already a prepared-statement text
+			}
+			sb.WriteString(t.text)
+		case tokNumber:
+			lits = append(lits, Lit{Kind: numberLitKind(t.text), Text: t.text})
+			sb.WriteByte('?')
+		case tokString:
+			// A string directly after LIKE is a pattern: the grammar
+			// requires a literal there, so it cannot become a placeholder.
+			if i > 0 && toks[i-1].kind == tokKeyword && toks[i-1].text == "LIKE" {
+				writeQuoted(&sb, t.text)
+				continue
+			}
+			lits = append(lits, Lit{Kind: LitString, Text: t.text})
+			sb.WriteByte('?')
+		default: // keywords, identifiers
+			sb.WriteString(t.text)
+		}
+	}
+	if len(lits) == 0 {
+		return "", nil, false
+	}
+	return sb.String(), lits, true
+}
+
+func numberLitKind(text string) LitKind {
+	if strings.Contains(text, ".") {
+		return LitFloat
+	}
+	return LitInt
+}
+
+// writeQuoted re-quotes a string literal, doubling embedded quotes.
+func writeQuoted(sb *strings.Builder, s string) {
+	sb.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			sb.WriteString("''")
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('\'')
+}

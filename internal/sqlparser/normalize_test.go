@@ -1,0 +1,135 @@
+package sqlparser
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNormalizeLiftsLiterals(t *testing.T) {
+	cases := []struct {
+		sql      string
+		wantLits []Lit
+	}{
+		{
+			"SELECT n_name FROM nation WHERE n_nationkey = 7",
+			[]Lit{{LitInt, "7"}},
+		},
+		{
+			"SELECT * FROM part WHERE p_retailprice > 901.00 AND p_type = 'BRASS'",
+			[]Lit{{LitFloat, "901.00"}, {LitString, "BRASS"}},
+		},
+		{
+			"SELECT * FROM orders WHERE o_orderdate < '1995-03-15'",
+			[]Lit{{LitString, "1995-03-15"}},
+		},
+		{
+			// Unary minus stays in the text; only the magnitude lifts.
+			"SELECT * FROM nation WHERE n_nationkey > -3",
+			[]Lit{{LitInt, "3"}},
+		},
+		{
+			// Embedded quote round-trips through the value.
+			"SELECT * FROM nation WHERE n_comment = 'it''s'",
+			[]Lit{{LitString, "it's"}},
+		},
+	}
+	for _, c := range cases {
+		norm, lits, ok := Normalize(c.sql)
+		if !ok {
+			t.Fatalf("Normalize(%q): not parameterizable", c.sql)
+		}
+		if len(lits) != len(c.wantLits) {
+			t.Fatalf("Normalize(%q): lits %v, want %v", c.sql, lits, c.wantLits)
+		}
+		for i := range lits {
+			if lits[i] != c.wantLits[i] {
+				t.Errorf("Normalize(%q): lit %d = %+v, want %+v", c.sql, i, lits[i], c.wantLits[i])
+			}
+		}
+		// The normalized text must parse, with one placeholder per literal.
+		stmt, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("normalized %q does not parse: %v", norm, err)
+		}
+		if stmt.NumParams != len(lits) {
+			t.Errorf("normalized %q has %d params, want %d", norm, stmt.NumParams, len(lits))
+		}
+	}
+}
+
+func TestNormalizeSameTemplate(t *testing.T) {
+	a, _, ok := Normalize("SELECT n_name FROM nation WHERE n_nationkey = 7")
+	if !ok {
+		t.Fatal("not parameterizable")
+	}
+	b, _, ok := Normalize("SELECT n_name  FROM nation -- point lookup\n WHERE n_nationkey = 23")
+	if !ok {
+		t.Fatal("not parameterizable")
+	}
+	if a != b {
+		t.Errorf("literal-only variants normalize differently:\n%q\n%q", a, b)
+	}
+}
+
+func TestNormalizeRefusals(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT n_name FROM nation WHERE n_nationkey = ?", // user placeholder
+		"SELECT n_name FROM nation",                       // no literals
+		"SELECT FROM WHERE 'unterminated",                 // lex error
+	} {
+		if _, _, ok := Normalize(sql); ok {
+			t.Errorf("Normalize(%q): ok, want refusal", sql)
+		}
+	}
+}
+
+func TestNormalizeKeepsLikePattern(t *testing.T) {
+	norm, lits, ok := Normalize("SELECT * FROM part WHERE p_type LIKE '%BRASS%' AND p_size = 15")
+	if !ok {
+		t.Fatal("not parameterizable")
+	}
+	if len(lits) != 1 || lits[0] != (Lit{LitInt, "15"}) {
+		t.Fatalf("lits = %v, want just the 15", lits)
+	}
+	if _, err := Parse(norm); err != nil {
+		t.Fatalf("normalized %q does not parse: %v", norm, err)
+	}
+	// NOT LIKE keeps its pattern too.
+	norm, _, ok = Normalize("SELECT * FROM part WHERE p_type NOT LIKE '%TIN%' AND p_size = 1")
+	if !ok {
+		t.Fatal("not parameterizable")
+	}
+	if _, err := Parse(norm); err != nil {
+		t.Fatalf("normalized %q does not parse: %v", norm, err)
+	}
+}
+
+// TestNormalizeRoundTrip drives the normalizer across a family of generated
+// statements: every parameterizable output must re-parse with exactly
+// len(lits) placeholders, and normalizing the normalized text must refuse
+// (its literals are gone).
+func TestNormalizeRoundTrip(t *testing.T) {
+	preds := []string{
+		"n_nationkey = %d", "n_nationkey > %d", "n_nationkey <= -%d",
+		"n_name = 'N%d'", "n_nationkey + %d < 20", "n_nationkey * 1.%d > 2.0",
+	}
+	for i, p := range preds {
+		for k := 0; k < 5; k++ {
+			sql := "SELECT n_name FROM nation WHERE " + fmt.Sprintf(p, i*10+k)
+			norm, lits, ok := Normalize(sql)
+			if !ok {
+				t.Fatalf("Normalize(%q) refused", sql)
+			}
+			stmt, err := Parse(norm)
+			if err != nil {
+				t.Fatalf("normalized %q does not parse: %v", norm, err)
+			}
+			if stmt.NumParams != len(lits) {
+				t.Fatalf("normalized %q: %d params vs %d lits", norm, stmt.NumParams, len(lits))
+			}
+			if _, _, again := Normalize(norm); again {
+				t.Fatalf("re-normalizing %q succeeded; want refusal (placeholders present)", norm)
+			}
+		}
+	}
+}

@@ -95,6 +95,20 @@ func DateFromString(s string) (Value, error) {
 	return Date(t.Unix() / 86400), nil
 }
 
+// DateFromLooseString parses 'YYYY-MM-DD' and 'YYYY-M-D' forms (the paper's
+// queries write '2007-1-1'). Both the binder's literal coercion and the
+// prepared-statement argument coercion use it, so a date accepted inline is
+// also accepted as a bound argument.
+func DateFromLooseString(s string) (Value, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return Null(), fmt.Errorf("types: bad date literal %q", s)
+	}
+	norm := fmt.Sprintf("%04s-%02s-%02s", parts[0], parts[1], parts[2])
+	norm = strings.ReplaceAll(norm, " ", "0")
+	return DateFromString(norm)
+}
+
 // MustDate is DateFromString for literals known to be valid; it panics on
 // malformed input and is intended for tests and static workload definitions.
 func MustDate(s string) Value {

@@ -1,0 +1,83 @@
+package sip
+
+import (
+	"strconv"
+
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// adhocPlan resolves the plan template for an ad-hoc (non-prepared) query,
+// parameterizing constant literals so that queries differing only in
+// constants share one cached template: the SQL is normalized at the token
+// level (sqlparser.Normalize lifts literals to `?` placeholders), the
+// normalized text keys the plan cache, and the lifted literals come back as
+// execution arguments bound exactly like prepared-statement arguments. This
+// is what keeps the serving tier's ad-hoc path cheap — a wire client that
+// never prepares still pays parse/bind/optimize only once per query shape.
+//
+// Queries that cannot parameterize — caching disabled, user placeholders
+// present, no literals, or a construct where a literal is legal but a
+// parameter is not — fall back to the literal plan path unchanged.
+func (e *Engine) adhocPlan(sql string, opts Options) (*enginePlan, []Value, error) {
+	// The nil-Topology remote case never caches (see plan); parameterizing
+	// it would buy nothing.
+	if e.cache == nil || (len(opts.RemoteTables) > 0 && opts.Topology == nil) {
+		p, err := e.plan(sql, opts)
+		return p, nil, err
+	}
+	norm, lits, ok := sqlparser.Normalize(sql)
+	if !ok {
+		p, err := e.plan(sql, opts)
+		return p, nil, err
+	}
+	args, err := litValues(lits)
+	if err != nil {
+		// A literal the binder would also reject (e.g. an out-of-range
+		// integer): let the literal path produce its own error message.
+		p, perr := e.plan(sql, opts)
+		return p, nil, perr
+	}
+	key := planKey(norm, opts, e.cat.Version())
+	if p, ok := e.cache.get(key); ok && p.numParams == len(args) {
+		return p, args, nil
+	}
+	p, err := e.buildPlan(norm, opts)
+	if err != nil || p.numParams != len(args) {
+		// Either the statement is genuinely invalid — rebuild from the
+		// original text so the error points at the user's own source — or
+		// a parameter was rejected where the literal was fine; the literal
+		// plan still caches under its exact text.
+		p2, perr := e.plan(sql, opts)
+		return p2, nil, perr
+	}
+	e.cache.put(key, p)
+	return p, args, nil
+}
+
+// litValues converts the normalizer's lifted literals to typed values, the
+// way the binder lowers the same literal tokens (strconv.ParseInt /
+// ParseFloat; strings stay strings and coerce to dates at bind when the
+// inferred parameter kind asks for one).
+func litValues(lits []sqlparser.Lit) ([]Value, error) {
+	args := make([]Value, len(lits))
+	for i, l := range lits {
+		switch l.Kind {
+		case sqlparser.LitInt:
+			n, err := strconv.ParseInt(l.Text, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = types.Int(n)
+		case sqlparser.LitFloat:
+			f, err := strconv.ParseFloat(l.Text, 64)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = types.Float(f)
+		default:
+			args[i] = types.Str(l.Text)
+		}
+	}
+	return args, nil
+}

@@ -88,6 +88,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -475,6 +476,56 @@ type EngineConfig struct {
 	// once the cursor finishes, after every operator goroutine has exited —
 	// while the scalar Result counters are still populated.
 	PooledStats bool
+
+	// SlowQueryThreshold turns on the engine's slow-query log: every
+	// execution (ad-hoc, streamed, or prepared) whose wall time meets or
+	// exceeds the threshold is recorded — SQL text, duration, completion
+	// time — in a bounded ring readable through Engine.SlowQueries, with a
+	// monotonic total in Engine.SlowQueryCount. The serving tier surfaces
+	// both on its /stats endpoint. Zero disables the log.
+	SlowQueryThreshold time.Duration
+}
+
+// SlowQuery is one slow-query log entry: an execution whose wall time met
+// EngineConfig.SlowQueryThreshold.
+type SlowQuery struct {
+	SQL      string
+	Duration time.Duration
+	At       time.Time // completion time
+}
+
+// slowLogSize bounds the slow-query ring; older entries are overwritten.
+const slowLogSize = 64
+
+// slowLog is the engine's bounded slow-query ring.
+type slowLog struct {
+	mu      sync.Mutex
+	entries [slowLogSize]SlowQuery
+	n       int   // valid entries (≤ slowLogSize)
+	next    int   // ring write cursor
+	total   int64 // all-time slow executions
+}
+
+func (l *slowLog) record(sql string, d time.Duration, at time.Time) {
+	l.mu.Lock()
+	l.entries[l.next] = SlowQuery{SQL: sql, Duration: d, At: at}
+	l.next = (l.next + 1) % slowLogSize
+	if l.n < slowLogSize {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// snapshot returns the retained entries, most recent first.
+func (l *slowLog) snapshot() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.entries[(l.next-i+slowLogSize)%slowLogSize])
+	}
+	return out
 }
 
 // Engine executes queries against a catalog. It is safe for concurrent use:
@@ -487,6 +538,9 @@ type Engine struct {
 	gov     *memGovernor  // nil when no engine-wide memory pool
 	pooled  bool          // recycle per-query stats registries
 	running atomic.Int64  // queries currently executing (adaptive parallelism)
+
+	slowThresh time.Duration // 0 = slow-query log disabled
+	slow       slowLog
 }
 
 // NewEngine creates an engine over the catalog with the default config.
@@ -508,7 +562,47 @@ func NewEngineWithConfig(cat *Catalog, cfg EngineConfig) *Engine {
 	if cfg.MemBudget > 0 {
 		e.gov = newMemGovernor(cfg.MemBudget)
 	}
+	e.slowThresh = cfg.SlowQueryThreshold
 	return e
+}
+
+// SlowQueries returns the retained slow-query log entries, most recent
+// first (empty when EngineConfig.SlowQueryThreshold is zero or nothing has
+// crossed it).
+func (e *Engine) SlowQueries() []SlowQuery { return e.slow.snapshot() }
+
+// SlowQueryCount returns the all-time number of executions that crossed
+// EngineConfig.SlowQueryThreshold, including entries the bounded log has
+// since overwritten.
+func (e *Engine) SlowQueryCount() int64 {
+	e.slow.mu.Lock()
+	defer e.slow.mu.Unlock()
+	return e.slow.total
+}
+
+// RunningQueries reports how many queries are executing right now (admitted
+// and not yet finished) — the same load signal the morsel scheduler's
+// adaptive parallelism divides by.
+func (e *Engine) RunningQueries() int { return int(e.running.Load()) }
+
+// GovernorStats is a snapshot of the engine-wide memory pool.
+type GovernorStats struct {
+	// TotalBytes is the configured pool size (EngineConfig.MemBudget);
+	// zero means no engine-wide governance.
+	TotalBytes int64
+	// AvailableBytes is the currently ungranted remainder of the pool.
+	AvailableBytes int64
+	// Admitted is the number of queries holding grants right now.
+	Admitted int
+}
+
+// GovernorStats returns the current memory-governor snapshot; the zero
+// value when the engine runs without EngineConfig.MemBudget.
+func (e *Engine) GovernorStats() GovernorStats {
+	if e.gov == nil {
+		return GovernorStats{}
+	}
+	return e.gov.stats()
 }
 
 // Catalog returns the engine's catalog.

@@ -257,7 +257,7 @@ func (s *Stmt) QueryStream(ctx context.Context, args ...Value) (*Rows, error) {
 	if len(args) != s.plan.numParams {
 		return nil, fmt.Errorf("sip: statement has %d parameter(s), got %d argument(s)", s.plan.numParams, len(args))
 	}
-	return s.eng.start(ctx, s.plan, s.opts, args)
+	return s.eng.start(ctx, s.sql, s.plan, s.opts, args)
 }
 
 // Close releases the statement. It is currently a no-op (plans are

@@ -35,19 +35,23 @@ func (e *Engine) Query(ctx context.Context, sql string, opts Options) (*Result, 
 //
 // Queries containing `?` placeholders must go through Prepare.
 func (e *Engine) QueryStream(ctx context.Context, sql string, opts Options) (*Rows, error) {
-	p, err := e.plan(sql, opts)
+	// The ad-hoc path parameterizes constant literals: queries differing
+	// only in constants share one cached template, and the lifted literals
+	// come back as bind arguments (see adhocPlan).
+	p, args, err := e.adhocPlan(sql, opts)
 	if err != nil {
 		return nil, err
 	}
-	if p.numParams > 0 {
+	if p.numParams > len(args) {
 		return nil, fmt.Errorf("sip: query has %d parameter(s); use Prepare and Stmt.Query", p.numParams)
 	}
-	return e.start(ctx, p, opts, nil)
+	return e.start(ctx, sql, p, opts, args)
 }
 
 // start instantiates the plan template and launches execution, returning
-// the cursor wired to the root operator's output edge.
-func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []Value) (*Rows, error) {
+// the cursor wired to the root operator's output edge. sql is the source
+// text for the slow-query log.
+func (e *Engine) start(ctx context.Context, sql string, p *enginePlan, opts Options, args []Value) (*Rows, error) {
 	// An already-cancelled context must fail deterministically: without
 	// this check a fast query can outrun the BindStd watcher and return a
 	// complete result from a dead context.
@@ -165,6 +169,8 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 		}
 		close(ch)
 		return &Rows{
+			eng:       e,
+			sql:       sql,
 			sch:       p.schema,
 			out:       ch,
 			ectx:      ectx,
@@ -179,6 +185,8 @@ func (e *Engine) start(ctx context.Context, p *enginePlan, opts Options, args []
 	out := exec.StartPlan(ectx, inst.Root)
 
 	return &Rows{
+		eng:       e,
+		sql:       sql,
 		sch:       p.schema,
 		out:       out,
 		ectx:      ectx,
@@ -244,6 +252,8 @@ var errRowsClosed = errors.New("sip: rows closed")
 // and releases the engine's admission slot; it is safe to call at any time
 // and more than once. A Rows is not safe for concurrent use.
 type Rows struct {
+	eng    *Engine
+	sql    string // source text, for the slow-query log
 	sch    *Schema
 	out    <-chan exec.Batch
 	ectx   *exec.Context
@@ -386,6 +396,9 @@ func (r *Rows) finish() {
 	dur := time.Since(r.start)
 	r.stopWatch()
 	r.release()
+	if r.eng != nil && r.eng.slowThresh > 0 && dur >= r.eng.slowThresh {
+		r.eng.slow.record(r.sql, dur, time.Now())
+	}
 	if err := r.ectx.Err(); err != nil && !errors.Is(err, errRowsClosed) {
 		r.err = err
 	}

@@ -189,7 +189,11 @@ func TestPlanCacheHitAndEviction(t *testing.T) {
 	e := NewEngineWithConfig(cat, EngineConfig{PlanCacheSize: 2})
 	ctx := context.Background()
 
+	// Distinct literals normalize to one parameterized template, so only
+	// structurally different statements occupy distinct cache entries.
 	q := func(i int) string { return fmt.Sprintf(`SELECT count(*) FROM nation WHERE n_regionkey = %d`, i) }
+	q2 := `SELECT count(*) FROM region WHERE r_regionkey = 1`
+	q3 := `SELECT count(*) FROM supplier WHERE s_nationkey = 1`
 	run := func(sql string) {
 		t.Helper()
 		if _, err := e.Query(ctx, sql, Options{}); err != nil {
@@ -198,23 +202,24 @@ func TestPlanCacheHitAndEviction(t *testing.T) {
 	}
 
 	run(q(1)) // miss
+	run(q(2)) // hit: same template, different literal
 	run(q(1)) // hit
 	cs := e.PlanCacheStats()
-	if cs.Hits != 1 || cs.Misses != 1 {
-		t.Fatalf("after repeat: %+v, want 1 hit / 1 miss", cs)
+	if cs.Hits != 2 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("after literal variants: %+v, want 2 hits / 1 miss / 1 entry", cs)
 	}
 
-	run(q(2)) // miss, cache full
-	run(q(3)) // miss, evicts q(1)
+	run(q2) // miss, cache full
+	run(q3) // miss, evicts the nation template
 	cs = e.PlanCacheStats()
 	if cs.Evictions != 1 || cs.Entries != 2 {
 		t.Fatalf("after overflow: %+v, want 1 eviction / 2 entries", cs)
 	}
 
-	run(q(1)) // miss again: was evicted
+	run(q(1)) // miss again: its template was evicted
 	cs = e.PlanCacheStats()
-	if cs.Hits != 1 || cs.Misses != 4 || cs.Evictions != 2 {
-		t.Fatalf("after re-run of evicted: %+v, want hits=1 misses=4 evictions=2", cs)
+	if cs.Hits != 2 || cs.Misses != 4 || cs.Evictions != 2 {
+		t.Fatalf("after re-run of evicted: %+v, want hits=2 misses=4 evictions=2", cs)
 	}
 
 	// Different plan-affecting options must not share a cached plan.
