@@ -122,7 +122,7 @@ func NewClient(conn net.Conn, cfg DialConfig) (*Client, error) {
 	switch typ {
 	case frameHelloOK:
 		p := payloadReader{buf: payload}
-		c.version = int(p.uvarint())
+		c.version = p.length(1 << 16)
 		p.string() // banner
 		if p.err != nil {
 			return nil, fmt.Errorf("server: malformed HelloOK")
@@ -248,7 +248,7 @@ func (c *Client) Prepare(sql string) (*Stmt, error) {
 	switch typ {
 	case frameStmtOK:
 		id := p.uvarint()
-		nparams := int(p.uvarint())
+		nparams := p.length(1 << 16)
 		sch := p.schema()
 		if p.err != nil {
 			return nil, fmt.Errorf("server: malformed StmtOK frame")
@@ -357,7 +357,9 @@ func (r *Rows) Next() bool {
 		switch typ {
 		case frameRowBatch:
 			r.batch = payloadReader{buf: payload}
-			r.remain = int(r.batch.uvarint())
+			// Batches are cut at BatchRows or 64KiB server-side; the bound
+			// only has to keep a hostile count from wrapping negative.
+			r.remain = r.batch.length(1 << 24)
 			if r.batch.err != nil {
 				r.terminate(nil, fmt.Errorf("server: malformed row batch"))
 				return false

@@ -247,15 +247,34 @@ func (p *payloadReader) take(n int) []byte {
 	return b
 }
 
+// length decodes a uvarint that will be used as an element count or byte
+// length, rejecting anything above max while still a uint64 — converting
+// first would let a hostile 64-bit value wrap to a negative int and slip
+// past a signed bound into a panicking make() or slice expression.
+func (p *payloadReader) length(max int) int {
+	u := p.uvarint()
+	if p.err != nil {
+		return 0
+	}
+	if u > uint64(max) {
+		p.fail()
+		return 0
+	}
+	return int(u)
+}
+
 func (p *payloadReader) string() string {
-	n := int(p.uvarint())
+	u := p.uvarint()
 	if p.err != nil {
 		return ""
 	}
-	if n < 0 || p.off+n > len(p.buf) {
+	// Compare against the bytes remaining after the varint, as a uint64:
+	// converting u to int first would let a 64-bit length wrap negative.
+	if u > uint64(len(p.buf)-p.off) {
 		p.fail()
 		return ""
 	}
+	n := int(u)
 	s := string(p.buf[p.off : p.off+n])
 	p.off += n
 	return s
@@ -285,9 +304,8 @@ func (p *payloadReader) value() types.Value {
 }
 
 func (p *payloadReader) schema() *types.Schema {
-	n := int(p.uvarint())
-	if p.err != nil || n > 1<<16 {
-		p.fail()
+	n := p.length(1 << 16)
+	if p.err != nil {
 		return nil
 	}
 	cols := make([]types.Column, n)
@@ -368,9 +386,8 @@ func (p *payloadReader) summary() *Summary {
 		BreakerTransitions: p.varint(),
 		WastedBytes:        p.varint(),
 	}
-	n := int(p.uvarint())
-	if p.err != nil || n > 1<<16 {
-		p.fail()
+	n := p.length(1 << 16)
+	if p.err != nil {
 		return nil
 	}
 	for i := 0; i < n; i++ {

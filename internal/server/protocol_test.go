@@ -2,11 +2,53 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
 	"repro/internal/types"
 )
+
+// TestHostileLengths pins the fix for the uvarint-length overflow class: a
+// 64-bit length near MaxUint64 used to convert to a negative int, slip past
+// signed upper-bound checks, and panic in a slice expression or make().
+// Every decoder must instead report a sticky protocol error.
+func TestHostileLengths(t *testing.T) {
+	huge := []uint64{1<<63 - 2, 1<<63 - 1, 1 << 63, math.MaxUint64}
+	for _, u := range huge {
+		pfx := binary.AppendUvarint(nil, u)
+		payload := append(append([]byte{}, pfx...), "padding"...)
+
+		p := payloadReader{buf: payload}
+		if p.string(); p.err == nil {
+			t.Fatalf("string() accepted length %d", u)
+		}
+		p = payloadReader{buf: payload}
+		if p.schema(); p.err == nil {
+			t.Fatalf("schema() accepted column count %d", u)
+		}
+		sum := appendSummary(nil, &Summary{})
+		sum = sum[:len(sum)-1] // drop the encoded 0 incomplete-count
+		p = payloadReader{buf: append(sum, pfx...)}
+		if p.summary(); p.err == nil {
+			t.Fatalf("summary() accepted incomplete count %d", u)
+		}
+
+		// Execute frame: statement id 1, then a hostile argument count.
+		exec := binary.AppendUvarint(nil, 1)
+		exec = append(exec, pfx...)
+		if req := decodeRequest(frameExecute, exec); !req.bad {
+			t.Fatalf("decodeRequest accepted %d execute args", u)
+		}
+
+		// KindString value with a hostile payload length.
+		val := append([]byte{byte(types.KindString)}, pfx...)
+		p = payloadReader{buf: val}
+		if p.value(); p.err == nil {
+			t.Fatalf("value() accepted string length %d", u)
+		}
+	}
+}
 
 func TestValueRoundTrip(t *testing.T) {
 	vals := []types.Value{
@@ -129,6 +171,12 @@ func FuzzPayloadReader(f *testing.F) {
 	f.Add(appendSummary(nil, &Summary{Rows: 1}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// Lengths near 2^63/2^64: negative after an unchecked int conversion.
+	f.Add(binary.AppendUvarint(nil, 1<<63-2))
+	f.Add(binary.AppendUvarint(nil, 1<<63))
+	f.Add(binary.AppendUvarint(nil, math.MaxUint64))
+	f.Add(append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 1<<63)...))
+	f.Add(append([]byte{byte(types.KindString)}, binary.AppendUvarint(nil, 1<<63)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		{
 			p := payloadReader{buf: data}
@@ -156,6 +204,11 @@ func FuzzPayloadReader(f *testing.F) {
 			p.varint()
 			p.byte()
 			p.take(3)
+		}
+		// The server-side request decoders must be panic-free on arbitrary
+		// payloads too — they run in the read loop, which has no recover.
+		for _, typ := range []byte{frameQuery, framePrepare, frameExecute, frameCloseStmt, frameHello} {
+			decodeRequest(typ, data)
 		}
 	})
 }

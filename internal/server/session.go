@@ -33,8 +33,8 @@ func decodeRequest(typ byte, payload []byte) request {
 		req.sql = p.string()
 	case frameExecute:
 		req.id = p.uvarint()
-		nargs := int(p.uvarint())
-		if p.err != nil || nargs > 1<<16 {
+		nargs := p.length(1 << 16)
+		if p.err != nil {
 			req.bad = true
 			return req
 		}
@@ -153,7 +153,7 @@ func (sess *session) handshake() bool {
 		return false
 	}
 	sess.version = ProtoVersion
-	if int(clientMax) < sess.version {
+	if clientMax < uint64(sess.version) {
 		sess.version = int(clientMax)
 	}
 	sess.tenant = tenant
